@@ -1,0 +1,200 @@
+//! A generic automatic-modulation-classification (AMC) style AM detector.
+//!
+//! §5: "Algorithms have been developed for detecting modulated signals …
+//! While such algorithms may discover the same signals FASE does, they
+//! would also report radio stations and other modulated signals that are
+//! unrelated to the system activity of interest." This module implements
+//! such a detector — a strong narrowband carrier flanked by roughly
+//! symmetric side-band energy — to quantify exactly that failure mode.
+
+use fase_dsp::peaks::{find_peaks, PeakConfig};
+use fase_dsp::{Hertz, Spectrum};
+
+/// Configuration of the generic AM detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmcConfig {
+    /// Peak detection on the dBm spectrum.
+    pub peaks: PeakConfig,
+    /// Inner exclusion half-width around the carrier, in bins (skips the
+    /// carrier's own skirt).
+    pub inner_bins: usize,
+    /// Outer half-width of the side-band integration region, in bins.
+    pub outer_bins: usize,
+    /// Side-band region power must exceed the local floor by this many dB.
+    pub min_sideband_excess_db: f64,
+    /// Left/right side-band powers must agree within this many dB.
+    pub max_asymmetry_db: f64,
+}
+
+impl Default for AmcConfig {
+    fn default() -> AmcConfig {
+        AmcConfig {
+            peaks: PeakConfig {
+                half_window: 60,
+                threshold_mads: 8.0,
+                min_rise: 6.0,
+                min_distance: 40,
+            },
+            inner_bins: 3,
+            outer_bins: 25,
+            min_sideband_excess_db: 5.0,
+            max_asymmetry_db: 6.0,
+        }
+    }
+}
+
+/// A signal classified as amplitude-modulated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmDetection {
+    /// Carrier frequency.
+    pub carrier: Hertz,
+    /// Carrier power in dBm.
+    pub carrier_dbm: f64,
+    /// Mean side-band region power in dBm.
+    pub sideband_dbm: f64,
+}
+
+/// Classifies every strong carrier with symmetric side-band energy as AM —
+/// regardless of what modulates it.
+///
+/// # Examples
+///
+/// ```
+/// use fase_baseline::amc::{classify_am, AmcConfig};
+/// use fase_dsp::{Hertz, Spectrum};
+/// // A carrier at bin 500 with symmetric audio side-bands.
+/// let mut dbm = vec![-140.0; 1001];
+/// dbm[500] = -95.0;
+/// for k in 5..30 {
+///     dbm[500 - k] = -118.0;
+///     dbm[500 + k] = -118.0;
+/// }
+/// let s = Spectrum::from_dbm(Hertz(0.0), Hertz(100.0), &dbm)?;
+/// let found = classify_am(&s, &AmcConfig::default());
+/// assert_eq!(found.len(), 1);
+/// # Ok::<(), fase_dsp::SpectrumError>(())
+/// ```
+pub fn classify_am(spectrum: &Spectrum, config: &AmcConfig) -> Vec<AmDetection> {
+    let dbm = spectrum.to_dbm_vec();
+    let floor = fase_dsp::stats::median(&dbm);
+    let clamped: Vec<f64> = dbm
+        .iter()
+        .map(|&x| if x.is_finite() { x } else { floor })
+        .collect();
+    let peaks = find_peaks(&clamped, &config.peaks);
+    let n = spectrum.len();
+
+    let mut detections = Vec::new();
+    for p in peaks {
+        let c = p.index;
+        if c < config.outer_bins || c + config.outer_bins >= n {
+            continue;
+        }
+        let band_power = |lo: usize, hi: usize| -> f64 {
+            let mw: f64 = spectrum.powers()[lo..=hi].iter().sum();
+            10.0 * (mw / (hi - lo + 1) as f64).log10()
+        };
+        let left = band_power(c - config.outer_bins, c - config.inner_bins);
+        let right = band_power(c + config.inner_bins, c + config.outer_bins);
+        // Local floor: just beyond the side-band regions.
+        let guard = config.outer_bins * 2;
+        let floor_left = if c >= guard + config.outer_bins {
+            band_power(c - guard - config.outer_bins, c - guard)
+        } else {
+            floor
+        };
+        let floor_right = if c + guard + config.outer_bins < n {
+            band_power(c + guard, c + guard + config.outer_bins)
+        } else {
+            floor
+        };
+        let local_floor = (floor_left + floor_right) / 2.0;
+
+        let symmetric = (left - right).abs() <= config.max_asymmetry_db;
+        let energetic = left.min(right) >= local_floor + config.min_sideband_excess_db;
+        if symmetric && energetic {
+            detections.push(AmDetection {
+                carrier: spectrum.frequency_at(c),
+                carrier_dbm: clamped[c],
+                sideband_dbm: (left + right) / 2.0,
+            });
+        }
+    }
+    detections.sort_by(|a, b| {
+        b.carrier_dbm
+            .partial_cmp(&a.carrier_dbm)
+            .expect("finite dBm values")
+    });
+    detections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(bins: usize) -> Vec<f64> {
+        (0..bins)
+            .map(|i| -140.0 + 0.3 * (((i * 7919) % 13) as f64 / 13.0))
+            .collect()
+    }
+
+    fn am_station(dbm: &mut [f64], center: usize, level: f64) {
+        dbm[center] = level;
+        for k in 5..40 {
+            dbm[center - k] = dbm[center - k].max(level - 22.0);
+            dbm[center + k] = dbm[center + k].max(level - 22.0);
+        }
+    }
+
+    #[test]
+    fn detects_am_station() {
+        let mut dbm = base(4001);
+        am_station(&mut dbm, 2000, -95.0);
+        let s = Spectrum::from_dbm(Hertz(0.0), Hertz(100.0), &dbm).unwrap();
+        let found = classify_am(&s, &AmcConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].carrier, Hertz(200_000.0));
+        assert!((found[0].carrier_dbm - -95.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn reports_program_modulated_and_radio_alike() {
+        // The baseline cannot tell a victim's regulator from a radio
+        // station: both get reported.
+        let mut dbm = base(8001);
+        am_station(&mut dbm, 2000, -95.0); // radio
+        am_station(&mut dbm, 6000, -104.0); // "regulator"
+        let s = Spectrum::from_dbm(Hertz(0.0), Hertz(100.0), &dbm).unwrap();
+        let found = classify_am(&s, &AmcConfig::default());
+        assert_eq!(found.len(), 2, "{found:?}");
+    }
+
+    #[test]
+    fn bare_spur_not_reported() {
+        let mut dbm = base(4001);
+        dbm[2000] = -100.0; // naked tone, no side-bands
+        let s = Spectrum::from_dbm(Hertz(0.0), Hertz(100.0), &dbm).unwrap();
+        assert!(classify_am(&s, &AmcConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn asymmetric_neighbors_rejected() {
+        // Strong energy on one side only (e.g. an adjacent wideband
+        // signal) must not classify as AM.
+        let mut dbm = base(4001);
+        dbm[2000] = -95.0;
+        for k in 5..40 {
+            dbm[2000 + k] = -110.0;
+        }
+        let s = Spectrum::from_dbm(Hertz(0.0), Hertz(100.0), &dbm).unwrap();
+        assert!(classify_am(&s, &AmcConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn edge_carriers_skipped() {
+        let mut dbm = base(200);
+        dbm[10] = -90.0;
+        let s = Spectrum::from_dbm(Hertz(0.0), Hertz(100.0), &dbm).unwrap();
+        assert!(classify_am(&s, &AmcConfig::default()).is_empty());
+    }
+}

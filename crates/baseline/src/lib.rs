@@ -1,0 +1,24 @@
+//! # fase-baseline — the detectors FASE is compared against
+//!
+//! The paper motivates FASE by the failure modes of simpler approaches:
+//!
+//! * [`pair_finder`] — the §2.3 "simplistic approach": search a *single*
+//!   spectrum for peak pairs separated by `2·f_alt` with a carrier peak
+//!   half-way between. Faithfully implemented so its three documented
+//!   drawbacks (harmonic-comb false positives, buried-side-band false
+//!   negatives, coincidental-spacing false positives) can be measured.
+//! * [`amc`] — a generic automatic-modulation-classification style AM
+//!   detector (§5): reports *every* AM signal, including broadcast radio
+//!   that has nothing to do with the victim's program activity.
+//!
+//! The `fase-bench` crate's `baseline_compare` binary runs both against
+//! the same simulated scenes as FASE and tabulates the difference.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod amc;
+pub mod pair_finder;
+
+pub use amc::{classify_am, AmcConfig, AmDetection};
+pub use pair_finder::{find_pairs, PairDetection, PairFinderConfig};

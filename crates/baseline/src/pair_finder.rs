@@ -1,0 +1,201 @@
+//! The naive single-spectrum pair finder the paper dismisses in §2.3:
+//! "look for right and left side-band signals … peaks in the spectrum
+//! separated by 2·f_alt with the carrier peak half-way between them.
+//! However, this simplistic approach has a number of drawbacks."
+//!
+//! Implemented faithfully so the drawbacks can be measured: (1) the
+//! square-wave alternation's odd harmonics are *also* separated by exactly
+//! 2·f_alt, creating false carrier attributions; (2) a side-band buried by
+//! noise at the single measured `f_alt` silently loses the carrier;
+//! (3) unrelated spectral peaks that happen to be 2·f_alt apart produce
+//! false positives.
+
+use fase_dsp::peaks::{find_peaks, PeakConfig};
+use fase_dsp::{Hertz, Spectrum};
+
+/// Configuration of the naive pair finder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairFinderConfig {
+    /// Peak detection settings applied to the dBm spectrum.
+    pub peaks: PeakConfig,
+    /// Matching tolerance for the ±f_alt spacing, in bins.
+    pub tolerance_bins: usize,
+}
+
+impl Default for PairFinderConfig {
+    fn default() -> PairFinderConfig {
+        PairFinderConfig {
+            peaks: PeakConfig {
+                half_window: 8,
+                threshold_mads: 6.0,
+                min_rise: 3.0, // dB above neighborhood
+                min_distance: 3,
+            },
+            tolerance_bins: 2,
+        }
+    }
+}
+
+/// A carrier candidate reported by the naive finder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairDetection {
+    /// The claimed carrier frequency (the mid peak).
+    pub carrier: Hertz,
+    /// Power of the claimed carrier in dBm.
+    pub carrier_dbm: f64,
+    /// Mean of the two side peaks in dBm.
+    pub sideband_dbm: f64,
+}
+
+/// Finds peak pairs separated by `2·f_alt` and claims a carrier at each
+/// midpoint.
+///
+/// The carrier peak itself is deliberately *not* required — as the paper
+/// notes, a carrier can be buried in a crowded part of the spectrum, so a
+/// practical pair finder must infer it from the side-bands alone. That is
+/// precisely what makes this baseline so false-positive-prone: *any* two
+/// peaks with the right spacing conjure up a carrier.
+///
+/// # Examples
+///
+/// ```
+/// use fase_baseline::pair_finder::{find_pairs, PairFinderConfig};
+/// use fase_dsp::{Hertz, Spectrum};
+/// let mut dbm = vec![-140.0; 2001];
+/// dbm[800] = -120.0;  // side-bands at 100 kHz ± 20 kHz
+/// dbm[1200] = -120.0;
+/// let s = Spectrum::from_dbm(Hertz(0.0), Hertz(100.0), &dbm)?;
+/// let found = find_pairs(&s, Hertz(20_000.0), &PairFinderConfig::default());
+/// assert_eq!(found.len(), 1);
+/// assert_eq!(found[0].carrier, Hertz(100_000.0));
+/// # Ok::<(), fase_dsp::SpectrumError>(())
+/// ```
+pub fn find_pairs(
+    spectrum: &Spectrum,
+    f_alt: Hertz,
+    config: &PairFinderConfig,
+) -> Vec<PairDetection> {
+    let dbm = spectrum.to_dbm_vec();
+    // Work on a floor-clamped copy so -inf bins do not poison statistics.
+    let floor = dbm
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let clamped: Vec<f64> = dbm
+        .iter()
+        .map(|&x| if x.is_finite() { x } else { floor })
+        .collect();
+    let peaks = find_peaks(&clamped, &config.peaks);
+    let mut peak_bins: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+    peak_bins.sort_unstable();
+
+    let spacing = 2 * (f_alt / spectrum.resolution()).round() as i64;
+    let tol = config.tolerance_bins as i64;
+
+    let mut detections: Vec<PairDetection> = Vec::new();
+    for (i, &a) in peak_bins.iter().enumerate() {
+        for &b in &peak_bins[i + 1..] {
+            if ((b - a) as i64 - spacing).abs() > tol {
+                continue;
+            }
+            let mid = (a + b) / 2;
+            let carrier = spectrum.frequency_at(mid);
+            // Deduplicate midpoints within tolerance.
+            if detections
+                .iter()
+                .any(|d| ((d.carrier - carrier) / spectrum.resolution()).abs() <= tol as f64)
+            {
+                continue;
+            }
+            detections.push(PairDetection {
+                carrier,
+                carrier_dbm: clamped[mid],
+                sideband_dbm: (clamped[a] + clamped[b]) / 2.0,
+            });
+        }
+    }
+    detections.sort_by(|a, b| {
+        b.sideband_dbm
+            .partial_cmp(&a.sideband_dbm)
+            .expect("finite dBm values")
+    });
+    detections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spectrum_with(dbm_spikes: &[(usize, f64)], bins: usize) -> Spectrum {
+        let mut dbm = vec![-140.0; bins];
+        // Mild deterministic ripple so statistics are non-degenerate.
+        for (i, v) in dbm.iter_mut().enumerate() {
+            *v += 0.3 * (((i * 7919) % 13) as f64 / 13.0);
+        }
+        for &(b, level) in dbm_spikes {
+            dbm[b] = level;
+        }
+        Spectrum::from_dbm(Hertz(0.0), Hertz(100.0), &dbm).unwrap()
+    }
+
+    #[test]
+    fn finds_true_triple() {
+        let s = spectrum_with(&[(800, -120.0), (1000, -100.0), (1200, -120.0)], 2001);
+        let found = find_pairs(&s, Hertz(20_000.0), &PairFinderConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].carrier, Hertz(100_000.0));
+        assert!((found[0].sideband_dbm - -120.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn misses_when_one_sideband_buried() {
+        // Drawback (2): only the upper side-band is visible. (The lone
+        // carrier+side-band pair is 1·f_alt apart, not 2·f_alt.)
+        let s = spectrum_with(&[(1000, -100.0), (1200, -120.0)], 2001);
+        let found = find_pairs(&s, Hertz(20_000.0), &PairFinderConfig::default());
+        assert!(found.is_empty(), "should miss with one side-band: {found:?}");
+    }
+
+    #[test]
+    fn harmonic_comb_causes_false_positives() {
+        // Drawback (1)+(3): a modulated carrier with square-wave harmonics
+        // at ±1·f_alt and ±3·f_alt — plus the carrier — gives multiple
+        // equally-spaced peaks, so the naive finder attributes carriers to
+        // side-band peaks too.
+        let s = spectrum_with(
+            &[
+                (400, -125.0),  // fc − 3·f_alt
+                (800, -118.0),  // fc − f_alt
+                (1000, -100.0), // fc
+                (1200, -118.0), // fc + f_alt
+                (1600, -125.0), // fc + 3·f_alt
+            ],
+            2001,
+        );
+        let found = find_pairs(&s, Hertz(20_000.0), &PairFinderConfig::default());
+        // The true carrier is found...
+        assert!(found.iter().any(|d| d.carrier == Hertz(100_000.0)));
+        // ...but so are ghosts: ±2·f_alt "carriers" bracketed by the ±1 and
+        // ±3 harmonics.
+        assert!(
+            found.len() > 1,
+            "expected false positives from the harmonic comb: {found:?}"
+        );
+    }
+
+    #[test]
+    fn unrelated_coincidences_fire() {
+        // Three unrelated spurs that happen to be f_alt apart.
+        let s = spectrum_with(&[(300, -112.0), (500, -109.0), (700, -111.0)], 2001);
+        let found = find_pairs(&s, Hertz(20_000.0), &PairFinderConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].carrier, Hertz(50_000.0));
+    }
+
+    #[test]
+    fn empty_spectrum_is_quiet() {
+        let s = spectrum_with(&[], 2001);
+        assert!(find_pairs(&s, Hertz(20_000.0), &PairFinderConfig::default()).is_empty());
+    }
+}

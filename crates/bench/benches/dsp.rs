@@ -1,0 +1,93 @@
+//! DSP substrate performance: FFT (radix-2 and Bluestein), windows, peak
+//! detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fase_dsp::peaks::{find_peaks, PeakConfig};
+use fase_dsp::{Complex64, FftPlan, Window};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| {
+            let a = ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0;
+            Complex64::new(a, -a * 0.5)
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[4096usize, 65536, 131072] {
+        let plan = FftPlan::new(n);
+        let data = signal(n);
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                black_box(buf[0]);
+            });
+        });
+    }
+    // Bluestein path (non power of two).
+    let n = 100_000usize;
+    let plan = FftPlan::new(n);
+    let data = signal(n);
+    group.bench_function("bluestein_100k", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            plan.forward(&mut buf);
+            black_box(buf[0]);
+        });
+    });
+    group.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    c.bench_function("blackman_harris_131072", |b| {
+        b.iter(|| black_box(Window::BlackmanHarris.coefficients(131072)));
+    });
+}
+
+fn bench_welch_and_ridge(c: &mut Criterion) {
+    use fase_dsp::demod::ridge_track;
+    use fase_dsp::welch::{welch_psd, WelchConfig};
+    use fase_dsp::Hertz;
+    let n = 1 << 16;
+    let fs = 1.0e6;
+    let iq: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::cis(0.3 * i as f64) + signal(1)[0].scale(1e-3))
+        .collect();
+    c.bench_function("welch_psd_64k", |b| {
+        b.iter(|| {
+            black_box(
+                welch_psd(&iq, Hertz(0.0), fs, &WelchConfig::default())
+                    .unwrap()
+                    .len(),
+            )
+        });
+    });
+    c.bench_function("ridge_track_64k", |b| {
+        b.iter(|| black_box(ridge_track(&iq, fs, 64, 32, Window::Hann).len()));
+    });
+}
+
+fn bench_peaks(c: &mut Criterion) {
+    let mut xs = vec![1.0f64; 80_000];
+    for (i, x) in xs.iter_mut().enumerate() {
+        *x += 0.1 * (((i * 2654435761) % 997) as f64 / 997.0);
+    }
+    for k in 1..20 {
+        xs[k * 4_000] = 30.0;
+    }
+    let cfg = PeakConfig::default();
+    c.bench_function("find_peaks_80k_bins", |b| {
+        b.iter(|| black_box(find_peaks(&xs, &cfg)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft, bench_window, bench_peaks, bench_welch_and_ridge
+}
+criterion_main!(benches);

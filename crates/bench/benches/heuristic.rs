@@ -1,0 +1,55 @@
+//! FASE methodology performance: the Eq. (1)/(2) scan over a paper-sized
+//! 80,000-bin campaign, and the full detection pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fase_core::heuristic::{all_harmonic_scores, campaign_from_spectra, harmonic_scores};
+use fase_core::{CampaignConfig, CampaignSpectra, Fase, HeuristicConfig};
+use fase_dsp::{Hertz, Spectrum};
+use std::hint::black_box;
+
+fn paper_sized_campaign() -> CampaignSpectra {
+    let config = CampaignConfig::paper_0_4mhz();
+    let bins = config.bins();
+    let spectra: Vec<Spectrum> = config
+        .alternation_frequencies()
+        .iter()
+        .map(|f_alt| {
+            let mut p: Vec<f64> = (0..bins)
+                .map(|b| 1e-14 * (1.0 + 0.3 * (((b * 31) % 17) as f64 / 17.0)))
+                .collect();
+            // A modulated carrier at 1.0235 MHz (the paper's Figure 7).
+            let fc = 1_023_500.0;
+            p[(fc / 50.0) as usize] = 1e-10;
+            p[((fc + f_alt.hz()) / 50.0).round() as usize] = 2e-12;
+            p[((fc - f_alt.hz()) / 50.0).round() as usize] = 2e-12;
+            Spectrum::new(Hertz(0.0), Hertz(50.0), p).unwrap()
+        })
+        .collect();
+    campaign_from_spectra(config, spectra).unwrap()
+}
+
+fn bench_heuristic(c: &mut Criterion) {
+    let campaign = paper_sized_campaign();
+    let cfg = HeuristicConfig::default();
+    c.bench_function("harmonic_scores_80k_bins", |b| {
+        b.iter(|| black_box(harmonic_scores(&campaign, 1, &cfg)));
+    });
+    c.bench_function("all_harmonics_scores_80k_bins", |b| {
+        b.iter(|| black_box(all_harmonic_scores(&campaign, 5, &cfg)));
+    });
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let campaign = paper_sized_campaign();
+    let fase = Fase::default();
+    c.bench_function("fase_analyze_80k_bins", |b| {
+        b.iter(|| black_box(fase.analyze(&campaign).unwrap().len()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_heuristic, bench_full_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! End-to-end simulation performance: scene rendering, a single capture,
+//! and a small complete campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fase_core::CampaignConfig;
+use fase_dsp::Hertz;
+use fase_emsim::{CaptureWindow, RenderCtx, SimulatedSystem};
+use fase_specan::{CampaignRunner, SpectrumAnalyzer};
+use fase_sysmodel::{ActivityPair, Machine};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_scene_render(c: &mut Criterion) {
+    let mut system = SimulatedSystem::intel_i7_desktop(1);
+    let window = CaptureWindow::new(Hertz::from_mhz(2.0), 4.0e6, 1 << 14, 0.0);
+    let mut machine = Machine::core_i7();
+    let bench = ActivityPair::LdmLdl1.calibrated(&mut machine, 43_300.0);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    let trace = machine.run_alternation(&bench, window.duration().secs(), &mut rng);
+    let ctx = RenderCtx::new(&trace, &[], &window);
+    c.bench_function("scene_render_16k_samples", |b| {
+        b.iter(|| black_box(system.scene.render(&window, &ctx).len()));
+    });
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let mut system = SimulatedSystem::intel_i7_desktop(1);
+    let window = CaptureWindow::new(Hertz::from_mhz(2.0), 4.0e6, 1 << 16, 0.0);
+    let ctx = RenderCtx::idle(&window);
+    let iq = system.scene.render(&window, &ctx);
+    let analyzer = SpectrumAnalyzer::default();
+    c.bench_function("analyzer_spectrum_64k", |b| {
+        b.iter(|| black_box(analyzer.spectrum(&window, &iq).unwrap().len()));
+    });
+}
+
+fn bench_small_campaign(c: &mut Criterion) {
+    let config = CampaignConfig::builder()
+        .band(Hertz::from_khz(290.0), Hertz::from_khz(340.0))
+        .resolution(Hertz(500.0))
+        .alternation(Hertz::from_khz(30.0), Hertz::from_khz(2.0), 3)
+        .averages(1)
+        .build()
+        .unwrap();
+    c.bench_function("small_campaign_end_to_end", |b| {
+        b.iter(|| {
+            let system = SimulatedSystem::intel_i7_desktop(1);
+            let mut runner = CampaignRunner::new(system, ActivityPair::LdmLdl1, 3);
+            black_box(runner.run(&config).unwrap().len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scene_render, bench_analyzer, bench_small_campaign
+}
+criterion_main!(benches);

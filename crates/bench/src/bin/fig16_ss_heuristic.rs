@@ -1,0 +1,69 @@
+//! Figure 16: the heuristic detects the modulated spread-spectrum clock,
+//! reporting it "as two separate carriers at the edges of the spread out
+//! clock signal".
+
+use fase_bench::{ascii_plot, write_csv};
+use fase_core::{CampaignConfig, Fase, FaseConfig};
+use fase_dsp::Hertz;
+use fase_emsim::SimulatedSystem;
+use fase_specan::CampaignRunner;
+use fase_sysmodel::ActivityPair;
+
+fn main() {
+    let system = SimulatedSystem::intel_i7_desktop(42);
+    let config = CampaignConfig::builder()
+        .band(Hertz::from_mhz(329.0), Hertz::from_mhz(336.0))
+        .resolution(Hertz(2_000.0))
+        .alternation(Hertz::from_khz(180.0), Hertz::from_khz(10.0), 5)
+        .averages(4)
+        .build()
+        .expect("config");
+    let mut runner = CampaignRunner::new(system, ActivityPair::LdmLdl1, 160);
+    let spectra = runner.run(&config).expect("campaign");
+    // A spread carrier is only "uncovered" at a sweep edge by the largest
+    // one or two alternation frequencies, and each edge appears in a
+    // single harmonic sign (+1 at the upper edge, -1 at the lower). The
+    // paper likewise notes spread-spectrum clocks need specially chosen
+    // parameters (§4.3); relax the narrowband evidence requirements.
+    let fase_config = FaseConfig {
+        detector: fase_core::detector::DetectorConfig {
+            min_harmonics: 1,
+            min_support: 2,
+            single_harmonic_min_score: 50.0,
+            single_harmonic_min_support: 2,
+            max_sideband_excess_db: 10.0,
+            ..Default::default()
+        },
+        ..FaseConfig::default()
+    };
+    let report = Fase::new(fase_config).analyze(&spectra).expect("analysis");
+
+    let plus = report.score_trace(1).expect("h=+1");
+    let xs: Vec<f64> = (0..plus.len()).map(|b| plus.frequency_at(b).hz()).collect();
+    let logs: Vec<f64> = plus.scores().iter().map(|s| s.log10()).collect();
+    ascii_plot("Figure 16: log10 F_{+1}(f) across the spread clock (Hz)", &xs, &logs, 100, 10);
+
+    println!("\ncarriers reported:");
+    for c in report.carriers() {
+        println!("  {c}");
+    }
+    let near_low_edge = report.carrier_near(Hertz(332.7e6), Hertz(150e3)).is_some();
+    let near_high_edge = report.carrier_near(Hertz(333.0e6), Hertz(150e3)).is_some();
+    println!("\n  carrier near 332.7 MHz sweep edge: {near_low_edge}");
+    println!("  carrier near 333.0 MHz sweep edge: {near_high_edge}");
+    println!("  (paper: the clock is reported as two carriers at the sweep edges)");
+
+    let minus = report.score_trace(-1).expect("h=-1");
+    write_csv(
+        "fig16_ss_heuristic.csv",
+        "frequency_hz,f_plus1,f_minus1",
+        (0..plus.len()).map(|b| {
+            format!(
+                "{:.1},{:.5},{:.5}",
+                plus.frequency_at(b).hz(),
+                plus.scores()[b],
+                minus.scores()[b]
+            )
+        }),
+    );
+}

@@ -1,0 +1,85 @@
+//! Rejection audit (§1, §2.3): FASE must reject every AM broadcast station
+//! and every unmodulated spur while still finding the genuinely
+//! activity-modulated carriers. This binary counts, against scene ground
+//! truth, exactly what was flagged.
+
+use fase_bench::print_table;
+use fase_core::{CampaignConfig, Fase};
+use fase_dsp::Hertz;
+use fase_emsim::{SimulatedSystem, SourceKind};
+use fase_specan::CampaignRunner;
+use fase_sysmodel::ActivityPair;
+
+fn main() {
+    let system = SimulatedSystem::intel_i7_desktop(42);
+    let truth = system.scene.ground_truth();
+    let config = CampaignConfig::builder()
+        .band(Hertz::from_khz(60.0), Hertz::from_mhz(2.0))
+        .resolution(Hertz(100.0))
+        .alternation(Hertz::from_khz(43.3), Hertz(500.0), 5)
+        .averages(4)
+        .build()
+        .expect("config");
+    let mut runner = CampaignRunner::new(system, ActivityPair::LdmLdl1, 200);
+    let spectra = runner.run(&config).expect("campaign");
+    let report = Fase::default().analyze(&spectra).expect("analysis");
+
+    // Spur frequencies are not in SourceInfo; regenerate the forest
+    // deterministically to recover them.
+    let spur_info = truth.iter().find(|s| s.kind == SourceKind::Spur).expect("spur forest");
+    println!("scene: {} sources ({})", truth.len(), spur_info.name);
+    let spurs = {
+        // Recreate with the same parameters/seed as the preset.
+        let seed = 42u64.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(21);
+        fase_emsim::interference::SpurForest::random(
+            "system spurs",
+            Hertz(20_000.0),
+            Hertz::from_mhz(4.0),
+            140,
+            -134.0,
+            -108.0,
+            seed,
+        )
+        .frequencies()
+    };
+    let in_band = |f: Hertz| f.hz() >= 60_000.0 && f.hz() <= 2.0e6;
+    let flagged = |f: Hertz| report.carrier_near(f, Hertz(1_000.0)).is_some();
+
+    // A spur can coincidentally sit within the tolerance of a genuinely
+    // modulated carrier (refresh harmonics pepper the band every 128 kHz);
+    // flagging *that* frequency is correct, so exclude such spurs from the
+    // false-positive count.
+    let genuine_bases = [315_660.0, 522_070.0, 128_000.0];
+    let near_genuine = |f: Hertz| {
+        genuine_bases.iter().any(|&base| {
+            let k = (f.hz() / base).round().max(1.0);
+            (f.hz() - k * base).abs() < 2_000.0 && k <= 32.0
+        })
+    };
+    let spurs_in_band: Vec<Hertz> = spurs.into_iter().filter(|&f| in_band(f)).collect();
+    let spurs_flagged = spurs_in_band
+        .iter()
+        .filter(|&&f| flagged(f) && !near_genuine(f))
+        .count();
+
+    let stations_in_band: Vec<Hertz> = truth
+        .iter()
+        .filter(|s| s.kind == SourceKind::AmBroadcast && in_band(s.fundamental))
+        .map(|s| s.fundamental)
+        .collect();
+    let stations_flagged = stations_in_band.iter().filter(|&&f| flagged(f)).count();
+
+    let modulated_found = report.len();
+    let rows = vec![
+        vec!["unmodulated spurs in band".into(), spurs_in_band.len().to_string(), spurs_flagged.to_string()],
+        vec!["AM broadcast stations in band".into(), stations_in_band.len().to_string(), stations_flagged.to_string()],
+        vec!["activity-modulated carriers reported".into(), "-".into(), modulated_found.to_string()],
+    ];
+    print_table("rejection audit (LDM/LDL1, 60 kHz - 2 MHz)", &["population", "present", "flagged"], &rows);
+
+    assert_eq!(spurs_flagged, 0, "FASE flagged an unmodulated spur");
+    assert_eq!(stations_flagged, 0, "FASE flagged a broadcast station");
+    assert!(modulated_found >= 3, "expected the regulator + refresh carriers");
+    println!("\nPASS: all {} spurs and {} stations rejected; {} genuine carriers reported.",
+        spurs_in_band.len(), stations_in_band.len(), modulated_found);
+}

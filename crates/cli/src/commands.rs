@@ -1,0 +1,308 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, ParsedArgs};
+use fase_core::{classify_by_pairs, estimate_all, CampaignConfig, Fase, FaseError, FaseReport};
+use fase_dsp::Hertz;
+use fase_emsim::SimulatedSystem;
+use fase_specan::{CampaignRunner, ProbeConfig};
+use fase_sysmodel::ActivityPair;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage:
+  fase-cli list-systems
+  fase-cli scan     --system <name> --lo <freq> --hi <freq> [--res <freq>]
+                    [--pair ldm-ldl1|ldl2-ldl1|ldl1-ldl1|ldm-ldm|stm-ldl1|ldm-add]
+                    [--falt <freq>] [--fdelta <freq>] [--alts <n>] [--avg <n>]
+                    [--seed <n>] [--csv <path>]
+  fase-cli classify --system <name> --lo <freq> --hi <freq> [scan options]
+  fase-cli probe     --system <name> --carrier <freq> [--falt <freq>] [--span <freq>] [--seed <n>]
+  fase-cli leakage   --system <name> --lo <freq> --hi <freq> [scan options]
+  fase-cli attribute --system <name> --peak <freq> --lo <freq> --hi <freq> [scan options]
+
+systems: i7 | i3 | turion | p3m | i7-mitigated
+frequencies accept k/M/G suffixes (e.g. 43.3k, 2M).";
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Args(ArgError),
+    /// The campaign or analysis failed.
+    Fase(FaseError),
+    /// A domain-specific validation failed.
+    Invalid(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Fase(e) => write!(f, "{e}"),
+            CliError::Invalid(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> CliError {
+        CliError::Args(e)
+    }
+}
+
+impl From<FaseError> for CliError {
+    fn from(e: FaseError) -> CliError {
+        CliError::Fase(e)
+    }
+}
+
+/// Entry point: parses `args` and runs the subcommand, returning the text
+/// to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing what went wrong; the binary prints it
+/// with the usage text.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let parsed = ParsedArgs::parse(args)?;
+    match parsed.command.as_str() {
+        "list-systems" => Ok(list_systems()),
+        "scan" => scan(&parsed),
+        "classify" => classify(&parsed),
+        "probe" => probe(&parsed),
+        "leakage" => leakage(&parsed),
+        "attribute" => attribute(&parsed),
+        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+        other => Err(ArgError::UnknownCommand(other.to_owned()).into()),
+    }
+}
+
+fn list_systems() -> String {
+    "available systems:\n\
+     \x20 i7           Intel Core i7 desktop (paper §4, Figures 11-16)\n\
+     \x20 i3           Intel Core i3 laptop, 2010 (§4.4)\n\
+     \x20 turion       AMD Turion X2 laptop, 2007 (§4.4, Figure 17; has the FM regulator)\n\
+     \x20 p3m          Intel Pentium 3M laptop, 2002 (§4.4)\n\
+     \x20 i7-mitigated i7 with randomized refresh issue (the paper's proposed fix)\n"
+        .to_owned()
+}
+
+fn system_by_name(name: &str, seed: u64) -> Result<SimulatedSystem, CliError> {
+    match name {
+        "i7" => Ok(SimulatedSystem::intel_i7_desktop(seed)),
+        "i3" => Ok(SimulatedSystem::intel_i3_laptop(seed)),
+        "turion" => Ok(SimulatedSystem::amd_turion_laptop(seed)),
+        "p3m" => Ok(SimulatedSystem::pentium3m_laptop(seed)),
+        "i7-mitigated" => Ok(SimulatedSystem::intel_i7_mitigated(seed, 0.45)),
+        other => Err(CliError::Invalid(format!(
+            "unknown system '{other}' (try: fase-cli list-systems)"
+        ))),
+    }
+}
+
+fn pair_by_name(name: &str) -> Result<ActivityPair, CliError> {
+    match name {
+        "ldm-ldl1" => Ok(ActivityPair::LdmLdl1),
+        "ldl2-ldl1" => Ok(ActivityPair::Ldl2Ldl1),
+        "ldl1-ldl1" => Ok(ActivityPair::Ldl1Ldl1),
+        "ldm-ldm" => Ok(ActivityPair::LdmLdm),
+        "stm-ldl1" => Ok(ActivityPair::StmLdl1),
+        "ldm-add" => Ok(ActivityPair::LdmAdd),
+        other => Err(CliError::Invalid(format!(
+            "unknown pair '{other}' (ldm-ldl1 | ldl2-ldl1 | ldl1-ldl1 | ldm-ldm | stm-ldl1 | ldm-add)"
+        ))),
+    }
+}
+
+fn campaign_from(parsed: &ParsedArgs) -> Result<CampaignConfig, CliError> {
+    let lo = parsed.frequency("lo")?;
+    let hi = parsed.frequency("hi")?;
+    let res = parsed.frequency_or("res", 100.0)?;
+    let falt = parsed.frequency_or("falt", 43_300.0)?;
+    let fdelta = parsed.frequency_or("fdelta", 500.0)?;
+    let alts = parsed.integer_or("alts", 5)? as usize;
+    let avg = parsed.integer_or("avg", 4)? as usize;
+    Ok(CampaignConfig::builder()
+        .band(Hertz(lo), Hertz(hi))
+        .resolution(Hertz(res))
+        .alternation(Hertz(falt), Hertz(fdelta), alts)
+        .averages(avg)
+        .build()?)
+}
+
+fn run_campaign(parsed: &ParsedArgs, pair: ActivityPair) -> Result<FaseReport, CliError> {
+    let seed = parsed.integer_or("seed", 42)?;
+    let system = system_by_name(parsed.required("system")?, seed)?;
+    let config = campaign_from(parsed)?;
+    let mut runner = CampaignRunner::new(system, pair, seed.wrapping_add(1));
+    let spectra = runner.run(&config)?;
+    Ok(Fase::default().analyze(&spectra)?)
+}
+
+fn scan(parsed: &ParsedArgs) -> Result<String, CliError> {
+    let pair = pair_by_name(parsed.get("pair").unwrap_or("ldm-ldl1"))?;
+    let report = run_campaign(parsed, pair)?;
+    if let Some(path) = parsed.get("csv") {
+        let mut text = String::from("carrier_hz,magnitude_dbm,sideband_dbm,evidence\n");
+        for c in report.carriers() {
+            let _ = writeln!(
+                text,
+                "{:.1},{:.2},{:.2},{:.2}",
+                c.frequency().hz(),
+                c.magnitude().dbm(),
+                c.sideband_magnitude().dbm(),
+                c.total_log_score()
+            );
+        }
+        std::fs::write(path, text)
+            .map_err(|e| CliError::Invalid(format!("cannot write {path}: {e}")))?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{report}");
+    Ok(out)
+}
+
+fn classify(parsed: &ParsedArgs) -> Result<String, CliError> {
+    let memory = run_campaign(parsed, ActivityPair::LdmLdl1)?;
+    let onchip = run_campaign(parsed, ActivityPair::Ldl2Ldl1)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "classification (LDM/LDL1 vs LDL2/LDL1):");
+    for c in classify_by_pairs(&memory, &onchip, Hertz(2_000.0)) {
+        let _ = writeln!(out, "  {} -> {}", c.carrier, c.class);
+    }
+    Ok(out)
+}
+
+fn probe(parsed: &ParsedArgs) -> Result<String, CliError> {
+    let seed = parsed.integer_or("seed", 42)?;
+    let system = system_by_name(parsed.required("system")?, seed)?;
+    let carrier = Hertz(parsed.frequency("carrier")?);
+    let falt = Hertz(parsed.frequency_or("falt", 5_000.0)?);
+    let span = parsed.frequency_or("span", 24_000.0)?;
+    let config = ProbeConfig { span, ..ProbeConfig::default() };
+    let mut runner = CampaignRunner::new(system, ActivityPair::LdmLdl1, seed.wrapping_add(1));
+    let (stats, kind) = runner.probe_modulation(carrier, falt, &config);
+    Ok(format!(
+        "carrier {carrier}: {kind:?} (AM depth {:.3}, FM deviation {:.0} Hz)\n",
+        stats.am_depth, stats.fm_deviation_hz
+    ))
+}
+
+fn leakage(parsed: &ParsedArgs) -> Result<String, CliError> {
+    let pair = pair_by_name(parsed.get("pair").unwrap_or("ldm-ldl1"))?;
+    let seed = parsed.integer_or("seed", 42)?;
+    let system = system_by_name(parsed.required("system")?, seed)?;
+    let config = campaign_from(parsed)?;
+    let mut runner = CampaignRunner::new(system, pair, seed.wrapping_add(1));
+    let spectra = runner.run(&config)?;
+    let report = Fase::default().analyze(&spectra)?;
+    let mut out = String::from("per-carrier leakage upper bounds:\n");
+    for e in estimate_all(&spectra, &report, Hertz(5_000.0)) {
+        let _ = writeln!(out, "  {e}");
+    }
+    Ok(out)
+}
+
+fn attribute(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use fase_core::{attribute_peak, AttributionConfig};
+    let pair = pair_by_name(parsed.get("pair").unwrap_or("ldm-ldl1"))?;
+    let seed = parsed.integer_or("seed", 42)?;
+    let system = system_by_name(parsed.required("system")?, seed)?;
+    let peak = Hertz(parsed.frequency("peak")?);
+    let config = campaign_from(parsed)?;
+    let mut runner = CampaignRunner::new(system, pair, seed.wrapping_add(1));
+    let spectra = runner.run(&config)?;
+    let ranked = attribute_peak(&spectra, peak, &AttributionConfig::default());
+    let mut out = format!("attributions of the peak at {peak}:
+");
+    for a in ranked.iter().take(5) {
+        let _ = writeln!(out, "  {a}");
+    }
+    if ranked.is_empty() {
+        out.push_str("  (no in-band interpretation)
+");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn list_systems_names_all_presets() {
+        let out = run(&argv("list-systems")).unwrap();
+        for name in ["i7", "i3", "turion", "p3m", "i7-mitigated"] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv("help")).unwrap();
+        assert!(out.contains("fase-cli scan"));
+    }
+
+    #[test]
+    fn unknown_command_and_system() {
+        assert!(matches!(run(&argv("frobnicate")), Err(CliError::Args(_))));
+        let e = run(&argv("scan --system vax --lo 60k --hi 2M")).unwrap_err();
+        assert!(matches!(e, CliError::Invalid(_)));
+    }
+
+    #[test]
+    fn scan_finds_the_dram_regulator() {
+        let out = run(&argv(
+            "scan --system i7 --lo 250k --hi 400k --res 200 --falt 30k --fdelta 2k --alts 5 --avg 3",
+        ))
+        .unwrap();
+        assert!(out.contains("carrier 315"), "{out}");
+    }
+
+    #[test]
+    fn probe_identifies_fm_regulator() {
+        let out = run(&argv(
+            "probe --system turion --carrier 280.87k --span 120k --seed 7",
+        ))
+        .unwrap();
+        assert!(out.contains("Fm"), "{out}");
+    }
+
+    #[test]
+    fn attribute_explains_a_sideband() {
+        // The DRAM regulator's upper side-band at ~315.66 kHz + 30 kHz.
+        let out = run(&argv(
+            "attribute --system i7 --peak 345.66k --lo 250k --hi 400k --res 200 --falt 30k --fdelta 2k --alts 5 --avg 3",
+        ))
+        .unwrap();
+        assert!(out.contains("h = +1"), "{out}");
+        assert!(out.contains("315"), "{out}");
+    }
+
+    #[test]
+    fn scan_writes_csv() {
+        let path = std::env::temp_dir().join("fase_cli_scan_test.csv");
+        let cmd = format!(
+            "scan --system i7 --lo 300k --hi 330k --res 500 --falt 30k --fdelta 2k --alts 3 --avg 1 --csv {}",
+            path.display()
+        );
+        let _ = run(&argv(&cmd)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("carrier_hz,"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_campaign_parameters_are_reported() {
+        let e = run(&argv("scan --system i7 --lo 2M --hi 60k")).unwrap_err();
+        assert!(matches!(e, CliError::Fase(_)), "{e}");
+    }
+}

@@ -1,0 +1,19 @@
+//! # fase-cli — run FASE campaigns from the command line
+//!
+//! ```text
+//! fase-cli list-systems
+//! fase-cli scan     --system i7 --lo 60k --hi 2M [--res 100] [--pair ldm-ldl1]
+//!                   [--falt 43.3k] [--fdelta 500] [--alts 5] [--avg 4] [--seed 42]
+//! fase-cli classify --system i7 --lo 250k --hi 400k [--res 200] …
+//! fase-cli probe    --system turion --carrier 280.87k [--falt 5k] [--span 120k]
+//! fase-cli leakage  --system i7 --lo 60k --hi 2M [scan options]
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, ParsedArgs};
+pub use commands::{run, CliError, USAGE};

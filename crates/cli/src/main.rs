@@ -1,0 +1,14 @@
+//! `fase-cli` — run FASE campaigns from the command line.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fase_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", fase_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Detected carriers and their modulation evidence.
+
+use fase_dsp::{Dbm, Decibels, Hertz};
+use std::fmt;
+
+/// Evidence from one harmonic of the alternation frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Harmonic {
+    /// Harmonic number `h` (±1, ±2, …): positive = right side-band family.
+    pub h: i32,
+    /// Peak heuristic score `F_h(f_c)`.
+    pub score: f64,
+}
+
+/// A carrier reported by FASE: a periodic signal whose amplitude is
+/// modulated by the generated system activity.
+///
+/// # Examples
+///
+/// ```
+/// use fase_core::{Carrier, Harmonic};
+/// use fase_dsp::{Dbm, Hertz};
+/// let carrier = Carrier::new(
+///     Hertz::from_khz(315.0),
+///     Dbm(-104.0),
+///     Dbm(-120.0),
+///     vec![Harmonic { h: 1, score: 500.0 }, Harmonic { h: -1, score: 200.0 }],
+/// );
+/// assert!((carrier.modulation_depth().db() - 16.0).abs() < 1e-9);
+/// assert!(carrier.has_harmonic(-1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Carrier {
+    frequency: Hertz,
+    magnitude: Dbm,
+    sideband_magnitude: Dbm,
+    harmonics: Vec<Harmonic>,
+    total_log_score: f64,
+}
+
+impl Carrier {
+    /// Assembles a carrier from detection evidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `harmonics` is empty.
+    pub fn new(
+        frequency: Hertz,
+        magnitude: Dbm,
+        sideband_magnitude: Dbm,
+        mut harmonics: Vec<Harmonic>,
+    ) -> Carrier {
+        assert!(!harmonics.is_empty(), "a carrier needs at least one harmonic of evidence");
+        harmonics.sort_by_key(|h| (h.h.unsigned_abs(), h.h < 0));
+        let total_log_score = harmonics.iter().map(|h| h.score.max(1.0).ln()).sum();
+        Carrier { frequency, magnitude, sideband_magnitude, harmonics, total_log_score }
+    }
+
+    /// The carrier frequency `f_c`.
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+
+    /// Received carrier magnitude (from the campaign's mean spectrum).
+    pub fn magnitude(&self) -> Dbm {
+        self.magnitude
+    }
+
+    /// Mean first-harmonic side-band magnitude.
+    pub fn sideband_magnitude(&self) -> Dbm {
+        self.sideband_magnitude
+    }
+
+    /// How far the side-bands sit below the carrier — the paper's
+    /// "modulation depth" readout (smaller = more strongly modulated).
+    pub fn modulation_depth(&self) -> Decibels {
+        self.magnitude - self.sideband_magnitude
+    }
+
+    /// The harmonics of `f_alt` that contributed evidence, ordered by
+    /// `|h|`.
+    pub fn harmonics(&self) -> &[Harmonic] {
+        &self.harmonics
+    }
+
+    /// True if harmonic `h` contributed evidence.
+    pub fn has_harmonic(&self, h: i32) -> bool {
+        self.harmonics.iter().any(|x| x.h == h)
+    }
+
+    /// Combined evidence: `Σ ln(score)` over contributing harmonics.
+    pub fn total_log_score(&self) -> f64 {
+        self.total_log_score
+    }
+}
+
+impl fmt::Display for Carrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hs: Vec<String> = self.harmonics.iter().map(|h| h.h.to_string()).collect();
+        write!(
+            f,
+            "carrier {} @ {} (side-bands {}, harmonics [{}], evidence {:.1})",
+            self.frequency,
+            self.magnitude,
+            self.sideband_magnitude,
+            hs.join(","),
+            self.total_log_score
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn carrier() -> Carrier {
+        Carrier::new(
+            Hertz::from_khz(315.0),
+            Dbm(-104.0),
+            Dbm(-118.0),
+            vec![
+                Harmonic { h: -1, score: 200.0 },
+                Harmonic { h: 1, score: 500.0 },
+                Harmonic { h: 3, score: 20.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let c = carrier();
+        assert_eq!(c.frequency(), Hertz::from_khz(315.0));
+        assert!((c.modulation_depth().db() - 14.0).abs() < 1e-12);
+        assert!(c.has_harmonic(1) && c.has_harmonic(-1) && c.has_harmonic(3));
+        assert!(!c.has_harmonic(2));
+    }
+
+    #[test]
+    fn harmonics_sorted_by_magnitude_then_sign() {
+        let c = carrier();
+        let order: Vec<i32> = c.harmonics().iter().map(|h| h.h).collect();
+        assert_eq!(order, vec![1, -1, 3]);
+    }
+
+    #[test]
+    fn total_log_score_sums() {
+        let c = carrier();
+        let expected = 500.0f64.ln() + 200.0f64.ln() + 20.0f64.ln();
+        assert!((c.total_log_score() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one harmonic")]
+    fn empty_harmonics_panics() {
+        let _ = Carrier::new(Hertz(1.0), Dbm(-100.0), Dbm(-110.0), vec![]);
+    }
+
+    #[test]
+    fn display() {
+        let text = format!("{}", carrier());
+        assert!(text.contains("315.000 kHz"), "{text}");
+        assert!(text.contains("[1,-1,3]"), "{text}");
+    }
+}

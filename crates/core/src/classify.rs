@@ -1,0 +1,142 @@
+//! Differential classification of carriers by activity pair (§2.2, last
+//! paragraph): a carrier modulated by memory-vs-on-chip alternation but
+//! *not* by on-chip-vs-on-chip alternation is memory-related; one modulated
+//! by the on-chip pair is related to the processor chip's own domains.
+
+use crate::carrier::Carrier;
+use crate::report::FaseReport;
+use fase_dsp::Hertz;
+use std::fmt;
+
+/// Which aspect of system activity modulates a carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModulationClass {
+    /// Modulated only by the memory-activity pair (LDM/LDL1): memory
+    /// controller, processor–memory communication, or DRAM itself.
+    MemoryRelated,
+    /// Modulated by the on-chip pair (LDL2/LDL1): core/cache power domain.
+    OnChipRelated,
+    /// Modulated by both pairs.
+    Both,
+}
+
+impl fmt::Display for ModulationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ModulationClass::MemoryRelated => "memory-related",
+            ModulationClass::OnChipRelated => "on-chip-related",
+            ModulationClass::Both => "memory-and-on-chip",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A carrier with its inferred modulation class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedCarrier {
+    /// The carrier (from whichever campaign detected it; the memory
+    /// campaign's readout wins when both did).
+    pub carrier: Carrier,
+    /// Inferred class.
+    pub class: ModulationClass,
+}
+
+/// Classifies carriers by comparing a memory-pair campaign report with an
+/// on-chip-pair report. Carriers within `tolerance` of each other are
+/// considered the same physical signal.
+pub fn classify_by_pairs(
+    memory_pair: &FaseReport,
+    onchip_pair: &FaseReport,
+    tolerance: Hertz,
+) -> Vec<ClassifiedCarrier> {
+    let mut out: Vec<ClassifiedCarrier> = Vec::new();
+    let matches = |a: &Carrier, b: &Carrier| {
+        (a.frequency() - b.frequency()).hz().abs() <= tolerance.hz()
+    };
+    for m in memory_pair.carriers() {
+        let in_onchip = onchip_pair.carriers().iter().any(|o| matches(m, o));
+        out.push(ClassifiedCarrier {
+            carrier: m.clone(),
+            class: if in_onchip { ModulationClass::Both } else { ModulationClass::MemoryRelated },
+        });
+    }
+    for o in onchip_pair.carriers() {
+        let in_memory = memory_pair.carriers().iter().any(|m| matches(m, o));
+        if !in_memory {
+            out.push(ClassifiedCarrier {
+                carrier: o.clone(),
+                class: ModulationClass::OnChipRelated,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.carrier
+            .frequency()
+            .hz()
+            .partial_cmp(&b.carrier.frequency().hz())
+            .expect("finite frequencies")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::Harmonic;
+    use crate::report::FaseReport;
+    use fase_dsp::Dbm;
+
+    fn carrier(f: f64) -> Carrier {
+        Carrier::new(
+            Hertz(f),
+            Dbm(-105.0),
+            Dbm(-120.0),
+            vec![Harmonic { h: 1, score: 50.0 }, Harmonic { h: -1, score: 50.0 }],
+        )
+    }
+
+    fn report(freqs: &[f64]) -> FaseReport {
+        FaseReport::from_carriers(freqs.iter().map(|&f| carrier(f)).collect(), 0.002)
+    }
+
+    #[test]
+    fn memory_only_carrier() {
+        // Regulator at 315 kHz seen only by the memory pair; core regulator
+        // at 332 kHz seen only by the on-chip pair; 500 kHz by both.
+        let memory = report(&[315_000.0, 500_000.0]);
+        let onchip = report(&[332_000.0, 500_000.0]);
+        let classified = classify_by_pairs(&memory, &onchip, Hertz(1_000.0));
+        assert_eq!(classified.len(), 3);
+        let class_of = |f: f64| {
+            classified
+                .iter()
+                .find(|c| (c.carrier.frequency().hz() - f).abs() < 10.0)
+                .unwrap()
+                .class
+        };
+        assert_eq!(class_of(315_000.0), ModulationClass::MemoryRelated);
+        assert_eq!(class_of(332_000.0), ModulationClass::OnChipRelated);
+        assert_eq!(class_of(500_000.0), ModulationClass::Both);
+    }
+
+    #[test]
+    fn sorted_by_frequency() {
+        let memory = report(&[900_000.0, 100_000.0]);
+        let onchip = report(&[500_000.0]);
+        let classified = classify_by_pairs(&memory, &onchip, Hertz(1_000.0));
+        let freqs: Vec<f64> = classified.iter().map(|c| c.carrier.frequency().hz()).collect();
+        assert_eq!(freqs, vec![100_000.0, 500_000.0, 900_000.0]);
+    }
+
+    #[test]
+    fn empty_reports() {
+        let empty = report(&[]);
+        assert!(classify_by_pairs(&empty, &empty, Hertz(1_000.0)).is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", ModulationClass::MemoryRelated), "memory-related");
+        assert_eq!(format!("{}", ModulationClass::Both), "memory-and-on-chip");
+    }
+}

@@ -1,0 +1,301 @@
+//! Campaign configuration: the measurement parameters of the FASE
+//! methodology (paper §3, Figure 10).
+
+use crate::error::FaseError;
+use fase_dsp::Hertz;
+use std::fmt;
+
+/// Parameters of one FASE measurement campaign: the frequency band to
+/// sweep, the spectrum resolution `f_res`, the family of alternation
+/// frequencies `f_alt1 … f_alt1 + (N−1)·f_Δ`, and how many captures are
+/// power-averaged per spectrum.
+///
+/// # Examples
+///
+/// ```
+/// use fase_core::CampaignConfig;
+/// use fase_dsp::Hertz;
+/// let config = CampaignConfig::builder()
+///     .band(Hertz(0.0), Hertz::from_mhz(4.0))
+///     .resolution(Hertz(50.0))
+///     .alternation(Hertz::from_khz(43.3), Hertz(500.0), 5)
+///     .averages(4)
+///     .build()?;
+/// assert_eq!(config.alternation_frequencies().len(), 5);
+/// assert_eq!(config.alternation_frequencies()[4], Hertz::from_khz(45.3));
+/// # Ok::<(), fase_core::FaseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    band_lo: Hertz,
+    band_hi: Hertz,
+    resolution: Hertz,
+    f_alt1: Hertz,
+    f_delta: Hertz,
+    alternation_count: usize,
+    averages: usize,
+}
+
+impl CampaignConfig {
+    /// Starts building a campaign configuration.
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder::default()
+    }
+
+    /// The paper's first campaign (Figure 10, row 1): 0–4 MHz,
+    /// `f_res` = 50 Hz, `f_alt1` = 43.3 kHz, `f_Δ` = 0.5 kHz.
+    pub fn paper_0_4mhz() -> CampaignConfig {
+        CampaignConfig::builder()
+            .band(Hertz(0.0), Hertz::from_mhz(4.0))
+            .resolution(Hertz(50.0))
+            .alternation(Hertz::from_khz(43.3), Hertz(500.0), 5)
+            .averages(4)
+            .build()
+            .expect("paper campaign 1 parameters are valid")
+    }
+
+    /// The paper's second campaign (Figure 10, row 2): 0–120 MHz,
+    /// `f_res` = 500 Hz, `f_alt1` = 43.3 kHz, `f_Δ` = 5 kHz.
+    pub fn paper_0_120mhz() -> CampaignConfig {
+        CampaignConfig::builder()
+            .band(Hertz(0.0), Hertz::from_mhz(120.0))
+            .resolution(Hertz(500.0))
+            .alternation(Hertz::from_khz(43.3), Hertz::from_khz(5.0), 5)
+            .averages(4)
+            .build()
+            .expect("paper campaign 2 parameters are valid")
+    }
+
+    /// The paper's third campaign (Figure 10, row 3): 0–1200 MHz,
+    /// `f_res` = 500 Hz, `f_alt1` = 1.8 MHz, `f_Δ` = 100 kHz.
+    pub fn paper_0_1200mhz() -> CampaignConfig {
+        CampaignConfig::builder()
+            .band(Hertz(0.0), Hertz::from_mhz(1200.0))
+            .resolution(Hertz(500.0))
+            .alternation(Hertz::from_mhz(1.8), Hertz::from_khz(100.0), 5)
+            .averages(4)
+            .build()
+            .expect("paper campaign 3 parameters are valid")
+    }
+
+    /// Lower edge of the measured band.
+    pub fn band_lo(&self) -> Hertz {
+        self.band_lo
+    }
+
+    /// Upper edge of the measured band.
+    pub fn band_hi(&self) -> Hertz {
+        self.band_hi
+    }
+
+    /// Spectrum resolution `f_res` (bin spacing).
+    pub fn resolution(&self) -> Hertz {
+        self.resolution
+    }
+
+    /// First alternation frequency `f_alt1`.
+    pub fn f_alt1(&self) -> Hertz {
+        self.f_alt1
+    }
+
+    /// Alternation-frequency step `f_Δ`.
+    pub fn f_delta(&self) -> Hertz {
+        self.f_delta
+    }
+
+    /// Number of alternation frequencies (the paper uses five).
+    pub fn alternation_count(&self) -> usize {
+        self.alternation_count
+    }
+
+    /// Captures power-averaged per spectrum (the paper uses four).
+    pub fn averages(&self) -> usize {
+        self.averages
+    }
+
+    /// The alternation frequencies `f_alt1 … f_alt1 + (N−1)·f_Δ`.
+    pub fn alternation_frequencies(&self) -> Vec<Hertz> {
+        (0..self.alternation_count)
+            .map(|i| self.f_alt1 + self.f_delta * i as f64)
+            .collect()
+    }
+
+    /// Number of spectrum bins the campaign produces.
+    pub fn bins(&self) -> usize {
+        ((self.band_hi - self.band_lo) / self.resolution).round() as usize + 1
+    }
+}
+
+impl fmt::Display for CampaignConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "campaign {}..{} @ {}, f_alt1={}, f_Δ={}, {} alternations × {} averages",
+            self.band_lo,
+            self.band_hi,
+            self.resolution,
+            self.f_alt1,
+            self.f_delta,
+            self.alternation_count,
+            self.averages
+        )
+    }
+}
+
+/// Builder for [`CampaignConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignConfigBuilder {
+    band: Option<(Hertz, Hertz)>,
+    resolution: Option<Hertz>,
+    alternation: Option<(Hertz, Hertz, usize)>,
+    averages: Option<usize>,
+}
+
+impl CampaignConfigBuilder {
+    /// Sets the measured band `[lo, hi]`.
+    pub fn band(mut self, lo: Hertz, hi: Hertz) -> CampaignConfigBuilder {
+        self.band = Some((lo, hi));
+        self
+    }
+
+    /// Sets the spectrum resolution `f_res`.
+    pub fn resolution(mut self, f_res: Hertz) -> CampaignConfigBuilder {
+        self.resolution = Some(f_res);
+        self
+    }
+
+    /// Sets the alternation family: first frequency, step, and count.
+    pub fn alternation(mut self, f_alt1: Hertz, f_delta: Hertz, count: usize) -> CampaignConfigBuilder {
+        self.alternation = Some((f_alt1, f_delta, count));
+        self
+    }
+
+    /// Sets the number of captures averaged per spectrum.
+    pub fn averages(mut self, averages: usize) -> CampaignConfigBuilder {
+        self.averages = Some(averages);
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaseError::InvalidConfig`] when any parameter is missing
+    /// or inconsistent: inverted band, non-positive resolution or
+    /// alternation parameters, fewer than two alternation frequencies
+    /// (Eq. 2 needs at least one "other" spectrum to normalize against),
+    /// zero averages, or an alternation frequency not well above the
+    /// resolution.
+    pub fn build(self) -> Result<CampaignConfig, FaseError> {
+        let invalid = |m: &str| Err(FaseError::InvalidConfig(m.to_owned()));
+        let Some((lo, hi)) = self.band else {
+            return invalid("band not set");
+        };
+        let Some(resolution) = self.resolution else {
+            return invalid("resolution not set");
+        };
+        let Some((f_alt1, f_delta, count)) = self.alternation else {
+            return invalid("alternation family not set");
+        };
+        let averages = self.averages.unwrap_or(4);
+        if hi.hz() <= lo.hz() || lo.hz() < 0.0 {
+            return invalid("band must satisfy 0 <= lo < hi");
+        }
+        if resolution.hz() <= 0.0 {
+            return invalid("resolution must be positive");
+        }
+        if f_alt1.hz() <= 0.0 || f_delta.hz() <= 0.0 {
+            return invalid("alternation frequencies must be positive");
+        }
+        if count < 2 {
+            return invalid("at least two alternation frequencies are required");
+        }
+        if averages == 0 {
+            return invalid("averages must be at least 1");
+        }
+        if f_alt1.hz() < 10.0 * resolution.hz() {
+            return invalid("f_alt1 must be well above the spectrum resolution");
+        }
+        if f_delta.hz() < resolution.hz() {
+            return invalid("f_delta must be at least one resolution bin");
+        }
+        Ok(CampaignConfig {
+            band_lo: lo,
+            band_hi: hi,
+            resolution,
+            f_alt1,
+            f_delta,
+            alternation_count: count,
+            averages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_match_figure_10() {
+        let c1 = CampaignConfig::paper_0_4mhz();
+        assert_eq!(c1.band_hi(), Hertz::from_mhz(4.0));
+        assert_eq!(c1.resolution(), Hertz(50.0));
+        assert_eq!(c1.f_alt1(), Hertz::from_khz(43.3));
+        assert_eq!(c1.f_delta(), Hertz(500.0));
+        // "each recorded spectrum has 4MHz/50Hz = 80,000 data points"
+        assert_eq!(c1.bins(), 80_001);
+
+        let c2 = CampaignConfig::paper_0_120mhz();
+        assert_eq!(c2.resolution(), Hertz(500.0));
+        assert_eq!(c2.f_delta(), Hertz::from_khz(5.0));
+
+        let c3 = CampaignConfig::paper_0_1200mhz();
+        assert_eq!(c3.f_alt1(), Hertz::from_mhz(1.8));
+        assert_eq!(c3.f_delta(), Hertz::from_khz(100.0));
+    }
+
+    #[test]
+    fn alternation_family() {
+        let c = CampaignConfig::paper_0_4mhz();
+        let f = c.alternation_frequencies();
+        assert_eq!(f.len(), 5);
+        assert!((f[0].khz() - 43.3).abs() < 1e-9);
+        assert!((f[1].khz() - 43.8).abs() < 1e-9);
+        assert!((f[4].khz() - 45.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let base = || {
+            CampaignConfig::builder()
+                .band(Hertz(0.0), Hertz(1e6))
+                .resolution(Hertz(100.0))
+                .alternation(Hertz(40_000.0), Hertz(500.0), 5)
+        };
+        assert!(base().build().is_ok());
+        assert!(base().band(Hertz(1e6), Hertz(0.0)).build().is_err());
+        assert!(base().resolution(Hertz(0.0)).build().is_err());
+        assert!(base().alternation(Hertz(40_000.0), Hertz(500.0), 1).build().is_err());
+        assert!(base().alternation(Hertz(500.0), Hertz(500.0), 5).build().is_err());
+        assert!(base().alternation(Hertz(40_000.0), Hertz(10.0), 5).build().is_err());
+        assert!(base().averages(0).build().is_err());
+        assert!(CampaignConfig::builder().build().is_err());
+    }
+
+    #[test]
+    fn default_averages_is_four() {
+        let c = CampaignConfig::builder()
+            .band(Hertz(0.0), Hertz(1e6))
+            .resolution(Hertz(100.0))
+            .alternation(Hertz(40_000.0), Hertz(500.0), 5)
+            .build()
+            .unwrap();
+        assert_eq!(c.averages(), 4);
+    }
+
+    #[test]
+    fn display() {
+        let text = format!("{}", CampaignConfig::paper_0_4mhz());
+        assert!(text.contains("5 alternations"), "{text}");
+    }
+}

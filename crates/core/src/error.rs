@@ -1,0 +1,57 @@
+//! Error types of the FASE methodology crate.
+
+use fase_dsp::SpectrumError;
+use std::fmt;
+
+/// Errors produced by campaign configuration and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaseError {
+    /// A campaign configuration parameter is missing or inconsistent.
+    InvalidConfig(String),
+    /// The supplied spectra do not form a valid campaign (wrong count,
+    /// mismatched grids, mismatched alternation labels).
+    InvalidSpectra(String),
+    /// An underlying spectrum operation failed.
+    Spectrum(SpectrumError),
+}
+
+impl fmt::Display for FaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaseError::InvalidConfig(msg) => write!(f, "invalid campaign configuration: {msg}"),
+            FaseError::InvalidSpectra(msg) => write!(f, "invalid campaign spectra: {msg}"),
+            FaseError::Spectrum(e) => write!(f, "spectrum error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaseError::Spectrum(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpectrumError> for FaseError {
+    fn from(e: SpectrumError) -> FaseError {
+        FaseError::Spectrum(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = FaseError::InvalidConfig("band not set".into());
+        assert!(format!("{e}").contains("band not set"));
+        assert!(e.source().is_none());
+        let e = FaseError::from(SpectrumError::Empty);
+        assert!(e.source().is_some());
+        assert!(format!("{e}").contains("spectrum error"));
+    }
+}

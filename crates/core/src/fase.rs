@@ -1,0 +1,214 @@
+//! The top-level FASE analyzer.
+
+use crate::config::CampaignConfig;
+use crate::detector::{detect_in_trace, merge_detections, Detection, DetectorConfig};
+use crate::error::FaseError;
+use crate::heuristic::{all_harmonic_scores, HeuristicConfig};
+use crate::report::FaseReport;
+use crate::spectra::CampaignSpectra;
+
+/// Tunables of a FASE analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaseConfig {
+    /// Highest harmonic of `f_alt` to score (the paper detects the 1st–5th
+    /// positive and negative harmonics).
+    pub max_harmonic: u32,
+    /// Heuristic evaluation parameters.
+    pub heuristic: HeuristicConfig,
+    /// Peak detection and evidence-merging parameters.
+    pub detector: DetectorConfig,
+    /// Relative tolerance when grouping carriers into harmonic sets.
+    pub group_rel_tol: f64,
+}
+
+impl Default for FaseConfig {
+    fn default() -> FaseConfig {
+        FaseConfig {
+            max_harmonic: 5,
+            heuristic: HeuristicConfig::default(),
+            detector: DetectorConfig::default(),
+            group_rel_tol: 0.003,
+        }
+    }
+}
+
+/// The FASE analyzer: consumes campaign spectra, produces a report of
+/// activity-modulated carriers.
+///
+/// `Fase` never sees the simulator: it operates purely on `(frequency,
+/// power)` spectra, exactly as the paper's methodology operates on spectrum
+/// -analyzer captures. Feed it real SDR data if you have some.
+///
+/// # Examples
+///
+/// ```
+/// use fase_core::{CampaignConfig, Fase, FaseConfig};
+/// use fase_core::heuristic::campaign_from_spectra;
+/// use fase_dsp::{Hertz, Spectrum};
+///
+/// // Synthetic campaign: carrier at 50 kHz with side-bands that move with
+/// // f_alt (i.e. genuinely activity-modulated).
+/// let config = CampaignConfig::builder()
+///     .band(Hertz(0.0), Hertz(100_000.0))
+///     .resolution(Hertz(100.0))
+///     .alternation(Hertz(20_000.0), Hertz(500.0), 5)
+///     .build()?;
+/// let spectra = config
+///     .alternation_frequencies()
+///     .iter()
+///     .map(|f_alt| {
+///         let mut p = vec![1e-14; config.bins()];
+///         p[500] = 1e-10; // carrier at 50 kHz
+///         p[500 + (f_alt.hz() / 100.0) as usize] = 2e-12;
+///         p[500 - (f_alt.hz() / 100.0) as usize] = 2e-12;
+///         Spectrum::new(Hertz(0.0), Hertz(100.0), p).unwrap()
+///     })
+///     .collect();
+/// let campaign = campaign_from_spectra(config, spectra)?;
+/// let report = Fase::new(FaseConfig::default()).analyze(&campaign)?;
+/// assert_eq!(report.len(), 1);
+/// assert!((report.carriers()[0].frequency().hz() - 50_000.0).abs() < 200.0);
+/// # Ok::<(), fase_core::FaseError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fase {
+    config: FaseConfig,
+}
+
+impl Fase {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: FaseConfig) -> Fase {
+        Fase { config }
+    }
+
+    /// The analyzer configuration.
+    pub fn config(&self) -> &FaseConfig {
+        &self.config
+    }
+
+    /// Runs the full FASE pipeline: score every harmonic, pick peaks,
+    /// merge evidence into carriers, group harmonic sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaseError::InvalidConfig`] if `max_harmonic` is zero.
+    pub fn analyze(&self, spectra: &CampaignSpectra) -> Result<FaseReport, FaseError> {
+        if self.config.max_harmonic == 0 {
+            return Err(FaseError::InvalidConfig(
+                "max_harmonic must be at least 1".to_owned(),
+            ));
+        }
+        let traces = all_harmonic_scores(spectra, self.config.max_harmonic, &self.config.heuristic);
+        let detections: Vec<Detection> = traces
+            .iter()
+            .flat_map(|t| detect_in_trace(t, &self.config.detector))
+            .collect();
+        let carriers = merge_detections(spectra, detections, &self.config.detector);
+        Ok(FaseReport::from_carriers(carriers, self.config.group_rel_tol).with_traces(traces))
+    }
+
+    /// Convenience: validates raw per-alternation spectra into a campaign
+    /// and analyzes them in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign-validation and analysis errors.
+    pub fn analyze_raw(
+        &self,
+        config: CampaignConfig,
+        spectra: Vec<fase_dsp::Spectrum>,
+    ) -> Result<FaseReport, FaseError> {
+        let campaign = crate::heuristic::campaign_from_spectra(config, spectra)?;
+        self.analyze(&campaign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fase_dsp::{Hertz, Spectrum};
+
+    fn config() -> CampaignConfig {
+        CampaignConfig::builder()
+            .band(Hertz(0.0), Hertz(200_000.0))
+            .resolution(Hertz(100.0))
+            .alternation(Hertz(20_000.0), Hertz(500.0), 5)
+            .build()
+            .unwrap()
+    }
+
+    fn modulated_campaign(fcs: &[f64]) -> CampaignSpectra {
+        let config = config();
+        let bins = config.bins();
+        let spectra: Vec<Spectrum> = config
+            .alternation_frequencies()
+            .iter()
+            .map(|f_alt| {
+                let mut p = vec![1e-14; bins];
+                for &fc in fcs {
+                    p[(fc / 100.0) as usize] = 1e-10;
+                    for h in [-1i32, 1] {
+                        let b = ((fc + h as f64 * f_alt.hz()) / 100.0).round() as i64;
+                        if (0..bins as i64).contains(&b) {
+                            p[b as usize] = 2e-12;
+                        }
+                    }
+                }
+                Spectrum::new(Hertz(0.0), Hertz(100.0), p).unwrap()
+            })
+            .collect();
+        crate::heuristic::campaign_from_spectra(config, spectra).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_single_carrier() {
+        let campaign = modulated_campaign(&[100_000.0]);
+        let report = Fase::new(FaseConfig::default()).analyze(&campaign).unwrap();
+        assert_eq!(report.len(), 1);
+        let c = &report.carriers()[0];
+        assert!((c.frequency().hz() - 100_000.0).abs() < 200.0);
+        assert!(c.has_harmonic(1) && c.has_harmonic(-1));
+        assert_eq!(report.score_traces().len(), 10);
+        assert!(report.score_trace(1).is_some());
+        assert!(report.score_trace(-5).is_some());
+        assert!(report.score_trace(6).is_none());
+    }
+
+    #[test]
+    fn end_to_end_two_carriers() {
+        let campaign = modulated_campaign(&[80_000.0, 150_000.0]);
+        let report = Fase::new(FaseConfig::default()).analyze(&campaign).unwrap();
+        assert_eq!(report.len(), 2);
+        assert!(report.carrier_near(Hertz(80_000.0), Hertz(300.0)).is_some());
+        assert!(report.carrier_near(Hertz(150_000.0), Hertz(300.0)).is_some());
+    }
+
+    #[test]
+    fn zero_harmonics_rejected() {
+        let campaign = modulated_campaign(&[100_000.0]);
+        let fase = Fase::new(FaseConfig { max_harmonic: 0, ..FaseConfig::default() });
+        assert!(matches!(
+            fase.analyze(&campaign),
+            Err(FaseError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn analyze_raw_convenience() {
+        let config = config();
+        let bins = config.bins();
+        let spectra: Vec<Spectrum> = config
+            .alternation_frequencies()
+            .iter()
+            .map(|f_alt| {
+                let mut p = vec![1e-14; bins];
+                p[1000] = 1e-10;
+                p[1000 + (f_alt.hz() / 100.0) as usize] = 2e-12;
+                p[1000 - (f_alt.hz() / 100.0) as usize] = 2e-12;
+                Spectrum::new(Hertz(0.0), Hertz(100.0), p).unwrap()
+            })
+            .collect();
+        let report = Fase::default().analyze_raw(config, spectra).unwrap();
+        assert_eq!(report.len(), 1);
+    }
+}

@@ -1,0 +1,455 @@
+//! The FASE heuristic carrier-likelihood function (paper §2.4).
+//!
+//! For harmonic `h` of the alternation frequency, the score at candidate
+//! carrier frequency `f` is
+//!
+//! ```text
+//! F_h(f)   = Π_i F_{i,h}(f)                                      (Eq. 1)
+//! F_{i,h}(f) = SP_i(f + h·f_alt_i) / mean_{j≠i} SP_j(f + h·f_alt_i)   (Eq. 2)
+//! ```
+//!
+//! The numerator reads spectrum `i` at its own shifted frequency; the
+//! denominator reads every *other* spectrum at that **same** physical
+//! frequency. A side-band that moves with `f_alt` is strong in spectrum `i`
+//! there but weak in the others (their side-bands sit `f_Δ` away), so the
+//! sub-score is ≫ 1; a signal that stays put is equally strong in all
+//! spectra and normalizes to ≈ 1 — that is how AM radio and unmodulated
+//! spurs are rejected. Only harmonic `h` itself aligns under this shift:
+//! the other side-band harmonics move by `2f_Δ, 3f_Δ, …` and do not stack
+//! (§2.3).
+
+use crate::config::CampaignConfig;
+use crate::spectra::CampaignSpectra;
+use fase_dsp::{Hertz, Spectrum};
+
+/// Configuration of the heuristic evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeuristicConfig {
+    /// Half-width (in bins) of the windowed-max applied to each spectrum
+    /// before the shifted lookup. Absorbs residual alternation-frequency
+    /// calibration error and side-band line width.
+    pub search_bins: usize,
+    /// Stabilizing floor added to numerator and denominator, expressed as a
+    /// fraction of the spectrum's median bin power.
+    pub floor_fraction: f64,
+    /// A sub-score above this ratio counts as one spectrum "supporting"
+    /// the candidate carrier. The detector later requires a minimum number
+    /// of supporting spectra, so one lone coincidence (a spike that a
+    /// single shifted lookup happens to graze) cannot fake a carrier.
+    pub support_ratio: f64,
+}
+
+impl Default for HeuristicConfig {
+    fn default() -> HeuristicConfig {
+        HeuristicConfig { search_bins: 3, floor_fraction: 0.1, support_ratio: 2.0 }
+    }
+}
+
+/// The heuristic score `F_h(f)` evaluated on the campaign's frequency grid.
+///
+/// # Examples
+///
+/// ```
+/// use fase_core::heuristic::{campaign_from_spectra, harmonic_scores, HeuristicConfig};
+/// use fase_core::CampaignConfig;
+/// use fase_dsp::{Hertz, Spectrum};
+/// let config = CampaignConfig::builder()
+///     .band(Hertz(0.0), Hertz(50_000.0))
+///     .resolution(Hertz(100.0))
+///     .alternation(Hertz(10_000.0), Hertz(500.0), 2)
+///     .build()?;
+/// let flat = Spectrum::new(Hertz(0.0), Hertz(100.0), vec![1e-14; config.bins()])?;
+/// let campaign = campaign_from_spectra(config, vec![flat.clone(), flat])?;
+/// let trace = harmonic_scores(&campaign, 1, &HeuristicConfig::default());
+/// // Identical spectra: every score normalizes to 1.
+/// assert!(trace.scores().iter().all(|&s| (s - 1.0).abs() < 1e-9));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreTrace {
+    harmonic: i32,
+    start: Hertz,
+    resolution: Hertz,
+    scores: Vec<f64>,
+    /// Per-bin count of spectra whose sub-score exceeded the support ratio.
+    support: Vec<u8>,
+    n_spectra: usize,
+}
+
+impl ScoreTrace {
+    /// The harmonic `h` this trace was computed for.
+    pub fn harmonic(&self) -> i32 {
+        self.harmonic
+    }
+
+    /// Frequency of bin 0.
+    pub fn start(&self) -> Hertz {
+        self.start
+    }
+
+    /// Bin spacing.
+    pub fn resolution(&self) -> Hertz {
+        self.resolution
+    }
+
+    /// Score values, one per candidate carrier frequency.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Number of candidate frequencies.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Frequency of bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn frequency_at(&self, index: usize) -> Hertz {
+        assert!(index < self.scores.len(), "score index out of range");
+        self.start + self.resolution * index as f64
+    }
+
+    /// Score at the bin nearest to frequency `f`, or `None` outside the
+    /// trace.
+    pub fn score_at(&self, f: Hertz) -> Option<f64> {
+        Some(self.scores[self.bin_of(f)?])
+    }
+
+    /// Number of supporting spectra per bin (sub-score above the support
+    /// ratio).
+    pub fn support(&self) -> &[u8] {
+        &self.support
+    }
+
+    /// Supporting-spectra count at the bin nearest to `f`.
+    pub fn support_at(&self, f: Hertz) -> Option<u8> {
+        Some(self.support[self.bin_of(f)?])
+    }
+
+    /// Number of spectra in the campaign this trace was computed from.
+    pub fn n_spectra(&self) -> usize {
+        self.n_spectra
+    }
+
+    fn bin_of(&self, f: Hertz) -> Option<usize> {
+        let raw = (f - self.start) / self.resolution;
+        if raw < -0.5 || raw > self.scores.len() as f64 - 0.5 {
+            return None;
+        }
+        let i = raw.round().max(0.0) as usize;
+        (i < self.scores.len()).then_some(i)
+    }
+}
+
+/// Computes `F_h(f)` for one harmonic across the whole campaign band.
+///
+/// Shifted lookups that fall outside the measured band contribute a neutral
+/// sub-score of 1 — the paper's "obscured side-band" behaviour: missing
+/// evidence weakens but does not destroy a detection.
+pub fn harmonic_scores(
+    spectra: &CampaignSpectra,
+    h: i32,
+    config: &HeuristicConfig,
+) -> ScoreTrace {
+    let n_spectra = spectra.len();
+    let first = spectra.spectrum(0);
+    let bins = first.len();
+    let resolution = first.resolution();
+
+    // The search window must stay below the f_Δ spacing, or a neighbour
+    // spectrum's own side-band would leak into the denominator lookup.
+    let delta_bins = (spectra.config().f_delta() / resolution).round() as usize;
+    let search = config
+        .search_bins
+        .min(delta_bins.saturating_sub(1) / 2);
+
+    // Windowed-max of each spectrum, plus its stabilizing floor.
+    let maxed: Vec<Vec<f64>> = (0..n_spectra)
+        .map(|i| windowed_max(spectra.spectrum(i).powers(), search))
+        .collect();
+    let floors: Vec<f64> = (0..n_spectra)
+        .map(|i| (spectra.spectrum(i).median_power() * config.floor_fraction).max(f64::MIN_POSITIVE))
+        .collect();
+
+    // Integer bin shift per spectrum: h · f_alt_i / f_res.
+    let shifts: Vec<i64> = spectra
+        .spectra()
+        .iter()
+        .map(|s| ((h as f64 * s.f_alt.hz()) / resolution.hz()).round() as i64)
+        .collect();
+
+    // Column sums across spectra (after flooring) let each denominator be
+    // computed as (sum − own)/(N−1) in O(1).
+    let floored: Vec<Vec<f64>> = maxed
+        .iter()
+        .zip(&floors)
+        .map(|(m, &fl)| m.iter().map(|&v| v + fl).collect())
+        .collect();
+    let mut column_sum = vec![0.0f64; bins];
+    for row in &floored {
+        for (acc, v) in column_sum.iter_mut().zip(row) {
+            *acc += v;
+        }
+    }
+
+    let mut scores = vec![1.0f64; bins];
+    let mut support = vec![0u8; bins];
+    for b in 0..bins {
+        let mut f = 1.0;
+        let mut contributions = 0usize;
+        let mut supporters = 0u8;
+        for i in 0..n_spectra {
+            let idx = b as i64 + shifts[i];
+            if idx < 0 || idx >= bins as i64 {
+                continue; // off-band lookup: neutral sub-score of 1
+            }
+            let idx = idx as usize;
+            let own = floored[i][idx];
+            let others = (column_sum[idx] - own) / (n_spectra - 1) as f64;
+            let sub = own / others;
+            f *= sub;
+            contributions += 1;
+            if sub > config.support_ratio {
+                supporters += 1;
+            }
+        }
+        if contributions >= 2 {
+            scores[b] = f;
+            support[b] = supporters;
+        }
+    }
+    ScoreTrace { harmonic: h, start: first.start(), resolution, scores, support, n_spectra }
+}
+
+/// Computes score traces for every harmonic `±1..=±max_harmonic`.
+pub fn all_harmonic_scores(
+    spectra: &CampaignSpectra,
+    max_harmonic: u32,
+    config: &HeuristicConfig,
+) -> Vec<ScoreTrace> {
+    let mut traces = Vec::with_capacity(2 * max_harmonic as usize);
+    for k in 1..=max_harmonic as i32 {
+        traces.push(harmonic_scores(spectra, k, config));
+        traces.push(harmonic_scores(spectra, -k, config));
+    }
+    traces
+}
+
+/// Sliding maximum with half-width `w` (O(n·w); `w` is small).
+fn windowed_max(xs: &[f64], w: usize) -> Vec<f64> {
+    if w == 0 {
+        return xs.to_vec();
+    }
+    let n = xs.len();
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(w);
+            let hi = (i + w).min(n - 1);
+            xs[lo..=hi].iter().copied().fold(f64::MIN, f64::max)
+        })
+        .collect()
+}
+
+/// Builds a [`Spectrum`]-backed campaign from raw per-alternation spectra —
+/// a convenience for tests and synthetic pipelines.
+///
+/// # Errors
+///
+/// Propagates [`CampaignSpectra::new`] validation failures.
+pub fn campaign_from_spectra(
+    config: CampaignConfig,
+    spectra: Vec<Spectrum>,
+) -> Result<CampaignSpectra, crate::error::FaseError> {
+    let labeled = config
+        .alternation_frequencies()
+        .into_iter()
+        .zip(spectra)
+        .map(|(f_alt, spectrum)| crate::spectra::LabeledSpectrum { f_alt, spectrum })
+        .collect();
+    CampaignSpectra::new(config, labeled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CampaignConfig;
+
+    /// Builds a synthetic campaign: flat noise floor at `floor` with, for
+    /// each f_alt_i, side-band spikes at `fc ± f_alt_i` (if `modulated`),
+    /// plus optional fixed spurs that do NOT move with f_alt.
+    fn synthetic_campaign(
+        fc: f64,
+        modulated: bool,
+        spur_at: Option<f64>,
+    ) -> CampaignSpectra {
+        let config = CampaignConfig::builder()
+            .band(Hertz(0.0), Hertz(100_000.0))
+            .resolution(Hertz(100.0))
+            .alternation(Hertz(20_000.0), Hertz(500.0), 5)
+            .build()
+            .unwrap();
+        let bins = config.bins();
+        let res = 100.0;
+        let spectra: Vec<Spectrum> = config
+            .alternation_frequencies()
+            .iter()
+            .map(|f_alt| {
+                let mut p = vec![1e-14; bins];
+                // Carrier always present.
+                p[(fc / res) as usize] = 1e-10;
+                if modulated {
+                    let up = ((fc + f_alt.hz()) / res).round() as usize;
+                    let dn = ((fc - f_alt.hz()) / res).round() as usize;
+                    p[up] = 2e-12;
+                    p[dn] = 2e-12;
+                }
+                if let Some(s) = spur_at {
+                    p[(s / res) as usize] = 5e-11;
+                }
+                Spectrum::new(Hertz(0.0), Hertz(100.0), p).unwrap()
+            })
+            .collect();
+        campaign_from_spectra(config, spectra).unwrap()
+    }
+
+    #[test]
+    fn modulated_carrier_scores_high_at_fc() {
+        let fc = 50_000.0;
+        let campaign = synthetic_campaign(fc, true, None);
+        let cfg = HeuristicConfig::default();
+        for h in [1, -1] {
+            let trace = harmonic_scores(&campaign, h, &cfg);
+            let at_fc = trace.score_at(Hertz(fc)).unwrap();
+            assert!(at_fc > 100.0, "h={h}: score at fc = {at_fc}");
+            // Scores away from the carrier stay near 1.
+            let away = trace.score_at(Hertz(fc + 10_000.0)).unwrap();
+            assert!(away < 5.0, "h={h}: background score {away}");
+        }
+    }
+
+    #[test]
+    fn unmodulated_carrier_scores_flat() {
+        let fc = 50_000.0;
+        let campaign = synthetic_campaign(fc, false, None);
+        let cfg = HeuristicConfig::default();
+        let trace = harmonic_scores(&campaign, 1, &cfg);
+        let max = trace.scores().iter().cloned().fold(0.0, f64::max);
+        assert!(max < 10.0, "unmodulated campaign produced score {max}");
+    }
+
+    #[test]
+    fn stationary_spur_is_rejected() {
+        // A strong spur at a fixed frequency: its sub-scores normalize to 1.
+        let fc = 50_000.0;
+        let campaign = synthetic_campaign(fc, true, Some(30_000.0));
+        let cfg = HeuristicConfig::default();
+        let trace = harmonic_scores(&campaign, 1, &cfg);
+        // Candidate carrier at spur − f_alt1 would be implicated only if
+        // the spur moved; check the region around (30 kHz − 20 kHz)=10 kHz
+        // ± a few kHz stays low.
+        for f in (8_000..12_000).step_by(200) {
+            let s = trace.score_at(Hertz(f as f64)).unwrap();
+            assert!(s < 10.0, "spur leaked into score at {f}: {s}");
+        }
+        // The real carrier still stands out.
+        assert!(trace.score_at(Hertz(fc)).unwrap() > 100.0);
+    }
+
+    #[test]
+    fn only_matching_harmonic_aligns() {
+        // Side-bands at ±1·f_alt only: the h=2 trace must stay flat at fc.
+        let fc = 50_000.0;
+        let campaign = synthetic_campaign(fc, true, None);
+        let cfg = HeuristicConfig::default();
+        let h2 = harmonic_scores(&campaign, 2, &cfg);
+        let s = h2.score_at(Hertz(fc)).unwrap();
+        assert!(s < 10.0, "h=2 should not align: {s}");
+    }
+
+    #[test]
+    fn obscured_sideband_weakens_but_detects() {
+        // Blot out the side-band in two of the five spectra with a strong
+        // unrelated signal.
+        let fc = 50_000.0;
+        let config = CampaignConfig::builder()
+            .band(Hertz(0.0), Hertz(100_000.0))
+            .resolution(Hertz(100.0))
+            .alternation(Hertz(20_000.0), Hertz(500.0), 5)
+            .build()
+            .unwrap();
+        let bins = config.bins();
+        let res = 100.0;
+        // A strong stationary interferer sits exactly where spectrum 0's
+        // upper side-band lands (fc + f_alt1), in EVERY spectrum — spectrum
+        // 0's side-band is "buried" and its sub-score normalizes to ≈ 1.
+        let interferer: f64 = fc + 20_000.0;
+        let spectra: Vec<Spectrum> = config
+            .alternation_frequencies()
+            .iter()
+            .map(|f_alt| {
+                let mut p = vec![1e-14; bins];
+                p[(fc / res) as usize] = 1e-10;
+                p[(interferer / res).round() as usize] = 1e-9;
+                let up = ((fc + f_alt.hz()) / res).round() as usize;
+                let dn = ((fc - f_alt.hz()) / res).round() as usize;
+                // Side-band weaker than the interferer at the collision bin.
+                if p[up] < 2e-12 {
+                    p[up] = 2e-12;
+                }
+                p[dn] = 2e-12;
+                Spectrum::new(Hertz(0.0), Hertz(100.0), p).unwrap()
+            })
+            .collect();
+        let campaign = campaign_from_spectra(config, spectra).unwrap();
+        let trace = harmonic_scores(&campaign, 1, &HeuristicConfig::default());
+        let s = trace.score_at(Hertz(fc)).unwrap();
+        // Weakened relative to the clean case but still far above baseline.
+        assert!(s > 20.0, "obscured campaign score too low: {s}");
+        let clean = harmonic_scores(
+            &synthetic_campaign(fc, true, None),
+            1,
+            &HeuristicConfig::default(),
+        );
+        assert!(clean.score_at(Hertz(fc)).unwrap() > s);
+    }
+
+    #[test]
+    fn all_harmonics_produces_both_signs() {
+        let campaign = synthetic_campaign(50_000.0, true, None);
+        let traces = all_harmonic_scores(&campaign, 3, &HeuristicConfig::default());
+        assert_eq!(traces.len(), 6);
+        let hs: Vec<i32> = traces.iter().map(|t| t.harmonic()).collect();
+        assert_eq!(hs, vec![1, -1, 2, -2, 3, -3]);
+    }
+
+    #[test]
+    fn windowed_max_basics() {
+        assert_eq!(windowed_max(&[1.0, 5.0, 2.0], 1), vec![5.0, 5.0, 5.0]);
+        assert_eq!(windowed_max(&[1.0, 5.0, 2.0], 0), vec![1.0, 5.0, 2.0]);
+        let xs = [0.0, 1.0, 0.0, 0.0, 7.0];
+        assert_eq!(windowed_max(&xs, 2), vec![1.0, 1.0, 7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn score_trace_accessors() {
+        let campaign = synthetic_campaign(50_000.0, true, None);
+        let trace = harmonic_scores(&campaign, 1, &HeuristicConfig::default());
+        assert_eq!(trace.harmonic(), 1);
+        assert_eq!(trace.resolution(), Hertz(100.0));
+        assert_eq!(trace.frequency_at(10), Hertz(1000.0));
+        assert!(trace.score_at(Hertz(-200.0)).is_none());
+        // Within half a bin of bin 0 still resolves.
+        assert!(trace.score_at(Hertz(-5.0)).is_some());
+        assert!(trace.support_at(Hertz(50_000.0)).unwrap() >= 3);
+        assert!(trace.score_at(Hertz(1e9)).is_none());
+        assert!(!trace.is_empty());
+    }
+}

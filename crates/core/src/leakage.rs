@@ -1,0 +1,192 @@
+//! Leakage quantification (§6: FASE "quantifies how strongly carrier
+//! signals are modulated, which is useful … for quantifying information
+//! leakage, and for evaluating the effectiveness of mitigation efforts").
+//!
+//! For each reported carrier we measure the side-band's SNR against the
+//! local noise floor and convert it into an upper-bound information rate
+//! for an attacker demodulating this carrier: the micro-benchmark proves
+//! activity variations at `f_alt` are readable, so the usable modulation
+//! bandwidth is at least `f_alt1`, and Shannon gives
+//! `capacity ≤ B · log2(1 + SNR)`.
+
+use crate::carrier::Carrier;
+use crate::spectra::CampaignSpectra;
+use fase_dsp::{Dbm, Decibels, Hertz};
+use std::fmt;
+
+/// Leakage estimate for one carrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageEstimate {
+    /// The carrier frequency.
+    pub carrier: Hertz,
+    /// First-harmonic side-band level.
+    pub sideband: Dbm,
+    /// Local noise floor near the side-band (robust median).
+    pub noise_floor: Dbm,
+    /// Side-band-to-noise ratio — the attacker's demodulation SNR.
+    pub modulation_snr: Decibels,
+    /// Carrier-to-side-band ratio (smaller = deeper modulation).
+    pub modulation_depth: Decibels,
+    /// Demonstrated modulation bandwidth (the campaign's `f_alt1`).
+    pub bandwidth: Hertz,
+    /// Shannon upper bound on the leaked information rate, in bits/s.
+    pub capacity_bps: f64,
+}
+
+impl fmt::Display for LeakageEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "carrier {}: side-band {} over floor {} (SNR {}), ≤ {:.0} bit/s",
+            self.carrier, self.sideband, self.noise_floor, self.modulation_snr, self.capacity_bps
+        )
+    }
+}
+
+/// Estimates the information leakage of a reported carrier.
+///
+/// The noise floor is the median bin power in a ±`floor_window` region
+/// around the first side-band (medians ignore the narrow signal peaks
+/// themselves).
+pub fn estimate_leakage(
+    spectra: &CampaignSpectra,
+    carrier: &Carrier,
+    floor_window: Hertz,
+) -> LeakageEstimate {
+    let f_alt1 = spectra.spectra()[0].f_alt;
+    let mean = spectra.mean_spectrum();
+    let sideband_freq = Hertz(carrier.frequency().hz() + f_alt1.hz());
+    let lo = Hertz(sideband_freq.hz() - floor_window.hz());
+    let hi = Hertz(sideband_freq.hz() + floor_window.hz());
+    let floor_mw = mean
+        .band(lo, hi)
+        .map(|band| band.median_power())
+        .unwrap_or_else(|_| mean.median_power());
+    let noise_floor = Dbm::from_watts(floor_mw * 1e-3);
+    let sideband = carrier.sideband_magnitude();
+    let snr_db = (sideband - noise_floor).db().max(0.0);
+    let modulation_snr = Decibels(snr_db);
+    let snr_linear = modulation_snr.linear();
+    let capacity_bps = f_alt1.hz() * (1.0 + snr_linear).log2();
+    LeakageEstimate {
+        carrier: carrier.frequency(),
+        sideband,
+        noise_floor,
+        modulation_snr,
+        modulation_depth: carrier.modulation_depth(),
+        bandwidth: f_alt1,
+        capacity_bps,
+    }
+}
+
+/// Leakage estimates for every carrier in a report, strongest first.
+pub fn estimate_all(
+    spectra: &CampaignSpectra,
+    report: &crate::report::FaseReport,
+    floor_window: Hertz,
+) -> Vec<LeakageEstimate> {
+    let mut out: Vec<LeakageEstimate> = report
+        .carriers()
+        .iter()
+        .map(|c| estimate_leakage(spectra, c, floor_window))
+        .collect();
+    out.sort_by(|a, b| {
+        b.capacity_bps
+            .partial_cmp(&a.capacity_bps)
+            .expect("finite capacities")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::Harmonic;
+    use crate::config::CampaignConfig;
+    use crate::heuristic::campaign_from_spectra;
+    use fase_dsp::Spectrum;
+
+    fn campaign_with_sideband(sideband_dbm: f64) -> (CampaignSpectra, Carrier) {
+        let config = CampaignConfig::builder()
+            .band(Hertz(0.0), Hertz(200_000.0))
+            .resolution(Hertz(100.0))
+            .alternation(Hertz(20_000.0), Hertz(500.0), 3)
+            .build()
+            .unwrap();
+        let bins = config.bins();
+        let floor_mw = 1e-14; // -140 dBm
+        let spectra: Vec<Spectrum> = config
+            .alternation_frequencies()
+            .iter()
+            .map(|f_alt| {
+                let mut p = vec![floor_mw; bins];
+                p[1000] = 1e-10;
+                let b = ((100_000.0 + f_alt.hz()) / 100.0).round() as usize;
+                p[b] = 10f64.powf(sideband_dbm / 10.0);
+                Spectrum::new(Hertz(0.0), Hertz(100.0), p).unwrap()
+            })
+            .collect();
+        let campaign = campaign_from_spectra(config, spectra).unwrap();
+        let carrier = Carrier::new(
+            Hertz(100_000.0),
+            Dbm(-100.0),
+            Dbm(sideband_dbm),
+            vec![Harmonic { h: 1, score: 100.0 }, Harmonic { h: -1, score: 100.0 }],
+        );
+        (campaign, carrier)
+    }
+
+    #[test]
+    fn snr_measured_against_floor() {
+        let (campaign, carrier) = campaign_with_sideband(-120.0);
+        let est = estimate_leakage(&campaign, &carrier, Hertz(5_000.0));
+        assert!((est.noise_floor.dbm() - -140.0).abs() < 0.5, "{est}");
+        assert!((est.modulation_snr.db() - 20.0).abs() < 1.0, "{est}");
+        assert_eq!(est.bandwidth, Hertz(20_000.0));
+        // 20 kHz · log2(1 + 100) ≈ 133 kbit/s.
+        assert!((est.capacity_bps - 20_000.0 * 101f64.log2()).abs() < 2_000.0);
+    }
+
+    #[test]
+    fn stronger_sidebands_leak_more() {
+        let (c1, k1) = campaign_with_sideband(-130.0);
+        let (c2, k2) = campaign_with_sideband(-115.0);
+        let weak = estimate_leakage(&c1, &k1, Hertz(5_000.0));
+        let strong = estimate_leakage(&c2, &k2, Hertz(5_000.0));
+        assert!(strong.capacity_bps > weak.capacity_bps);
+        assert!(weak.capacity_bps > 0.0);
+    }
+
+    #[test]
+    fn sideband_below_floor_means_no_capacity() {
+        let (campaign, carrier) = campaign_with_sideband(-150.0);
+        let est = estimate_leakage(&campaign, &carrier, Hertz(5_000.0));
+        assert_eq!(est.modulation_snr.db(), 0.0);
+        assert!((est.capacity_bps - est.bandwidth.hz()).abs() < 1.0); // log2(2) = 1
+    }
+
+    #[test]
+    fn estimate_all_sorts_by_capacity() {
+        let (campaign, carrier) = campaign_with_sideband(-118.0);
+        let weak = Carrier::new(
+            Hertz(150_000.0),
+            Dbm(-110.0),
+            Dbm(-134.0),
+            vec![Harmonic { h: 1, score: 50.0 }],
+        );
+        let report =
+            crate::report::FaseReport::from_carriers(vec![weak, carrier], 0.003);
+        let all = estimate_all(&campaign, &report, Hertz(5_000.0));
+        assert_eq!(all.len(), 2);
+        assert!(all[0].capacity_bps >= all[1].capacity_bps);
+        assert_eq!(all[0].carrier, Hertz(100_000.0));
+    }
+
+    #[test]
+    fn display() {
+        let (campaign, carrier) = campaign_with_sideband(-120.0);
+        let est = estimate_leakage(&campaign, &carrier, Hertz(5_000.0));
+        let text = format!("{est}");
+        assert!(text.contains("bit/s"), "{text}");
+    }
+}

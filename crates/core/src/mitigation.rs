@@ -1,0 +1,206 @@
+//! Mitigation evaluation (§6): FASE "quantifies how strongly carrier
+//! signals are modulated, which is useful … for evaluating the
+//! effectiveness of mitigation efforts."
+//!
+//! Run a campaign before and after a countermeasure (refresh
+//! randomization, regulator changes, access scheduling) and diff the
+//! reports: which carriers disappeared, which merely weakened, and which
+//! survived untouched.
+
+use crate::carrier::Carrier;
+use crate::report::FaseReport;
+use fase_dsp::{Decibels, Hertz};
+use std::fmt;
+
+/// The fate of one pre-mitigation carrier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CarrierFate {
+    /// No longer reported at all.
+    Eliminated {
+        /// The carrier as seen before mitigation.
+        before: Carrier,
+    },
+    /// Still reported; side-band level changed by `delta` (negative =
+    /// improvement).
+    Survived {
+        /// The carrier before mitigation.
+        before: Carrier,
+        /// The matching carrier after mitigation.
+        after: Carrier,
+        /// Side-band level change (after − before).
+        delta: Decibels,
+    },
+}
+
+impl CarrierFate {
+    /// The pre-mitigation carrier.
+    pub fn before(&self) -> &Carrier {
+        match self {
+            CarrierFate::Eliminated { before } | CarrierFate::Survived { before, .. } => before,
+        }
+    }
+
+    /// True if the carrier is gone.
+    pub fn is_eliminated(&self) -> bool {
+        matches!(self, CarrierFate::Eliminated { .. })
+    }
+}
+
+impl fmt::Display for CarrierFate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CarrierFate::Eliminated { before } => {
+                write!(f, "{} -> ELIMINATED", before.frequency())
+            }
+            CarrierFate::Survived { before, delta, .. } => {
+                write!(f, "{} -> survives ({delta} side-band change)", before.frequency())
+            }
+        }
+    }
+}
+
+/// Result of diffing two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MitigationOutcome {
+    /// Fate of every pre-mitigation carrier, in the original report order.
+    pub fates: Vec<CarrierFate>,
+    /// Carriers that appear only after mitigation (regressions: a
+    /// countermeasure can create new periodic behaviour).
+    pub introduced: Vec<Carrier>,
+}
+
+impl MitigationOutcome {
+    /// Number of eliminated carriers.
+    pub fn eliminated(&self) -> usize {
+        self.fates.iter().filter(|f| f.is_eliminated()).count()
+    }
+
+    /// Number of surviving carriers.
+    pub fn survived(&self) -> usize {
+        self.fates.len() - self.eliminated()
+    }
+
+    /// True if every pre-mitigation carrier was eliminated and nothing new
+    /// appeared.
+    pub fn is_clean(&self) -> bool {
+        self.survived() == 0 && self.introduced.is_empty()
+    }
+}
+
+impl fmt::Display for MitigationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "mitigation outcome: {} eliminated, {} survive, {} introduced",
+            self.eliminated(),
+            self.survived(),
+            self.introduced.len()
+        )?;
+        for fate in &self.fates {
+            writeln!(f, "  {fate}")?;
+        }
+        for c in &self.introduced {
+            writeln!(f, "  NEW: {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Diffs a pre-mitigation report against a post-mitigation one. Carriers
+/// within `tolerance` are considered the same physical signal.
+pub fn evaluate_mitigation(
+    before: &FaseReport,
+    after: &FaseReport,
+    tolerance: Hertz,
+) -> MitigationOutcome {
+    let fates = before
+        .carriers()
+        .iter()
+        .map(|b| match after.carrier_near(b.frequency(), tolerance) {
+            Some(a) => CarrierFate::Survived {
+                before: b.clone(),
+                after: a.clone(),
+                delta: a.sideband_magnitude() - b.sideband_magnitude(),
+            },
+            None => CarrierFate::Eliminated { before: b.clone() },
+        })
+        .collect();
+    let introduced = after
+        .carriers()
+        .iter()
+        .filter(|a| before.carrier_near(a.frequency(), tolerance).is_none())
+        .cloned()
+        .collect();
+    MitigationOutcome { fates, introduced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::Harmonic;
+    use fase_dsp::Dbm;
+
+    fn carrier(f: f64, sideband_dbm: f64) -> Carrier {
+        Carrier::new(
+            Hertz(f),
+            Dbm(sideband_dbm + 15.0),
+            Dbm(sideband_dbm),
+            vec![Harmonic { h: 1, score: 40.0 }, Harmonic { h: -1, score: 30.0 }],
+        )
+    }
+
+    fn report(carriers: Vec<Carrier>) -> FaseReport {
+        FaseReport::from_carriers(carriers, 0.003)
+    }
+
+    #[test]
+    fn eliminated_and_survived() {
+        let before = report(vec![carrier(128_000.0, -130.0), carrier(315_000.0, -120.0)]);
+        let after = report(vec![carrier(315_050.0, -126.0)]);
+        let outcome = evaluate_mitigation(&before, &after, Hertz(500.0));
+        assert_eq!(outcome.eliminated(), 1);
+        assert_eq!(outcome.survived(), 1);
+        assert!(outcome.introduced.is_empty());
+        let survived = outcome
+            .fates
+            .iter()
+            .find(|f| !f.is_eliminated())
+            .unwrap();
+        match survived {
+            CarrierFate::Survived { delta, .. } => {
+                assert!((delta.db() - -6.0).abs() < 1e-9, "delta {delta}");
+            }
+            CarrierFate::Eliminated { .. } => unreachable!(),
+        }
+        assert!(!outcome.is_clean());
+    }
+
+    #[test]
+    fn clean_mitigation() {
+        let before = report(vec![carrier(128_000.0, -130.0)]);
+        let after = report(vec![]);
+        let outcome = evaluate_mitigation(&before, &after, Hertz(500.0));
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.eliminated(), 1);
+    }
+
+    #[test]
+    fn regression_detected() {
+        // The countermeasure introduced a new periodic signal.
+        let before = report(vec![]);
+        let after = report(vec![carrier(200_000.0, -125.0)]);
+        let outcome = evaluate_mitigation(&before, &after, Hertz(500.0));
+        assert_eq!(outcome.introduced.len(), 1);
+        assert!(!outcome.is_clean());
+    }
+
+    #[test]
+    fn display_lists_fates() {
+        let before = report(vec![carrier(128_000.0, -130.0)]);
+        let after = report(vec![carrier(128_020.0, -131.0)]);
+        let outcome = evaluate_mitigation(&before, &after, Hertz(500.0));
+        let text = format!("{outcome}");
+        assert!(text.contains("survives"), "{text}");
+        assert!(text.contains("1 survive"), "{text}");
+    }
+}

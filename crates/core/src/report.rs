@@ -1,0 +1,158 @@
+//! The FASE analysis report.
+
+use crate::carrier::Carrier;
+use crate::grouping::{group_harmonic_sets, HarmonicSet};
+use crate::heuristic::ScoreTrace;
+use fase_dsp::Hertz;
+use std::fmt;
+
+/// Everything a FASE run produces: detected carriers (strongest evidence
+/// first), their harmonic-set grouping, and the per-harmonic heuristic
+/// score traces (for plotting figures like the paper's Fig. 9 and Fig. 16).
+///
+/// # Examples
+///
+/// ```
+/// use fase_core::{Carrier, FaseReport, Harmonic};
+/// use fase_dsp::{Dbm, Hertz};
+/// let carrier = |f: f64| Carrier::new(
+///     Hertz(f), Dbm(-105.0), Dbm(-120.0),
+///     vec![Harmonic { h: 1, score: 50.0 }],
+/// );
+/// let report = FaseReport::from_carriers(
+///     vec![carrier(315_000.0), carrier(630_000.0)],
+///     0.003,
+/// );
+/// // The two carriers group into one harmonic set (1x and 2x of 315 kHz).
+/// assert_eq!(report.harmonic_sets().len(), 1);
+/// assert!(report.carrier_near(Hertz(315_100.0), Hertz(500.0)).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaseReport {
+    carriers: Vec<Carrier>,
+    sets: Vec<HarmonicSet>,
+    traces: Vec<ScoreTrace>,
+}
+
+impl FaseReport {
+    /// Builds a report from carriers (computing the harmonic grouping with
+    /// the given relative tolerance). Used by the analyzer and by tests.
+    pub fn from_carriers(carriers: Vec<Carrier>, group_rel_tol: f64) -> FaseReport {
+        let sets = group_harmonic_sets(&carriers, group_rel_tol);
+        FaseReport { carriers, sets, traces: Vec::new() }
+    }
+
+    /// Attaches the heuristic score traces.
+    pub fn with_traces(mut self, traces: Vec<ScoreTrace>) -> FaseReport {
+        self.traces = traces;
+        self
+    }
+
+    /// Detected carriers, strongest combined evidence first.
+    pub fn carriers(&self) -> &[Carrier] {
+        &self.carriers
+    }
+
+    /// Carriers grouped into harmonic sets.
+    pub fn harmonic_sets(&self) -> &[HarmonicSet] {
+        &self.sets
+    }
+
+    /// All computed score traces (`h = 1, −1, 2, −2, …`).
+    pub fn score_traces(&self) -> &[ScoreTrace] {
+        &self.traces
+    }
+
+    /// The score trace for harmonic `h`, if it was computed.
+    pub fn score_trace(&self, h: i32) -> Option<&ScoreTrace> {
+        self.traces.iter().find(|t| t.harmonic() == h)
+    }
+
+    /// The carrier nearest to `f` within `tolerance`, if any.
+    pub fn carrier_near(&self, f: Hertz, tolerance: Hertz) -> Option<&Carrier> {
+        self.carriers
+            .iter()
+            .filter(|c| (c.frequency() - f).hz().abs() <= tolerance.hz())
+            .min_by(|a, b| {
+                let da = (a.frequency() - f).hz().abs();
+                let db = (b.frequency() - f).hz().abs();
+                da.partial_cmp(&db).expect("finite frequencies")
+            })
+    }
+
+    /// True if no carriers were detected.
+    pub fn is_empty(&self) -> bool {
+        self.carriers.is_empty()
+    }
+
+    /// Number of detected carriers.
+    pub fn len(&self) -> usize {
+        self.carriers.len()
+    }
+}
+
+impl fmt::Display for FaseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FASE report: {} carrier(s) in {} harmonic set(s)", self.carriers.len(), self.sets.len())?;
+        for set in &self.sets {
+            writeln!(f, "  set @ fundamental {}:", set.fundamental())?;
+            for c in set.members() {
+                writeln!(f, "    {c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::Harmonic;
+    use fase_dsp::Dbm;
+
+    fn carrier(f: f64) -> Carrier {
+        Carrier::new(
+            Hertz(f),
+            Dbm(-100.0),
+            Dbm(-114.0),
+            vec![Harmonic { h: 1, score: 40.0 }, Harmonic { h: -1, score: 30.0 }],
+        )
+    }
+
+    #[test]
+    fn grouping_and_lookup() {
+        let report = FaseReport::from_carriers(
+            vec![carrier(315_000.0), carrier(630_000.0), carrier(512_000.0)],
+            0.002,
+        );
+        assert_eq!(report.len(), 3);
+        assert_eq!(report.harmonic_sets().len(), 2);
+        let near = report.carrier_near(Hertz(314_800.0), Hertz(500.0)).unwrap();
+        assert_eq!(near.frequency(), Hertz(315_000.0));
+        assert!(report.carrier_near(Hertz(400_000.0), Hertz(500.0)).is_none());
+    }
+
+    #[test]
+    fn nearest_wins_among_multiple() {
+        let report =
+            FaseReport::from_carriers(vec![carrier(100_000.0), carrier(100_900.0)], 0.002);
+        let near = report.carrier_near(Hertz(100_800.0), Hertz(2_000.0)).unwrap();
+        assert_eq!(near.frequency(), Hertz(100_900.0));
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = FaseReport::from_carriers(vec![], 0.002);
+        assert!(report.is_empty());
+        assert!(report.score_trace(1).is_none());
+        assert!(format!("{report}").contains("0 carrier"));
+    }
+
+    #[test]
+    fn display_lists_sets() {
+        let report = FaseReport::from_carriers(vec![carrier(315_000.0)], 0.002);
+        let text = format!("{report}");
+        assert!(text.contains("set @ fundamental"), "{text}");
+        assert!(text.contains("315.000 kHz"), "{text}");
+    }
+}

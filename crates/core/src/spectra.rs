@@ -1,0 +1,200 @@
+//! Campaign spectra: one averaged spectrum per alternation frequency.
+
+use crate::config::CampaignConfig;
+use crate::error::FaseError;
+use fase_dsp::{Hertz, Spectrum};
+
+/// A spectrum labeled with the alternation frequency that was active while
+/// it was captured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledSpectrum {
+    /// Alternation frequency `f_alt_i` of the micro-benchmark during this
+    /// measurement.
+    pub f_alt: Hertz,
+    /// The (capture-averaged) power spectrum.
+    pub spectrum: Spectrum,
+}
+
+/// The complete data of one campaign: N spectra, one per `f_alt_i`, all on
+/// the same frequency grid.
+///
+/// # Examples
+///
+/// ```
+/// use fase_core::{CampaignConfig, CampaignSpectra, LabeledSpectrum};
+/// use fase_dsp::{Hertz, Spectrum};
+/// let config = CampaignConfig::builder()
+///     .band(Hertz(0.0), Hertz(1_000.0))
+///     .resolution(Hertz(10.0))
+///     .alternation(Hertz(200.0), Hertz(10.0), 2)
+///     .build()?;
+/// let bins = vec![1e-12; 101];
+/// let spectra = CampaignSpectra::new(
+///     config.clone(),
+///     config
+///         .alternation_frequencies()
+///         .iter()
+///         .map(|&f_alt| LabeledSpectrum {
+///             f_alt,
+///             spectrum: Spectrum::new(Hertz(0.0), Hertz(10.0), bins.clone()).unwrap(),
+///         })
+///         .collect(),
+/// )?;
+/// assert_eq!(spectra.len(), 2);
+/// # Ok::<(), fase_core::FaseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpectra {
+    config: CampaignConfig,
+    spectra: Vec<LabeledSpectrum>,
+}
+
+impl CampaignSpectra {
+    /// Validates and assembles campaign spectra.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaseError::InvalidSpectra`] if the number of spectra does
+    /// not match the configured alternation count, labels do not match the
+    /// configured family, or the spectra are not on a shared grid.
+    pub fn new(
+        config: CampaignConfig,
+        spectra: Vec<LabeledSpectrum>,
+    ) -> Result<CampaignSpectra, FaseError> {
+        if spectra.len() != config.alternation_count() {
+            return Err(FaseError::InvalidSpectra(format!(
+                "expected {} spectra, got {}",
+                config.alternation_count(),
+                spectra.len()
+            )));
+        }
+        // Labels may deviate slightly from the configured family: the
+        // micro-benchmark's instruction counts are integers, so the
+        // *achieved* alternation frequency differs by up to a few percent,
+        // and the achieved value is what the heuristic must use.
+        for (expected, got) in config.alternation_frequencies().iter().zip(&spectra) {
+            if ((*expected - got.f_alt).hz()).abs() > 0.05 * expected.hz() {
+                return Err(FaseError::InvalidSpectra(format!(
+                    "alternation label mismatch: expected {expected}, got {}",
+                    got.f_alt
+                )));
+            }
+        }
+        let first = &spectra[0].spectrum;
+        if !spectra.iter().all(|s| first.same_grid(&s.spectrum)) {
+            return Err(FaseError::InvalidSpectra(
+                "spectra are not on a shared frequency grid".to_owned(),
+            ));
+        }
+        Ok(CampaignSpectra { config, spectra })
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Number of spectra (= alternation frequencies).
+    pub fn len(&self) -> usize {
+        self.spectra.len()
+    }
+
+    /// Always false — construction requires at least two spectra.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The labeled spectra in `f_alt` order.
+    pub fn spectra(&self) -> &[LabeledSpectrum] {
+        &self.spectra
+    }
+
+    /// Spectrum for alternation index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn spectrum(&self, i: usize) -> &Spectrum {
+        &self.spectra[i].spectrum
+    }
+
+    /// Power-average of all N spectra — the "overall" spectrum used for
+    /// carrier magnitude readouts and figure backgrounds.
+    pub fn mean_spectrum(&self) -> Spectrum {
+        Spectrum::average(self.spectra.iter().map(|s| &s.spectrum))
+            .expect("validated spectra share a grid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(count: usize) -> CampaignConfig {
+        CampaignConfig::builder()
+            .band(Hertz(0.0), Hertz(1000.0))
+            .resolution(Hertz(10.0))
+            .alternation(Hertz(200.0), Hertz(10.0), count)
+            .build()
+            .unwrap()
+    }
+
+    fn flat(level: f64) -> Spectrum {
+        Spectrum::new(Hertz(0.0), Hertz(10.0), vec![level; 101]).unwrap()
+    }
+
+    #[test]
+    fn valid_campaign() {
+        let cfg = config(3);
+        let spectra: Vec<LabeledSpectrum> = cfg
+            .alternation_frequencies()
+            .into_iter()
+            .map(|f_alt| LabeledSpectrum { f_alt, spectrum: flat(1.0) })
+            .collect();
+        let c = CampaignSpectra::new(cfg, spectra).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.mean_spectrum().powers()[0], 1.0);
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let cfg = config(3);
+        let spectra = vec![LabeledSpectrum { f_alt: Hertz(200.0), spectrum: flat(1.0) }];
+        assert!(matches!(
+            CampaignSpectra::new(cfg, spectra),
+            Err(FaseError::InvalidSpectra(_))
+        ));
+    }
+
+    #[test]
+    fn label_mismatch_rejected() {
+        let cfg = config(2);
+        let spectra = vec![
+            LabeledSpectrum { f_alt: Hertz(200.0), spectrum: flat(1.0) },
+            LabeledSpectrum { f_alt: Hertz(999.0), spectrum: flat(1.0) },
+        ];
+        assert!(CampaignSpectra::new(cfg, spectra).is_err());
+    }
+
+    #[test]
+    fn grid_mismatch_rejected() {
+        let cfg = config(2);
+        let other = Spectrum::new(Hertz(5.0), Hertz(10.0), vec![1.0; 101]).unwrap();
+        let spectra = vec![
+            LabeledSpectrum { f_alt: Hertz(200.0), spectrum: flat(1.0) },
+            LabeledSpectrum { f_alt: Hertz(210.0), spectrum: other },
+        ];
+        assert!(CampaignSpectra::new(cfg, spectra).is_err());
+    }
+
+    #[test]
+    fn mean_spectrum_averages_power() {
+        let cfg = config(2);
+        let spectra = vec![
+            LabeledSpectrum { f_alt: Hertz(200.0), spectrum: flat(1.0) },
+            LabeledSpectrum { f_alt: Hertz(210.0), spectrum: flat(3.0) },
+        ];
+        let c = CampaignSpectra::new(cfg, spectra).unwrap();
+        assert_eq!(c.mean_spectrum().powers()[50], 2.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! A minimal complex-number type for IQ samples and FFTs.
+//!
+//! Implemented from scratch (no `num-complex`) with exactly the operations
+//! the workspace needs. `Complex64` is `Copy` and layout-compatible with a
+//! pair of `f64`s.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + j·im`.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::Complex64;
+/// let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+/// assert!(z.re.abs() < 1e-15);
+/// assert!((z.im - 2.0).abs() < 1e-15);
+/// assert!((z.norm() - 2.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real (in-phase) part.
+    pub re: f64,
+    /// Imaginary (quadrature) part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `j`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    pub fn new(re: f64, im: f64) -> Complex64 {
+        Complex64 { re, im }
+    }
+
+    /// Creates a complex number from polar coordinates.
+    pub fn from_polar(magnitude: f64, phase: f64) -> Complex64 {
+        let (s, c) = phase.sin_cos();
+        Complex64 { re: magnitude * c, im: magnitude * s }
+    }
+
+    /// `e^{jθ}` — a unit phasor at angle `theta` radians.
+    pub fn cis(theta: f64) -> Complex64 {
+        Complex64::from_polar(1.0, theta)
+    }
+
+    /// Magnitude `|z|`.
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`Complex64::norm`]).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex64 {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, k: f64) -> Complex64 {
+        Complex64 { re: self.re * k, im: self.im * k }
+    }
+
+    /// Reciprocal `1/z`.
+    ///
+    /// Returns non-finite components when `z` is zero, matching `f64`
+    /// division semantics.
+    pub fn recip(self) -> Complex64 {
+        let d = self.norm_sqr();
+        Complex64 { re: self.re / d, im: -self.im / d }
+    }
+
+    /// True if both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Complex64 {
+        Complex64 { re, im: 0.0 }
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    // Division via the reciprocal: `a / b = a · (1/b)`.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64 { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).norm() < 1e-12
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, 4.0));
+        assert!((z.arg() - (-4.0f64).atan2(3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.5, 0.7);
+        assert!((z.norm() - 2.5).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let theta = k as f64 * PI / 8.0;
+            assert!((Complex64::cis(theta).norm() - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-0.5, 3.0);
+        let c = Complex64::new(4.0, -1.0);
+        assert!(close(a * (b + c), a * b + a * c));
+        assert!(close((a * b) * c, a * (b * c)));
+        assert!(close(a + (-a), Complex64::ZERO));
+        assert!(close(a * a.recip(), Complex64::ONE));
+        assert!(close(a / b * b, a));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex64::I * Complex64::I, -Complex64::ONE));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = Complex64::new(1.0, -1.0);
+        assert_eq!(z * 2.0, Complex64::new(2.0, -2.0));
+        assert_eq!(2.0 * z, Complex64::new(2.0, -2.0));
+        assert_eq!(z / 2.0, Complex64::new(0.5, -0.5));
+    }
+
+    #[test]
+    fn sum_of_phasors_cancels() {
+        // Sum of N equally spaced unit phasors is zero.
+        let n = 16;
+        let total: Complex64 = (0..n)
+            .map(|k| Complex64::cis(2.0 * PI * k as f64 / n as f64))
+            .sum();
+        assert!(total.norm() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Complex64::new(1.0, 2.0)), "1+2j");
+        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1-2j");
+    }
+}

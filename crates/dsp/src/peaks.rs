@@ -1,0 +1,222 @@
+//! Peak detection for spectra and heuristic outputs.
+//!
+//! The FASE paper defers peak-picking to standard algorithms ("\[29\] and \[4\]
+//! cover such algorithms"); we implement a Palshikar-style spike detector:
+//! each sample is scored by how far it rises above its neighborhood, scores
+//! are thresholded robustly (median + k·MAD so that the threshold survives
+//! very strong peaks), and non-maximum suppression keeps one peak per
+//! neighborhood.
+
+use crate::stats;
+
+/// A detected peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Index of the peak sample in the input slice.
+    pub index: usize,
+    /// Value of the input at the peak.
+    pub value: f64,
+    /// Palshikar spike score (mean rise over left and right neighborhoods).
+    pub score: f64,
+}
+
+/// Configuration for [`find_peaks`].
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::peaks::{find_peaks, PeakConfig};
+/// let mut x = vec![1.0; 101];
+/// x[50] = 10.0;
+/// let peaks = find_peaks(&x, &PeakConfig::default());
+/// assert_eq!(peaks.len(), 1);
+/// assert_eq!(peaks[0].index, 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakConfig {
+    /// Neighborhood half-width (samples on each side used for the score).
+    pub half_window: usize,
+    /// Robust threshold: a peak's score must exceed
+    /// `median(score) + threshold_mads · MAD(score)`.
+    pub threshold_mads: f64,
+    /// Minimum absolute rise above the neighborhood mean; guards against
+    /// declaring peaks in perfectly flat data where MAD is zero.
+    pub min_rise: f64,
+    /// Minimum spacing between reported peaks, in samples.
+    pub min_distance: usize,
+}
+
+impl Default for PeakConfig {
+    fn default() -> PeakConfig {
+        PeakConfig {
+            half_window: 5,
+            threshold_mads: 8.0,
+            min_rise: 1e-12,
+            min_distance: 3,
+        }
+    }
+}
+
+/// Finds spikes in `values` per the configured Palshikar-style criterion.
+///
+/// Returns peaks sorted by descending value. Inputs shorter than
+/// `2·half_window + 1` return no peaks.
+pub fn find_peaks(values: &[f64], config: &PeakConfig) -> Vec<Peak> {
+    let n = values.len();
+    let w = config.half_window.max(1);
+    if n < 2 * w + 1 {
+        return Vec::new();
+    }
+
+    // Palshikar S1 score: mean of (x[i] - mean(left w)) and (x[i] - mean(right w)).
+    let mut scores = vec![0.0f64; n];
+    for i in 0..n {
+        let lo = i.saturating_sub(w);
+        let hi = (i + w).min(n - 1);
+        let left = &values[lo..i];
+        let right = &values[i + 1..=hi];
+        let rise_left = if left.is_empty() { 0.0 } else { values[i] - stats::mean(left) };
+        let rise_right = if right.is_empty() { 0.0 } else { values[i] - stats::mean(right) };
+        scores[i] = 0.5 * (rise_left + rise_right);
+    }
+
+    let positive: Vec<f64> = scores.iter().copied().filter(|&s| s > 0.0).collect();
+    if positive.is_empty() {
+        return Vec::new();
+    }
+    let med = stats::median(&scores);
+    let spread = stats::mad(&scores);
+    let threshold = (med + config.threshold_mads * spread).max(config.min_rise);
+
+    // Candidate peaks: strict local maxima whose score clears the threshold.
+    let mut candidates: Vec<Peak> = (1..n - 1)
+        .filter(|&i| {
+            values[i] >= values[i - 1]
+                && values[i] > values[i + 1]
+                && scores[i] >= threshold
+        })
+        .map(|i| Peak { index: i, value: values[i], score: scores[i] })
+        .collect();
+
+    // Non-maximum suppression: strongest first, knock out close neighbors.
+    candidates.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("non-NaN values"));
+    let mut kept: Vec<Peak> = Vec::new();
+    for c in candidates {
+        if kept
+            .iter()
+            .all(|k| k.index.abs_diff(c.index) >= config.min_distance.max(1))
+        {
+            kept.push(c);
+        }
+    }
+    kept
+}
+
+/// Refines a peak's position by fitting a parabola through the peak bin and
+/// its two neighbors, returning the sub-bin offset in `(-0.5, 0.5)`.
+///
+/// The spectrum analyzer's grid quantizes carrier frequencies to `f_res`;
+/// interpolation recovers a finer estimate for carrier-frequency reporting.
+///
+/// Returns 0.0 for edge bins or degenerate (non-concave) neighborhoods.
+pub fn parabolic_offset(values: &[f64], index: usize) -> f64 {
+    if index == 0 || index + 1 >= values.len() {
+        return 0.0;
+    }
+    let (a, b, c) = (values[index - 1], values[index], values[index + 1]);
+    let denom = a - 2.0 * b + c;
+    if denom >= 0.0 {
+        return 0.0; // not concave — no meaningful vertex
+    }
+    let offset = 0.5 * (a - c) / denom;
+    offset.clamp(-0.5, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_with_spikes(n: usize, spikes: &[(usize, f64)]) -> Vec<f64> {
+        let mut x = vec![1.0; n];
+        // Mild deterministic ripple so MAD is non-zero.
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += 0.01 * ((i * 7919) % 13) as f64 / 13.0;
+        }
+        for &(i, v) in spikes {
+            x[i] = v;
+        }
+        x
+    }
+
+    #[test]
+    fn finds_single_spike() {
+        let x = flat_with_spikes(200, &[(77, 25.0)]);
+        let peaks = find_peaks(&x, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 77);
+        assert!(peaks[0].value > 24.0);
+    }
+
+    #[test]
+    fn finds_multiple_spikes_sorted_by_value() {
+        let x = flat_with_spikes(300, &[(50, 10.0), (150, 30.0), (250, 20.0)]);
+        let peaks = find_peaks(&x, &PeakConfig::default());
+        assert_eq!(peaks.len(), 3);
+        assert_eq!(peaks[0].index, 150);
+        assert_eq!(peaks[1].index, 250);
+        assert_eq!(peaks[2].index, 50);
+    }
+
+    #[test]
+    fn flat_data_has_no_peaks() {
+        let x = vec![3.0; 100];
+        assert!(find_peaks(&x, &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn noise_alone_is_rejected() {
+        // Deterministic small ripple only.
+        let x: Vec<f64> = (0..500)
+            .map(|i| 1.0 + 0.05 * (((i * 2654435761usize) % 1000) as f64 / 1000.0))
+            .collect();
+        let peaks = find_peaks(&x, &PeakConfig::default());
+        assert!(peaks.is_empty(), "found {} spurious peaks", peaks.len());
+    }
+
+    #[test]
+    fn min_distance_suppresses_shoulders() {
+        let mut x = flat_with_spikes(100, &[(40, 20.0)]);
+        x[41] = 15.0; // shoulder next to the main peak
+        let peaks = find_peaks(
+            &x,
+            &PeakConfig { min_distance: 5, ..PeakConfig::default() },
+        );
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 40);
+    }
+
+    #[test]
+    fn short_input_is_safe() {
+        assert!(find_peaks(&[1.0, 2.0], &PeakConfig::default()).is_empty());
+        assert!(find_peaks(&[], &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn parabolic_interpolation_recovers_offset() {
+        // Samples of a parabola with vertex at 10.3.
+        let vertex = 10.3;
+        let x: Vec<f64> = (0..21)
+            .map(|i| 5.0 - (i as f64 - vertex).powi(2))
+            .collect();
+        let off = parabolic_offset(&x, 10);
+        assert!((off - 0.3).abs() < 1e-9, "offset {off}");
+        assert_eq!(parabolic_offset(&x, 0), 0.0);
+        assert_eq!(parabolic_offset(&x, 20), 0.0);
+    }
+
+    #[test]
+    fn parabolic_degenerate_is_zero() {
+        assert_eq!(parabolic_offset(&[1.0, 1.0, 1.0], 1), 0.0);
+        assert_eq!(parabolic_offset(&[1.0, 0.5, 1.0], 1), 0.0); // valley
+    }
+}

@@ -1,0 +1,524 @@
+//! The [`Spectrum`] type: a uniformly sampled power spectrum.
+//!
+//! Every stage of the FASE pipeline communicates through this type — the
+//! spectrum analyzer produces them, the heuristic consumes them, figures are
+//! printed from them. Bin values are stored as **linear power in
+//! milliwatts** so that averaging (the analyzer averages four captures) and
+//! the Eq. (2) ratio are physically meaningful; dBm is a view.
+
+use crate::units::{Dbm, Hertz};
+use std::fmt;
+
+/// Error type for [`Spectrum`] construction and combination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpectrumError {
+    /// The bin vector was empty.
+    Empty,
+    /// The resolution was zero or negative.
+    BadResolution(f64),
+    /// A power value was negative or non-finite.
+    BadPower {
+        /// Index of the offending bin.
+        index: usize,
+        /// The invalid power value in milliwatts.
+        value: f64,
+    },
+    /// Two spectra did not share a frequency grid.
+    GridMismatch,
+}
+
+impl fmt::Display for SpectrumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpectrumError::Empty => write!(f, "spectrum must contain at least one bin"),
+            SpectrumError::BadResolution(r) => {
+                write!(f, "spectrum resolution must be positive, got {r} Hz")
+            }
+            SpectrumError::BadPower { index, value } => {
+                write!(f, "bin {index} holds invalid power {value} mW")
+            }
+            SpectrumError::GridMismatch => {
+                write!(f, "spectra do not share the same frequency grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpectrumError {}
+
+/// A uniformly sampled one-sided power spectrum.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::{Hertz, Spectrum};
+/// let s = Spectrum::from_dbm(Hertz(0.0), Hertz(100.0), &[-140.0, -120.0, -140.0])?;
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(s.frequency_at(1), Hertz(100.0));
+/// assert!((s.dbm_at(1).dbm() - -120.0).abs() < 1e-9);
+/// # Ok::<(), fase_dsp::SpectrumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    start: Hertz,
+    resolution: Hertz,
+    /// Linear power per bin, in milliwatts.
+    power_mw: Vec<f64>,
+}
+
+impl Spectrum {
+    /// Creates a spectrum from linear bin powers in milliwatts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `power_mw` is empty, `resolution` is not
+    /// positive, or any power is negative or non-finite.
+    pub fn new(
+        start: Hertz,
+        resolution: Hertz,
+        power_mw: Vec<f64>,
+    ) -> Result<Spectrum, SpectrumError> {
+        if power_mw.is_empty() {
+            return Err(SpectrumError::Empty);
+        }
+        // NaN-rejecting comparison: `!(x > 0.0)` is deliberately not
+        // `x <= 0.0` (NaN must fail).
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(resolution.hz() > 0.0) || !resolution.hz().is_finite() {
+            return Err(SpectrumError::BadResolution(resolution.hz()));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if let Some((index, &value)) = power_mw
+            .iter()
+            .enumerate()
+            .find(|(_, &p)| !(p >= 0.0) || !p.is_finite())
+        {
+            return Err(SpectrumError::BadPower { index, value });
+        }
+        Ok(Spectrum { start, resolution, power_mw })
+    }
+
+    /// Creates a spectrum from dBm bin values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`Spectrum::new`]. `-inf` dBm is
+    /// accepted and becomes zero power.
+    pub fn from_dbm(
+        start: Hertz,
+        resolution: Hertz,
+        dbm: &[f64],
+    ) -> Result<Spectrum, SpectrumError> {
+        let power: Vec<f64> = dbm
+            .iter()
+            .map(|&d| if d == f64::NEG_INFINITY { 0.0 } else { Dbm(d).milliwatts() })
+            .collect();
+        Spectrum::new(start, resolution, power)
+    }
+
+    /// Number of frequency bins.
+    pub fn len(&self) -> usize {
+        self.power_mw.len()
+    }
+
+    /// Always false: construction rejects empty spectra.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Frequency of bin 0.
+    pub fn start(&self) -> Hertz {
+        self.start
+    }
+
+    /// Bin spacing (the analyzer's resolution `f_res`).
+    pub fn resolution(&self) -> Hertz {
+        self.resolution
+    }
+
+    /// Frequency of the last bin.
+    pub fn stop(&self) -> Hertz {
+        self.frequency_at(self.len() - 1)
+    }
+
+    /// Center frequency of bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn frequency_at(&self, index: usize) -> Hertz {
+        assert!(index < self.len(), "bin index {index} out of range");
+        self.start + self.resolution * index as f64
+    }
+
+    /// Linear power (milliwatts) of bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn power_at(&self, index: usize) -> f64 {
+        self.power_mw[index]
+    }
+
+    /// Power of bin `index` in dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn dbm_at(&self, index: usize) -> Dbm {
+        Dbm::from_watts(self.power_mw[index] * 1e-3)
+    }
+
+    /// The bin whose center is nearest to `f`, or `None` if `f` lies outside
+    /// the spectrum (beyond half a bin past either edge).
+    pub fn bin_of(&self, f: Hertz) -> Option<usize> {
+        let idx = (f - self.start) / self.resolution;
+        let rounded = idx.round();
+        if rounded < -0.5 || rounded > self.len() as f64 - 0.5 {
+            return None;
+        }
+        let i = rounded.max(0.0) as usize;
+        (i < self.len()).then_some(i)
+    }
+
+    /// Linearly interpolated power (milliwatts) at an arbitrary frequency.
+    ///
+    /// Frequencies outside the covered band return `None`; the FASE
+    /// heuristic relies on this to skip shifted lookups that fall off the
+    /// measured span.
+    pub fn sample(&self, f: Hertz) -> Option<f64> {
+        let x = (f - self.start) / self.resolution;
+        if x < 0.0 || x > (self.len() - 1) as f64 {
+            return None;
+        }
+        let i = x.floor() as usize;
+        if i + 1 >= self.len() {
+            return Some(self.power_mw[self.len() - 1]);
+        }
+        let frac = x - i as f64;
+        Some(self.power_mw[i] * (1.0 - frac) + self.power_mw[i + 1] * frac)
+    }
+
+    /// All bin powers in milliwatts.
+    pub fn powers(&self) -> &[f64] {
+        &self.power_mw
+    }
+
+    /// Iterator over `(frequency, linear power in mW)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Hertz, f64)> + '_ {
+        self.power_mw
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (self.start + self.resolution * i as f64, p))
+    }
+
+    /// Bin values converted to dBm.
+    pub fn to_dbm_vec(&self) -> Vec<f64> {
+        self.power_mw
+            .iter()
+            .map(|&p| Dbm::from_watts(p * 1e-3).dbm())
+            .collect()
+    }
+
+    /// Index and power of the strongest bin.
+    pub fn peak_bin(&self) -> (usize, f64) {
+        self.power_mw
+            .iter()
+            .copied()
+            .enumerate()
+            .fold((0, f64::MIN), |best, (i, p)| if p > best.1 { (i, p) } else { best })
+    }
+
+    /// Total power across all bins, in milliwatts.
+    pub fn total_power(&self) -> f64 {
+        self.power_mw.iter().sum()
+    }
+
+    /// Median bin power in milliwatts — a robust noise-floor estimate.
+    pub fn median_power(&self) -> f64 {
+        crate::stats::median(&self.power_mw)
+    }
+
+    /// Extracts the sub-spectrum covering `[lo, hi]` (bins whose centers
+    /// fall inside the closed interval).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::Empty`] if no bin centers fall inside.
+    pub fn band(&self, lo: Hertz, hi: Hertz) -> Result<Spectrum, SpectrumError> {
+        let first = ((lo - self.start) / self.resolution).ceil().max(0.0) as usize;
+        let last_f = ((hi - self.start) / self.resolution).floor();
+        if last_f < first as f64 {
+            return Err(SpectrumError::Empty);
+        }
+        let last = (last_f as usize).min(self.len() - 1);
+        if first > last {
+            return Err(SpectrumError::Empty);
+        }
+        Spectrum::new(
+            self.frequency_at(first),
+            self.resolution,
+            self.power_mw[first..=last].to_vec(),
+        )
+    }
+
+    /// True if `other` shares this spectrum's frequency grid (same start,
+    /// resolution, and bin count up to floating-point tolerance).
+    pub fn same_grid(&self, other: &Spectrum) -> bool {
+        self.len() == other.len()
+            && (self.start - other.start).hz().abs() <= 1e-6 * self.resolution.hz()
+            && (self.resolution - other.resolution).hz().abs() <= 1e-9 * self.resolution.hz()
+    }
+
+    /// Power-averages several spectra measured on the same grid (the
+    /// analyzer's "average 4 captures").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::Empty`] for an empty input and
+    /// [`SpectrumError::GridMismatch`] if grids differ.
+    pub fn average<'a, I>(spectra: I) -> Result<Spectrum, SpectrumError>
+    where
+        I: IntoIterator<Item = &'a Spectrum>,
+    {
+        let mut iter = spectra.into_iter();
+        let first = iter.next().ok_or(SpectrumError::Empty)?;
+        let mut acc = first.power_mw.clone();
+        let mut count = 1usize;
+        for s in iter {
+            if !first.same_grid(s) {
+                return Err(SpectrumError::GridMismatch);
+            }
+            for (a, p) in acc.iter_mut().zip(&s.power_mw) {
+                *a += p;
+            }
+            count += 1;
+        }
+        let inv = 1.0 / count as f64;
+        for a in acc.iter_mut() {
+            *a *= inv;
+        }
+        Spectrum::new(first.start, first.resolution, acc)
+    }
+
+    /// Concatenates adjacent sweep segments into one spectrum. Segments
+    /// must have the same resolution and be supplied in ascending order,
+    /// each starting one bin after the previous segment ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::Empty`] for empty input and
+    /// [`SpectrumError::GridMismatch`] for gaps, overlaps, or mixed
+    /// resolutions.
+    pub fn stitch<'a, I>(segments: I) -> Result<Spectrum, SpectrumError>
+    where
+        I: IntoIterator<Item = &'a Spectrum>,
+    {
+        let mut iter = segments.into_iter();
+        let first = iter.next().ok_or(SpectrumError::Empty)?;
+        let res = first.resolution;
+        let mut power = first.power_mw.clone();
+        let mut expected_next = first.stop() + res;
+        for s in iter {
+            let res_ok = (s.resolution - res).hz().abs() <= 1e-9 * res.hz();
+            let start_ok = (s.start - expected_next).hz().abs() <= 1e-6 * res.hz();
+            if !res_ok || !start_ok {
+                return Err(SpectrumError::GridMismatch);
+            }
+            power.extend_from_slice(&s.power_mw);
+            expected_next = s.stop() + res;
+        }
+        Spectrum::new(first.start, res, power)
+    }
+
+    /// Adds another spectrum's power bin-by-bin (e.g. summing independent
+    /// source contributions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::GridMismatch`] if grids differ.
+    pub fn add_power(&mut self, other: &Spectrum) -> Result<(), SpectrumError> {
+        if !self.same_grid(other) {
+            return Err(SpectrumError::GridMismatch);
+        }
+        for (a, p) in self.power_mw.iter_mut().zip(&other.power_mw) {
+            *a += p;
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with every bin scaled by a linear factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> Spectrum {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "scale factor must be finite and non-negative"
+        );
+        Spectrum {
+            start: self.start,
+            resolution: self.resolution,
+            power_mw: self.power_mw.iter().map(|p| p * factor).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Spectrum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Spectrum[{} .. {} @ {}, {} bins]",
+            self.start,
+            self.stop(),
+            self.resolution,
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Spectrum {
+        Spectrum::new(
+            Hertz(1000.0),
+            Hertz(10.0),
+            (0..n).map(|i| (i + 1) as f64).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            Spectrum::new(Hertz(0.0), Hertz(1.0), vec![]).unwrap_err(),
+            SpectrumError::Empty
+        );
+        assert!(matches!(
+            Spectrum::new(Hertz(0.0), Hertz(0.0), vec![1.0]),
+            Err(SpectrumError::BadResolution(_))
+        ));
+        assert!(matches!(
+            Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1.0, -2.0]),
+            Err(SpectrumError::BadPower { index: 1, .. })
+        ));
+        assert!(matches!(
+            Spectrum::new(Hertz(0.0), Hertz(1.0), vec![f64::NAN]),
+            Err(SpectrumError::BadPower { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn frequency_grid() {
+        let s = ramp(5);
+        assert_eq!(s.frequency_at(0), Hertz(1000.0));
+        assert_eq!(s.frequency_at(4), Hertz(1040.0));
+        assert_eq!(s.stop(), Hertz(1040.0));
+        assert_eq!(s.bin_of(Hertz(1020.0)), Some(2));
+        assert_eq!(s.bin_of(Hertz(1024.9)), Some(2));
+        assert_eq!(s.bin_of(Hertz(999.0)), Some(0));
+        assert_eq!(s.bin_of(Hertz(990.0)), None);
+        assert_eq!(s.bin_of(Hertz(1100.0)), None);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = ramp(5);
+        assert_eq!(s.sample(Hertz(1000.0)), Some(1.0));
+        assert_eq!(s.sample(Hertz(1005.0)), Some(1.5));
+        assert_eq!(s.sample(Hertz(1040.0)), Some(5.0));
+        assert_eq!(s.sample(Hertz(999.9)), None);
+        assert_eq!(s.sample(Hertz(1040.1)), None);
+    }
+
+    #[test]
+    fn dbm_round_trip() {
+        let s = Spectrum::from_dbm(Hertz(0.0), Hertz(1.0), &[-120.0, -100.0]).unwrap();
+        let d = s.to_dbm_vec();
+        assert!((d[0] + 120.0).abs() < 1e-9);
+        assert!((d[1] + 100.0).abs() < 1e-9);
+        let s2 = Spectrum::from_dbm(Hertz(0.0), Hertz(1.0), &[f64::NEG_INFINITY]).unwrap();
+        assert_eq!(s2.power_at(0), 0.0);
+    }
+
+    #[test]
+    fn averaging_reduces_to_mean() {
+        let a = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1.0, 3.0]).unwrap();
+        let b = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![3.0, 5.0]).unwrap();
+        let avg = Spectrum::average([&a, &b]).unwrap();
+        assert_eq!(avg.powers(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn averaging_rejects_mismatch() {
+        let a = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1.0, 3.0]).unwrap();
+        let b = Spectrum::new(Hertz(5.0), Hertz(1.0), vec![3.0, 5.0]).unwrap();
+        assert_eq!(Spectrum::average([&a, &b]).unwrap_err(), SpectrumError::GridMismatch);
+    }
+
+    #[test]
+    fn stitching_segments() {
+        let a = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1.0, 2.0]).unwrap();
+        let b = Spectrum::new(Hertz(2.0), Hertz(1.0), vec![3.0, 4.0]).unwrap();
+        let s = Spectrum::stitch([&a, &b]).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.frequency_at(3), Hertz(3.0));
+        assert_eq!(s.powers(), &[1.0, 2.0, 3.0, 4.0]);
+
+        let gap = Spectrum::new(Hertz(5.0), Hertz(1.0), vec![9.0]).unwrap();
+        assert_eq!(Spectrum::stitch([&a, &gap]).unwrap_err(), SpectrumError::GridMismatch);
+    }
+
+    #[test]
+    fn band_extraction() {
+        let s = ramp(10); // 1000..1090
+        let b = s.band(Hertz(1015.0), Hertz(1055.0)).unwrap();
+        assert_eq!(b.start(), Hertz(1020.0));
+        assert_eq!(b.len(), 4); // 1020,1030,1040,1050
+        assert_eq!(b.powers(), &[3.0, 4.0, 5.0, 6.0]);
+        assert!(s.band(Hertz(2000.0), Hertz(3000.0)).is_err());
+    }
+
+    #[test]
+    fn peak_and_totals() {
+        let s = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1.0, 7.0, 2.0]).unwrap();
+        assert_eq!(s.peak_bin(), (1, 7.0));
+        assert_eq!(s.total_power(), 10.0);
+        assert_eq!(s.median_power(), 2.0);
+    }
+
+    #[test]
+    fn add_power_and_scale() {
+        let mut a = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1.0, 2.0]).unwrap();
+        let b = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![0.5, 0.5]).unwrap();
+        a.add_power(&b).unwrap();
+        assert_eq!(a.powers(), &[1.5, 2.5]);
+        let s = a.scaled(2.0);
+        assert_eq!(s.powers(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn iter_yields_frequency_power_pairs() {
+        let s = ramp(3);
+        let pairs: Vec<(Hertz, f64)> = s.iter().collect();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], (Hertz(1000.0), 1.0));
+        assert_eq!(pairs[2], (Hertz(1020.0), 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_scale_panics() {
+        let _ = ramp(3).scaled(-1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ramp(3);
+        let text = format!("{s}");
+        assert!(text.contains("3 bins"), "{text}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Small descriptive-statistics helpers used across the workspace.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns 0.0 for slices shorter than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (by sorting a copy). Returns 0.0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]`.
+/// Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or NaN.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("statistics require non-NaN data"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median absolute deviation — a robust spread estimate, used by the peak
+/// detector to set thresholds that survive strong outlier peaks.
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = median(xs);
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Index of the maximum element; `None` for an empty slice.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .fold(None, |best: Option<(usize, f64)>, (i, &x)| match best {
+            Some((_, bx)) if bx >= x => best,
+            _ => Some((i, x)),
+        })
+        .map(|(i, _)| i)
+}
+
+/// Greatest common divisor of two positive reals within a relative
+/// tolerance — used to group detected carriers into harmonic sets
+/// (315/630/945 kHz → 315 kHz).
+///
+/// Returns `None` if either input is non-positive or no divisor within
+/// tolerance exists after a bounded Euclid iteration.
+pub fn real_gcd(a: f64, b: f64, rel_tol: f64) -> Option<f64> {
+    if a <= 0.0 || b <= 0.0 || !a.is_finite() || !b.is_finite() {
+        return None;
+    }
+    let tol = a.max(b) * rel_tol;
+    let (mut x, mut y) = (a.max(b), a.min(b));
+    for _ in 0..64 {
+        if y < tol {
+            return Some(x);
+        }
+        let r = x % y;
+        // Snap remainders near 0 or near y (float wobble around exact division).
+        let r = if r < tol || (y - r) < tol { 0.0 } else { r };
+        x = y;
+        y = r;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_var_std() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn median_and_percentiles() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 100.0), 4.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 25.0), 1.75);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn mad_is_robust() {
+        let xs = [1.0, 1.0, 1.0, 1.0, 1000.0];
+        assert_eq!(mad(&xs), 0.0);
+        let ys = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mad(&ys), 1.0);
+    }
+
+    #[test]
+    fn argmax_works() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn gcd_of_harmonics() {
+        // 315 kHz harmonic set.
+        let g = real_gcd(630_000.0, 945_000.0, 1e-6).unwrap();
+        assert!((g - 315_000.0).abs() < 1.0, "g = {g}");
+        // With measurement error.
+        let g = real_gcd(630_010.0, 944_980.0, 1e-3).unwrap();
+        assert!((g - 315_000.0).abs() < 500.0, "g = {g}");
+        assert_eq!(real_gcd(-1.0, 2.0, 1e-6), None);
+    }
+}

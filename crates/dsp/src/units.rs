@@ -1,0 +1,509 @@
+//! Strongly-typed physical units used throughout the workspace.
+//!
+//! The FASE pipeline juggles frequencies (carrier, alternation, resolution),
+//! durations and power levels; newtypes keep them from being confused
+//! (C-NEWTYPE). All wrappers are thin `f64`s with `pub` inner values exposed
+//! through accessors and full arithmetic where it is semantically sound.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A frequency in hertz.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::Hertz;
+/// let f_alt = Hertz::from_khz(43.3);
+/// assert_eq!(f_alt, Hertz(43_300.0));
+/// assert_eq!((f_alt + Hertz(500.0)).khz(), 43.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Hertz(pub f64);
+
+impl Hertz {
+    /// Zero hertz.
+    pub const ZERO: Hertz = Hertz(0.0);
+
+    /// Creates a frequency from a value in kilohertz.
+    pub fn from_khz(khz: f64) -> Hertz {
+        Hertz(khz * 1e3)
+    }
+
+    /// Creates a frequency from a value in megahertz.
+    pub fn from_mhz(mhz: f64) -> Hertz {
+        Hertz(mhz * 1e6)
+    }
+
+    /// Returns the raw value in hertz.
+    pub fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in kilohertz.
+    pub fn khz(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Returns the value in megahertz.
+    pub fn mhz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// The period `1/f` of this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period(self) -> Seconds {
+        assert!(self.0 != 0.0, "period of 0 Hz is undefined");
+        Seconds(1.0 / self.0)
+    }
+
+    /// Absolute value of the frequency (offsets may be negative).
+    pub fn abs(self) -> Hertz {
+        Hertz(self.0.abs())
+    }
+
+    /// Minimum of two frequencies.
+    pub fn min(self, other: Hertz) -> Hertz {
+        Hertz(self.0.min(other.0))
+    }
+
+    /// Maximum of two frequencies.
+    pub fn max(self, other: Hertz) -> Hertz {
+        Hertz(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.0.abs();
+        if a >= 1e9 {
+            write!(f, "{:.6} GHz", self.0 / 1e9)
+        } else if a >= 1e6 {
+            write!(f, "{:.6} MHz", self.0 / 1e6)
+        } else if a >= 1e3 {
+            write!(f, "{:.3} kHz", self.0 / 1e3)
+        } else {
+            write!(f, "{:.3} Hz", self.0)
+        }
+    }
+}
+
+impl Add for Hertz {
+    type Output = Hertz;
+    fn add(self, rhs: Hertz) -> Hertz {
+        Hertz(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Hertz {
+    fn add_assign(&mut self, rhs: Hertz) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Hertz {
+    type Output = Hertz;
+    fn sub(self, rhs: Hertz) -> Hertz {
+        Hertz(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Hertz {
+    fn sub_assign(&mut self, rhs: Hertz) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Hertz {
+    type Output = Hertz;
+    fn neg(self) -> Hertz {
+        Hertz(-self.0)
+    }
+}
+
+impl Mul<f64> for Hertz {
+    type Output = Hertz;
+    fn mul(self, rhs: f64) -> Hertz {
+        Hertz(self.0 * rhs)
+    }
+}
+
+impl Mul<Hertz> for f64 {
+    type Output = Hertz;
+    fn mul(self, rhs: Hertz) -> Hertz {
+        Hertz(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Hertz {
+    type Output = Hertz;
+    fn div(self, rhs: f64) -> Hertz {
+        Hertz(self.0 / rhs)
+    }
+}
+
+/// Dimensionless ratio of two frequencies.
+impl Div<Hertz> for Hertz {
+    type Output = f64;
+    fn div(self, rhs: Hertz) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Hertz {
+    fn sum<I: Iterator<Item = Hertz>>(iter: I) -> Hertz {
+        Hertz(iter.map(|h| h.0).sum())
+    }
+}
+
+/// A duration in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::{Hertz, Seconds};
+/// let t_refi = Seconds::from_micros(7.8125);
+/// assert!((t_refi.frequency().hz() - 128_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(pub f64);
+
+impl Seconds {
+    /// Zero seconds.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> Seconds {
+        Seconds(ms * 1e-3)
+    }
+
+    /// Creates a duration from microseconds.
+    pub fn from_micros(us: f64) -> Seconds {
+        Seconds(us * 1e-6)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub fn from_nanos(ns: f64) -> Seconds {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Returns the raw value in seconds.
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in microseconds.
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The frequency `1/T` of this period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero.
+    pub fn frequency(self) -> Hertz {
+        assert!(self.0 != 0.0, "frequency of a zero period is undefined");
+        Hertz(1.0 / self.0)
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.0.abs();
+        if a >= 1.0 {
+            write!(f, "{:.3} s", self.0)
+        } else if a >= 1e-3 {
+            write!(f, "{:.3} ms", self.0 * 1e3)
+        } else if a >= 1e-6 {
+            write!(f, "{:.3} µs", self.0 * 1e6)
+        } else {
+            write!(f, "{:.3} ns", self.0 * 1e9)
+        }
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Seconds {
+    type Output = Seconds;
+    fn div(self, rhs: f64) -> Seconds {
+        Seconds(self.0 / rhs)
+    }
+}
+
+/// Dimensionless ratio of two durations.
+impl Div<Seconds> for Seconds {
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Seconds {
+    fn sum<I: Iterator<Item = Seconds>>(iter: I) -> Seconds {
+        Seconds(iter.map(|s| s.0).sum())
+    }
+}
+
+/// A relative level in decibels (power ratio).
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::Decibels;
+/// let x = Decibels(3.0);
+/// assert!((x.linear() - 1.9953).abs() < 1e-3);
+/// assert!((Decibels::from_linear(100.0).db() - 20.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Decibels(pub f64);
+
+impl Decibels {
+    /// Zero decibels (a power ratio of 1).
+    pub const ZERO: Decibels = Decibels(0.0);
+
+    /// Converts a linear power ratio to decibels.
+    ///
+    /// Non-positive ratios map to negative infinity so they sort below any
+    /// real level instead of producing NaN.
+    pub fn from_linear(ratio: f64) -> Decibels {
+        if ratio <= 0.0 {
+            Decibels(f64::NEG_INFINITY)
+        } else {
+            Decibels(10.0 * ratio.log10())
+        }
+    }
+
+    /// Returns the raw decibel value.
+    pub fn db(self) -> f64 {
+        self.0
+    }
+
+    /// Converts back to a linear power ratio.
+    pub fn linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl fmt::Display for Decibels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+impl Add for Decibels {
+    type Output = Decibels;
+    fn add(self, rhs: Decibels) -> Decibels {
+        Decibels(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Decibels {
+    type Output = Decibels;
+    fn sub(self, rhs: Decibels) -> Decibels {
+        Decibels(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Decibels {
+    type Output = Decibels;
+    fn neg(self) -> Decibels {
+        Decibels(-self.0)
+    }
+}
+
+/// An absolute power level in dBm (decibels relative to one milliwatt).
+///
+/// The paper's spectra are plotted in dBm; this type carries the analyzer
+/// calibration through the pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::Dbm;
+/// // -30 dBm is one microwatt.
+/// assert!((Dbm(-30.0).watts() - 1e-6).abs() < 1e-18);
+/// assert!((Dbm::from_watts(1e-3).dbm() - 0.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Dbm(pub f64);
+
+impl Dbm {
+    /// Converts an absolute power in watts to dBm.
+    ///
+    /// Non-positive powers map to negative infinity.
+    pub fn from_watts(watts: f64) -> Dbm {
+        if watts <= 0.0 {
+            Dbm(f64::NEG_INFINITY)
+        } else {
+            Dbm(10.0 * (watts / 1e-3).log10())
+        }
+    }
+
+    /// Returns the raw dBm value.
+    pub fn dbm(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to absolute power in watts.
+    pub fn watts(self) -> f64 {
+        1e-3 * 10f64.powf(self.0 / 10.0)
+    }
+
+    /// Converts to absolute power in milliwatts.
+    pub fn milliwatts(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dBm", self.0)
+    }
+}
+
+impl Add<Decibels> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Decibels) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Decibels> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Decibels) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+/// Difference between two absolute levels is a relative level.
+impl Sub for Dbm {
+    type Output = Decibels;
+    fn sub(self, rhs: Dbm) -> Decibels {
+        Decibels(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hertz_conversions_round_trip() {
+        let f = Hertz::from_mhz(1.0235);
+        assert!((f.hz() - 1_023_500.0).abs() < 1e-6);
+        assert!((f.khz() - 1023.5).abs() < 1e-9);
+        assert!((f.mhz() - 1.0235).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hertz_arithmetic() {
+        let base = Hertz::from_khz(43.3);
+        let step = Hertz(500.0);
+        let f5 = base + step * 4.0;
+        assert!((f5.khz() - 45.3).abs() < 1e-9);
+        assert!(((f5 - base) / step - 4.0).abs() < 1e-12);
+        assert_eq!(-Hertz(5.0), Hertz(-5.0));
+        assert_eq!(Hertz(-5.0).abs(), Hertz(5.0));
+    }
+
+    #[test]
+    fn period_frequency_inverse() {
+        let f = Hertz(128_000.0);
+        let t = f.period();
+        assert!((t.micros() - 7.8125).abs() < 1e-9);
+        assert!((t.frequency().hz() - 128_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "period of 0 Hz")]
+    fn zero_frequency_period_panics() {
+        let _ = Hertz::ZERO.period();
+    }
+
+    #[test]
+    fn decibel_round_trip() {
+        for &r in &[1e-12, 1e-3, 1.0, 2.0, 123.456] {
+            let db = Decibels::from_linear(r);
+            assert!((db.linear() - r).abs() / r < 1e-12, "ratio {r}");
+        }
+        assert_eq!(Decibels::from_linear(0.0).db(), f64::NEG_INFINITY);
+        assert_eq!(Decibels::from_linear(-1.0).db(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn dbm_round_trip() {
+        for &w in &[1e-18, 1e-12, 1e-3, 0.5] {
+            let p = Dbm::from_watts(w);
+            assert!((p.watts() - w).abs() / w < 1e-12, "watts {w}");
+        }
+        // Paper noise floors sit around -150 dBm.
+        assert!((Dbm(-150.0).watts() - 1e-18).abs() < 1e-24);
+    }
+
+    #[test]
+    fn dbm_decibel_interaction() {
+        let floor = Dbm(-140.0);
+        let peak = floor + Decibels(25.0);
+        assert!((peak.dbm() - -115.0).abs() < 1e-12);
+        let rel = peak - floor;
+        assert!((rel.db() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Hertz::from_mhz(333.0)), "333.000000 MHz");
+        assert_eq!(format!("{}", Hertz::from_khz(43.3)), "43.300 kHz");
+        assert_eq!(format!("{}", Seconds::from_micros(7.8125)), "7.812 µs");
+        assert_eq!(format!("{}", Decibels(3.0)), "3.00 dB");
+        assert_eq!(format!("{}", Dbm(-115.25)), "-115.25 dBm");
+    }
+
+    #[test]
+    fn min_max_and_nanos() {
+        assert_eq!(Hertz(3.0).min(Hertz(5.0)), Hertz(3.0));
+        assert_eq!(Hertz(3.0).max(Hertz(5.0)), Hertz(5.0));
+        assert!((Seconds::from_nanos(200.0).secs() - 2e-7).abs() < 1e-20);
+        assert_eq!(format!("{}", Hertz(-200.0)), "-200.000 Hz");
+        assert_eq!(format!("{}", Seconds(2.5)), "2.500 s");
+        assert_eq!(format!("{}", Seconds::from_nanos(3.0)), "3.000 ns");
+    }
+
+    #[test]
+    fn sums() {
+        let total: Hertz = [Hertz(1.0), Hertz(2.0), Hertz(3.0)].into_iter().sum();
+        assert_eq!(total, Hertz(6.0));
+        let total: Seconds = [Seconds(0.5), Seconds(0.25)].into_iter().sum();
+        assert_eq!(total, Seconds(0.75));
+    }
+}

@@ -1,0 +1,199 @@
+//! Welch power-spectral-density estimation.
+//!
+//! The spectrum analyzer averages whole captures; Welch's method instead
+//! averages overlapped, windowed segments of a *single* capture — the
+//! right tool when you have one long IQ recording (e.g. from
+//! `fase-specan`'s raw captures) and want a low-variance spectrum from it.
+
+use crate::complex::Complex64;
+use crate::fft::{fft_shift, FftPlan};
+use crate::spectrum::{Spectrum, SpectrumError};
+use crate::units::Hertz;
+use crate::window::Window;
+
+/// Configuration of a Welch estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchConfig {
+    /// Segment length (FFT size).
+    pub segment: usize,
+    /// Overlap between consecutive segments, in samples (must be smaller
+    /// than the segment).
+    pub overlap: usize,
+    /// Window applied to each segment.
+    pub window: Window,
+}
+
+impl Default for WelchConfig {
+    fn default() -> WelchConfig {
+        WelchConfig { segment: 1024, overlap: 512, window: Window::Hann }
+    }
+}
+
+/// Estimates the power spectrum of a complex-baseband capture centered at
+/// `center` with sample rate `fs`, on the same calibration convention as
+/// the spectrum analyzer: a CW tone of envelope magnitude `a` reads `|a|²`
+/// (milliwatts) at its bin.
+///
+/// # Errors
+///
+/// Returns [`SpectrumError::Empty`] if the capture is shorter than one
+/// segment.
+///
+/// # Panics
+///
+/// Panics if the overlap is not smaller than the segment length.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::welch::{welch_psd, WelchConfig};
+/// use fase_dsp::{Complex64, Hertz};
+/// let fs = 65_536.0;
+/// let amp = 1e-5; // -100 dBm
+/// let iq: Vec<Complex64> = (0..1 << 14)
+///     .map(|n| Complex64::from_polar(amp, std::f64::consts::TAU * 8_192.0 * n as f64 / fs))
+///     .collect();
+/// let psd = welch_psd(&iq, Hertz(100_000.0), fs, &WelchConfig::default())?;
+/// let (peak, p) = psd.peak_bin();
+/// assert_eq!(psd.frequency_at(peak), Hertz(108_192.0));
+/// assert!((10.0 * p.log10() - -100.0).abs() < 0.5);
+/// # Ok::<(), fase_dsp::SpectrumError>(())
+/// ```
+pub fn welch_psd(
+    iq: &[Complex64],
+    center: Hertz,
+    fs: f64,
+    config: &WelchConfig,
+) -> Result<Spectrum, SpectrumError> {
+    assert!(
+        config.overlap < config.segment,
+        "overlap must be smaller than the segment"
+    );
+    let seg = config.segment;
+    if iq.len() < seg {
+        return Err(SpectrumError::Empty);
+    }
+    let hop = seg - config.overlap;
+    let plan = FftPlan::new(seg);
+    let coeffs = config.window.coefficients(seg);
+    let cg = config.window.coherent_gain(seg);
+    let scale = 1.0 / (seg as f64 * cg);
+
+    let mut acc = vec![0.0f64; seg];
+    let mut count = 0usize;
+    let mut start = 0usize;
+    while start + seg <= iq.len() {
+        let mut buf: Vec<Complex64> = iq[start..start + seg]
+            .iter()
+            .zip(&coeffs)
+            .map(|(z, &c)| z.scale(c))
+            .collect();
+        plan.forward(&mut buf);
+        fft_shift(&mut buf);
+        for (a, z) in acc.iter_mut().zip(&buf) {
+            *a += (z.norm() * scale).powi(2);
+        }
+        count += 1;
+        start += hop;
+    }
+    let inv = 1.0 / count as f64;
+    for a in acc.iter_mut() {
+        *a *= inv;
+    }
+    let resolution = Hertz(fs / seg as f64);
+    let start_freq = Hertz(center.hz() - fs / 2.0);
+    Spectrum::new(start_freq, resolution, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::complex_normal;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn tone_level_calibrated() {
+        let fs = 100_000.0;
+        let amp = 10f64.powf(-85.0 / 20.0);
+        // Tone exactly on a segment bin: 20 bins of 1024 at fs.
+        let f = 20.0 * fs / 1024.0;
+        let iq: Vec<Complex64> = (0..16_384)
+            .map(|n| Complex64::from_polar(amp, TAU * f * n as f64 / fs))
+            .collect();
+        let psd = welch_psd(&iq, Hertz(0.0), fs, &WelchConfig::default()).unwrap();
+        let (b, p) = psd.peak_bin();
+        assert!((psd.frequency_at(b).hz() - f).abs() < 1.0);
+        assert!((10.0 * p.log10() - -85.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn averaging_reduces_noise_variance() {
+        let fs = 100_000.0;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let iq: Vec<Complex64> = (0..1 << 15).map(|_| complex_normal(&mut rng, 1e-6)).collect();
+        // One-segment "Welch" (a bare periodogram) vs many averaged segments.
+        let one = welch_psd(
+            &iq[..1024],
+            Hertz(0.0),
+            fs,
+            &WelchConfig { segment: 1024, overlap: 0, window: Window::Hann },
+        )
+        .unwrap();
+        let many = welch_psd(
+            &iq,
+            Hertz(0.0),
+            fs,
+            &WelchConfig { segment: 1024, overlap: 512, window: Window::Hann },
+        )
+        .unwrap();
+        let rel_var = |s: &Spectrum| {
+            let m = crate::stats::mean(s.powers());
+            crate::stats::variance(s.powers()) / (m * m)
+        };
+        assert!(
+            rel_var(&many) < 0.1 * rel_var(&one),
+            "averaging failed: {} vs {}",
+            rel_var(&many),
+            rel_var(&one)
+        );
+    }
+
+    #[test]
+    fn frequency_grid_is_rf_mapped() {
+        let fs = 8_192.0;
+        let iq = vec![Complex64::ZERO; 4096];
+        let psd = welch_psd(
+            &iq,
+            Hertz(1_000_000.0),
+            fs,
+            &WelchConfig { segment: 256, overlap: 128, window: Window::Hann },
+        )
+        .unwrap();
+        assert_eq!(psd.len(), 256);
+        assert_eq!(psd.start(), Hertz(1_000_000.0 - 4_096.0));
+        assert_eq!(psd.resolution(), Hertz(32.0));
+    }
+
+    #[test]
+    fn short_capture_errors() {
+        let iq = vec![Complex64::ZERO; 100];
+        assert!(matches!(
+            welch_psd(&iq, Hertz(0.0), 1e3, &WelchConfig::default()),
+            Err(SpectrumError::Empty)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be smaller")]
+    fn bad_overlap_panics() {
+        let iq = vec![Complex64::ZERO; 4096];
+        let _ = welch_psd(
+            &iq,
+            Hertz(0.0),
+            1e3,
+            &WelchConfig { segment: 256, overlap: 256, window: Window::Hann },
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Window functions for spectral estimation.
+//!
+//! The spectrum-analyzer model multiplies each capture by a window before
+//! the FFT; the window trades main-lobe width (frequency resolution) against
+//! side-lobe level (dynamic range). FASE needs high dynamic range — weak
+//! side-bands next to strong carriers — so the default is Blackman–Harris.
+
+use std::fmt;
+
+/// A window function family.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::Window;
+/// let w = Window::Hann.coefficients(8);
+/// assert_eq!(w.len(), 8);
+/// assert!(w[0] < 1e-12); // Hann tapers to zero at the edges
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// No tapering; best resolution, worst (-13 dB) side-lobes.
+    Rectangular,
+    /// Raised cosine; -31.5 dB side-lobes.
+    Hann,
+    /// Hamming; -42.7 dB side-lobes, does not reach zero at the edges.
+    Hamming,
+    /// 4-term Blackman–Harris; -92 dB side-lobes. The workspace default.
+    #[default]
+    BlackmanHarris,
+    /// Flat-top (SFT4F-like); very accurate amplitude readout, wide main lobe.
+    FlatTop,
+}
+
+impl Window {
+    /// All window families, for sweep tests and benches.
+    pub const ALL: [Window; 5] = [
+        Window::Rectangular,
+        Window::Hann,
+        Window::Hamming,
+        Window::BlackmanHarris,
+        Window::FlatTop,
+    ];
+
+    /// Generates the `n` window coefficients (periodic form, suited to
+    /// spectral analysis with averaging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "window length must be non-zero");
+        let cosines: &[f64] = match self {
+            Window::Rectangular => &[1.0],
+            Window::Hann => &[0.5, -0.5],
+            Window::Hamming => &[0.54, -0.46],
+            Window::BlackmanHarris => &[0.35875, -0.48829, 0.14128, -0.01168],
+            Window::FlatTop => &[0.21557895, -0.41663158, 0.277263158, -0.083578947, 0.006947368],
+        };
+        let step = std::f64::consts::TAU / n as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 * step;
+                cosines
+                    .iter()
+                    .enumerate()
+                    .map(|(k, a)| a * (k as f64 * x).cos())
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Generates `n` *symmetric* window coefficients (filter-design form:
+    /// symmetric about `(n−1)/2`, the requirement for linear-phase FIR
+    /// taps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn symmetric_coefficients(self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "window length must be non-zero");
+        if n == 1 {
+            return vec![1.0];
+        }
+        let cosines: &[f64] = match self {
+            Window::Rectangular => &[1.0],
+            Window::Hann => &[0.5, -0.5],
+            Window::Hamming => &[0.54, -0.46],
+            Window::BlackmanHarris => &[0.35875, -0.48829, 0.14128, -0.01168],
+            Window::FlatTop => &[0.21557895, -0.41663158, 0.277263158, -0.083578947, 0.006947368],
+        };
+        let step = std::f64::consts::TAU / (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 * step;
+                cosines
+                    .iter()
+                    .enumerate()
+                    .map(|(k, a)| a * (k as f64 * x).cos())
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Coherent gain: the mean of the coefficients. A pure tone's measured
+    /// amplitude is scaled by this factor; the analyzer divides it back out.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        w.iter().sum::<f64>() / n as f64
+    }
+
+    /// Normalized equivalent noise bandwidth (ENBW) in bins:
+    /// `n·Σw² / (Σw)²`. Converts windowed-FFT bin power to power spectral
+    /// density.
+    pub fn enbw_bins(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        let sum: f64 = w.iter().sum();
+        let sum_sq: f64 = w.iter().map(|x| x * x).sum();
+        n as f64 * sum_sq / (sum * sum)
+    }
+
+    /// Applies the window to a real signal in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is empty.
+    pub fn apply(self, signal: &mut [f64]) {
+        let w = self.coefficients(signal.len());
+        for (x, c) in signal.iter_mut().zip(&w) {
+            *x *= c;
+        }
+    }
+
+    /// Applies the window to a complex signal in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is empty.
+    pub fn apply_complex(self, signal: &mut [crate::Complex64]) {
+        let w = self.coefficients(signal.len());
+        for (z, c) in signal.iter_mut().zip(&w) {
+            *z = z.scale(*c);
+        }
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Window::Rectangular => "rectangular",
+            Window::Hann => "hann",
+            Window::Hamming => "hamming",
+            Window::BlackmanHarris => "blackman-harris",
+            Window::FlatTop => "flat-top",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(10)
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-15));
+        assert!((Window::Rectangular.coherent_gain(64) - 1.0).abs() < 1e-15);
+        assert!((Window::Rectangular.enbw_bins(64) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hann_known_values() {
+        let w = Window::Hann.coefficients(8);
+        // Periodic Hann: w[i] = 0.5 - 0.5 cos(2πi/8)
+        assert!(w[0].abs() < 1e-15);
+        assert!((w[4] - 1.0).abs() < 1e-15);
+        assert!((w[2] - 0.5).abs() < 1e-15);
+        // ENBW of Hann is 1.5 bins.
+        assert!((Window::Hann.enbw_bins(1024) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherent_gains_match_literature() {
+        // Periodic-window coherent gains (sum of cosine a0 terms).
+        assert!((Window::Hann.coherent_gain(4096) - 0.5).abs() < 1e-9);
+        assert!((Window::Hamming.coherent_gain(4096) - 0.54).abs() < 1e-9);
+        assert!((Window::BlackmanHarris.coherent_gain(4096) - 0.35875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enbw_ordering() {
+        // Wider main lobes => larger ENBW.
+        let n = 4096;
+        let rect = Window::Rectangular.enbw_bins(n);
+        let hann = Window::Hann.enbw_bins(n);
+        let bh = Window::BlackmanHarris.enbw_bins(n);
+        let ft = Window::FlatTop.enbw_bins(n);
+        assert!(rect < hann && hann < bh && bh < ft);
+        // Blackman-Harris ENBW ≈ 2.0 bins.
+        assert!((bh - 2.0).abs() < 0.05, "bh enbw = {bh}");
+    }
+
+    #[test]
+    fn windows_are_symmetric_about_center() {
+        for win in Window::ALL {
+            let n = 64;
+            let w = win.coefficients(n);
+            for i in 1..n {
+                assert!(
+                    (w[i] - w[n - i]).abs() < 1e-12,
+                    "{win} not periodic-symmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_window_is_mirror_symmetric() {
+        for win in Window::ALL {
+            for n in [7usize, 8, 63] {
+                let w = win.symmetric_coefficients(n);
+                for i in 0..n {
+                    assert!(
+                        (w[i] - w[n - 1 - i]).abs() < 1e-12,
+                        "{win} length {n} asymmetric at {i}"
+                    );
+                }
+            }
+            assert_eq!(win.symmetric_coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn apply_scales_signal() {
+        let mut x = vec![2.0; 8];
+        Window::Hann.apply(&mut x);
+        let w = Window::Hann.coefficients(8);
+        for (a, c) in x.iter().zip(&w) {
+            assert!((a - 2.0 * c).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn apply_complex_scales_signal() {
+        use crate::Complex64;
+        let mut x = vec![Complex64::new(1.0, -1.0); 8];
+        Window::BlackmanHarris.apply_complex(&mut x);
+        let w = Window::BlackmanHarris.coefficients(8);
+        for (z, c) in x.iter().zip(&w) {
+            assert!((z.re - c).abs() < 1e-15 && (z.im + c).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_length_window_panics() {
+        let _ = Window::Hann.coefficients(0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # fase-specan — the spectrum-analyzer model and campaign runner
+//!
+//! Stands in for the paper's Agilent MXA N9020A (§3):
+//!
+//! * [`SpectrumAnalyzer`] — windowed-FFT power spectra of complex-baseband
+//!   captures, calibrated in dBm.
+//! * [`SweepPlan`] — tiles a wide band into FFT-sized capture segments
+//!   whose spectra stitch seamlessly.
+//! * [`CampaignRunner`] — drives the full §3 procedure against a
+//!   [`fase_emsim::SimulatedSystem`]: calibrate the X/Y micro-benchmark at
+//!   each `f_alt_i`, execute it, schedule refreshes, render the EM scene,
+//!   capture, average (the paper averages four captures), stitch, and
+//!   label each spectrum with the *achieved* alternation frequency.
+//!
+//! The output is a [`fase_core::CampaignSpectra`], ready for
+//! [`fase_core::Fase::analyze`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analyzer;
+pub mod antenna;
+pub mod probe;
+pub mod runner;
+pub mod sweep;
+
+pub use analyzer::SpectrumAnalyzer;
+pub use antenna::AntennaResponse;
+pub use probe::{IqCapture, ProbeConfig};
+pub use runner::{run_campaign_parallel, CampaignRunner, DEFAULT_MAX_FFT};
+pub use sweep::{SegmentSpec, SweepPlan};

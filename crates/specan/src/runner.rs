@@ -1,0 +1,400 @@
+//! The campaign runner: orchestrates micro-benchmark execution, EM
+//! rendering, capture, averaging and stitching for a full FASE campaign.
+
+use crate::analyzer::SpectrumAnalyzer;
+use crate::sweep::SweepPlan;
+use fase_core::{CampaignConfig, CampaignSpectra, FaseError, LabeledSpectrum};
+use fase_dsp::{Hertz, Spectrum};
+use fase_emsim::{RenderCtx, SimulatedSystem};
+use fase_sysmodel::{ActivityPair, Alternation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Default FFT length cap (131072 points covers the paper's 0–4 MHz /
+/// 50 Hz campaign in one segment).
+pub const DEFAULT_MAX_FFT: usize = 1 << 17;
+
+/// Runs FASE measurement campaigns against a [`SimulatedSystem`].
+///
+/// For each alternation frequency the runner calibrates the X/Y
+/// micro-benchmark on the system's machine model, executes it for the
+/// capture duration, schedules memory refreshes, renders the EM scene into
+/// IQ captures, and averages the analyzer spectra — exactly the procedure
+/// of the paper's §3.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fase_core::{CampaignConfig, Fase};
+/// use fase_emsim::SimulatedSystem;
+/// use fase_specan::CampaignRunner;
+/// use fase_sysmodel::ActivityPair;
+///
+/// let system = SimulatedSystem::intel_i7_desktop(42);
+/// let mut runner = CampaignRunner::new(system, ActivityPair::LdmLdl1, 7);
+/// let spectra = runner.run(&CampaignConfig::paper_0_4mhz())?;
+/// let report = Fase::default().analyze(&spectra)?;
+/// println!("{report}");
+/// # Ok::<(), fase_core::FaseError>(())
+/// ```
+#[derive(Debug)]
+pub struct CampaignRunner {
+    system: SimulatedSystem,
+    pair: ActivityPair,
+    analyzer: SpectrumAnalyzer,
+    max_fft: usize,
+    rng: SmallRng,
+    /// Absolute time cursor so consecutive captures are phase-consistent.
+    time: f64,
+}
+
+impl CampaignRunner {
+    /// Creates a runner for `system` driving the given activity pair.
+    pub fn new(system: SimulatedSystem, pair: ActivityPair, seed: u64) -> CampaignRunner {
+        CampaignRunner {
+            system,
+            pair,
+            analyzer: SpectrumAnalyzer::default(),
+            max_fft: DEFAULT_MAX_FFT,
+            rng: SmallRng::seed_from_u64(seed),
+            time: 0.0,
+        }
+    }
+
+    /// Overrides the FFT length cap (smaller = less memory, more
+    /// segments).
+    pub fn with_max_fft(mut self, max_fft: usize) -> CampaignRunner {
+        self.max_fft = max_fft;
+        self
+    }
+
+    /// Overrides the analyzer (e.g. to use a different window).
+    pub fn with_analyzer(mut self, analyzer: SpectrumAnalyzer) -> CampaignRunner {
+        self.analyzer = analyzer;
+        self
+    }
+
+    /// The driven activity pair.
+    pub fn pair(&self) -> ActivityPair {
+        self.pair
+    }
+
+    /// Access to the simulated system (e.g. for ground truth in tests).
+    pub fn system(&self) -> &SimulatedSystem {
+        &self.system
+    }
+
+    /// Runs a full campaign: one averaged, stitched spectrum per
+    /// alternation frequency, labeled with the *achieved* alternation
+    /// frequency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spectrum assembly failures.
+    pub fn run(&mut self, config: &CampaignConfig) -> Result<CampaignSpectra, FaseError> {
+        let mut labeled = Vec::with_capacity(config.alternation_count());
+        for f_alt in config.alternation_frequencies() {
+            let (spectrum, measured) = self.measure_at(
+                f_alt,
+                config.band_lo(),
+                config.band_hi(),
+                config.resolution(),
+                config.averages(),
+            )?;
+            labeled.push(LabeledSpectrum { f_alt: measured, spectrum });
+        }
+        CampaignSpectra::new(config.clone(), labeled)
+    }
+
+    /// Measures a single averaged spectrum with the benchmark alternating
+    /// at `f_alt` — the building block for figures outside full campaigns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spectrum assembly failures.
+    pub fn single_spectrum(
+        &mut self,
+        f_alt: Hertz,
+        lo: Hertz,
+        hi: Hertz,
+        resolution: Hertz,
+        averages: usize,
+    ) -> Result<Spectrum, FaseError> {
+        Ok(self.measure_at(f_alt, lo, hi, resolution, averages)?.0)
+    }
+
+    /// Measures one averaged, stitched, band-trimmed spectrum; returns it
+    /// with the achieved alternation frequency.
+    fn measure_at(
+        &mut self,
+        f_alt: Hertz,
+        lo: Hertz,
+        hi: Hertz,
+        resolution: Hertz,
+        averages: usize,
+    ) -> Result<(Spectrum, Hertz), FaseError> {
+        let bench = self.pair.calibrated(&mut self.system.machine, f_alt.hz());
+        let plan = SweepPlan::new(lo, hi, resolution, self.max_fft);
+        let mut segment_spectra = Vec::with_capacity(plan.segments().len());
+        let mut period_sum = 0.0f64;
+        let mut period_count = 0usize;
+        for segment in plan.segments() {
+            let mut captures = Vec::with_capacity(averages);
+            for _ in 0..averages {
+                let window = segment.window(self.time);
+                let trace = self.system.machine.run_alternation(
+                    &bench,
+                    segment.duration(),
+                    &mut self.rng,
+                );
+                // Track the achieved alternation period.
+                let pairs = (trace.len() / 2).max(1);
+                period_sum += trace.duration() / pairs as f64;
+                period_count += 1;
+                let refreshes = self.system.refresh.schedule(&trace, &mut self.rng);
+                let ctx = RenderCtx::new(&trace, &refreshes, &window);
+                let iq = self.system.scene.render(&window, &ctx);
+                captures.push(self.analyzer.spectrum(&window, &iq)?);
+                self.time += segment.duration();
+            }
+            segment_spectra.push(Spectrum::average(captures.iter())?);
+        }
+        let stitched = Spectrum::stitch(segment_spectra.iter())?;
+        let trimmed = stitched.band(lo, hi)?;
+        let mean_period = period_sum / period_count as f64;
+        let measured = Hertz(1.0 / mean_period);
+        Ok((trimmed, measured))
+    }
+
+    /// Calibrates and returns the alternation the runner would use at
+    /// `f_alt` (useful for inspecting instruction counts).
+    pub fn calibrate(&mut self, f_alt: Hertz) -> Alternation {
+        self.pair.calibrated(&mut self.system.machine, f_alt.hz())
+    }
+
+    /// Captures raw IQ at `center` while the runner's activity pair
+    /// alternates at `f_alt` — the attacker's (and auditor's) tap into
+    /// the air interface, used for demodulation and modulation probing.
+    pub fn capture_iq(
+        &mut self,
+        center: Hertz,
+        span: f64,
+        samples: usize,
+        f_alt: Hertz,
+    ) -> crate::probe::IqCapture {
+        let bench = self.pair.calibrated(&mut self.system.machine, f_alt.hz());
+        let duration = samples as f64 / span;
+        let window = fase_emsim::CaptureWindow::new(center, span, samples, self.time);
+        let trace = self
+            .system
+            .machine
+            .run_alternation(&bench, duration, &mut self.rng);
+        let refreshes = self.system.refresh.schedule(&trace, &mut self.rng);
+        let ctx = RenderCtx::new(&trace, &refreshes, &window);
+        let iq = self.system.scene.render(&window, &ctx);
+        self.time += duration;
+        let pairs = (trace.len() / 2).max(1);
+        let achieved = Hertz(pairs as f64 / trace.duration());
+        crate::probe::IqCapture {
+            center,
+            sample_rate: span,
+            samples: iq,
+            f_alt: achieved,
+        }
+    }
+}
+
+/// Runs a campaign with one thread per alternation frequency.
+///
+/// Each `f_alt` gets its own [`SimulatedSystem`] built by `factory(i)`
+/// (usually the same preset with the same seed — the EM world is the same
+/// machine, while capture noise realizations differ per measurement, just
+/// as the sequential runner's do across time).
+///
+/// # Errors
+///
+/// Propagates the first measurement error encountered.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_campaign_parallel<F>(
+    config: &CampaignConfig,
+    pair: ActivityPair,
+    factory: F,
+    seed: u64,
+) -> Result<CampaignSpectra, FaseError>
+where
+    F: Fn(usize) -> SimulatedSystem + Sync,
+{
+    let f_alts = config.alternation_frequencies();
+    let results: Vec<Result<LabeledSpectrum, FaseError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = f_alts
+            .iter()
+            .enumerate()
+            .map(|(i, &f_alt)| {
+                let factory = &factory;
+                let config = &config;
+                scope.spawn(move || {
+                    let system = factory(i);
+                    let mut runner =
+                        CampaignRunner::new(system, pair, seed.wrapping_add(i as u64 * 7919));
+                    let (spectrum, measured) = runner.measure_at(
+                        f_alt,
+                        config.band_lo(),
+                        config.band_hi(),
+                        config.resolution(),
+                        config.averages(),
+                    )?;
+                    Ok(LabeledSpectrum { f_alt: measured, spectrum })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker thread panicked"))
+            .collect()
+    });
+    let labeled: Result<Vec<LabeledSpectrum>, FaseError> = results.into_iter().collect();
+    CampaignSpectra::new(config.clone(), labeled?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fase_core::Fase;
+    use fase_emsim::SimulatedSystem;
+
+    /// A fast, narrow campaign around the demo regulator for smoke tests.
+    fn small_config() -> CampaignConfig {
+        CampaignConfig::builder()
+            .band(Hertz::from_khz(250.0), Hertz::from_khz(400.0))
+            .resolution(Hertz(200.0))
+            .alternation(Hertz::from_khz(30.0), Hertz(2_000.0), 5)
+            .averages(3)
+            .build()
+            .unwrap()
+    }
+
+    fn demo_system(seed: u64) -> SimulatedSystem {
+        let mut system = SimulatedSystem::intel_i7_desktop(seed);
+        // Keep the preset machine; the scene is fine as-is.
+        system.machine = fase_sysmodel::Machine::core_i7();
+        system
+    }
+
+    #[test]
+    fn campaign_produces_consistent_spectra() {
+        let mut runner =
+            CampaignRunner::new(demo_system(5), ActivityPair::LdmLdl1, 11).with_max_fft(1 << 12);
+        let config = small_config();
+        let spectra = runner.run(&config).unwrap();
+        assert_eq!(spectra.len(), 5);
+        let s0 = spectra.spectrum(0);
+        assert_eq!(s0.resolution(), Hertz(200.0));
+        assert!((s0.start().hz() - 250_000.0).abs() < 200.0);
+        // Achieved f_alt close to requested.
+        for (label, requested) in spectra
+            .spectra()
+            .iter()
+            .zip(config.alternation_frequencies())
+        {
+            let err = (label.f_alt - requested).hz().abs() / requested.hz();
+            assert!(err < 0.03, "achieved {} vs {requested}", label.f_alt);
+        }
+    }
+
+    #[test]
+    fn regulator_carrier_detected_in_band() {
+        // 250–400 kHz contains the 315 kHz DRAM regulator (memory-
+        // modulated) and the 332 kHz core regulator (not memory-modulated).
+        let mut runner =
+            CampaignRunner::new(demo_system(6), ActivityPair::LdmLdl1, 12).with_max_fft(1 << 12);
+        let spectra = runner.run(&small_config()).unwrap();
+        let report = Fase::default().analyze(&spectra).unwrap();
+        let dram_reg = report.carrier_near(Hertz::from_khz(315.0), Hertz(1_500.0));
+        assert!(dram_reg.is_some(), "{report}");
+    }
+
+    #[test]
+    fn single_spectrum_shape() {
+        // Idle memory (LDL1/LDL1): the refresh comb is clean and strong.
+        let mut runner =
+            CampaignRunner::new(demo_system(7), ActivityPair::Ldl1Ldl1, 13).with_max_fft(1 << 12);
+        let s = runner
+            .single_spectrum(
+                Hertz::from_khz(30.0),
+                Hertz::from_khz(100.0),
+                Hertz::from_khz(160.0),
+                Hertz(500.0),
+                2,
+            )
+            .unwrap();
+        assert_eq!(s.resolution(), Hertz(500.0));
+        assert!(s.len() >= 120);
+        let peak = s.sample(Hertz(128_000.0)).unwrap();
+        assert!(
+            peak > 10.0 * s.median_power(),
+            "refresh fundamental missing: {} vs median {}",
+            peak,
+            s.median_power()
+        );
+    }
+
+    #[test]
+    fn runner_accessors_and_calibration() {
+        let mut runner =
+            CampaignRunner::new(demo_system(9), ActivityPair::LdmLdl1, 14);
+        assert_eq!(runner.pair(), ActivityPair::LdmLdl1);
+        assert!(runner.system().scene.source_count() > 5);
+        let bench = runner.calibrate(Hertz::from_khz(43.3));
+        assert!(bench.x_count() >= 1 && bench.y_count() > bench.x_count());
+        assert_eq!(bench.label(), "LDM/LDL1");
+    }
+
+    #[test]
+    fn parallel_campaign_matches_detection() {
+        let config = small_config();
+        let spectra = super::run_campaign_parallel(
+            &config,
+            ActivityPair::LdmLdl1,
+            |_| demo_system(6),
+            77,
+        )
+        .unwrap();
+        assert_eq!(spectra.len(), 5);
+        let report = Fase::default().analyze(&spectra).unwrap();
+        assert!(
+            report
+                .carrier_near(Hertz::from_khz(315.66), Hertz(1_500.0))
+                .is_some(),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn refresh_comb_weakens_under_load() {
+        // §4.2: the refresh carrier is strongest when memory is idle and
+        // weakest under continuous memory activity.
+        let measure = |pair: ActivityPair, seed: u64| -> f64 {
+            let mut runner =
+                CampaignRunner::new(demo_system(8), pair, seed).with_max_fft(1 << 12);
+            let s = runner
+                .single_spectrum(
+                    Hertz::from_khz(30.0),
+                    Hertz::from_khz(120.0),
+                    Hertz::from_khz(140.0),
+                    Hertz(500.0),
+                    2,
+                )
+                .unwrap();
+            s.sample(Hertz(128_000.0)).unwrap()
+        };
+        let idle = measure(ActivityPair::Ldl1Ldl1, 21);
+        let busy = measure(ActivityPair::LdmLdm, 22);
+        assert!(
+            idle > 4.0 * busy,
+            "refresh harmonic should weaken under load: idle {idle} vs busy {busy}"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Sweep planning: covering a wide band with FFT-sized capture segments.
+
+use fase_dsp::Hertz;
+use fase_emsim::CaptureWindow;
+
+/// A plan for sweeping `[lo, hi]` at resolution `f_res` using FFT captures
+/// of at most `max_fft` points.
+///
+/// Each segment spans `n·f_res` Hz where `n` is a power of two; segments
+/// tile the band contiguously so the per-segment spectra stitch into one
+/// [`fase_dsp::Spectrum`].
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::Hertz;
+/// use fase_specan::SweepPlan;
+/// let plan = SweepPlan::new(Hertz(0.0), Hertz::from_mhz(4.0), Hertz(50.0), 1 << 17);
+/// assert_eq!(plan.fft_len(), 1 << 17);
+/// assert_eq!(plan.segments().len(), 1); // 131072·50 Hz = 6.55 MHz ≥ 4 MHz
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    lo: Hertz,
+    hi: Hertz,
+    resolution: Hertz,
+    fft_len: usize,
+    segments: Vec<SegmentSpec>,
+}
+
+/// One capture segment of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentSpec {
+    /// Tuned center frequency.
+    pub center: Hertz,
+    /// Complex sample rate (= segment span).
+    pub sample_rate: f64,
+    /// FFT length.
+    pub len: usize,
+}
+
+impl SegmentSpec {
+    /// Materializes a [`CaptureWindow`] for this segment starting at
+    /// absolute time `start_time`.
+    pub fn window(&self, start_time: f64) -> CaptureWindow {
+        CaptureWindow::new(self.center, self.sample_rate, self.len, start_time)
+    }
+
+    /// Capture duration in seconds (`1 / f_res`).
+    pub fn duration(&self) -> f64 {
+        self.len as f64 / self.sample_rate
+    }
+}
+
+impl SweepPlan {
+    /// Plans a sweep.
+    ///
+    /// The FFT length is the smallest power of two covering the whole band
+    /// in one segment, capped at `max_fft`; if capped, multiple segments
+    /// tile the band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is inverted, the resolution is not positive, or
+    /// `max_fft` is smaller than 16.
+    pub fn new(lo: Hertz, hi: Hertz, resolution: Hertz, max_fft: usize) -> SweepPlan {
+        assert!(hi.hz() > lo.hz(), "band must be ordered");
+        assert!(resolution.hz() > 0.0, "resolution must be positive");
+        assert!(max_fft >= 16, "max_fft too small");
+        let bins_needed = ((hi - lo) / resolution).ceil() as usize + 1;
+        let n = bins_needed.next_power_of_two().min(max_fft.next_power_of_two());
+        let span = n as f64 * resolution.hz();
+        let count = (((hi - lo).hz() / span).ceil() as usize).max(1);
+        let segments = (0..count)
+            .map(|k| SegmentSpec {
+                center: Hertz(lo.hz() + (k as f64 + 0.5) * span),
+                sample_rate: span,
+                len: n,
+            })
+            .collect();
+        SweepPlan { lo, hi, resolution, fft_len: n, segments }
+    }
+
+    /// The lower band edge.
+    pub fn lo(&self) -> Hertz {
+        self.lo
+    }
+
+    /// The upper band edge.
+    pub fn hi(&self) -> Hertz {
+        self.hi
+    }
+
+    /// The spectrum resolution.
+    pub fn resolution(&self) -> Hertz {
+        self.resolution
+    }
+
+    /// FFT length per segment.
+    pub fn fft_len(&self) -> usize {
+        self.fft_len
+    }
+
+    /// The planned segments, in ascending frequency order.
+    pub fn segments(&self) -> &[SegmentSpec] {
+        &self.segments
+    }
+
+    /// Total IQ samples per full sweep (all segments).
+    pub fn samples_per_sweep(&self) -> usize {
+        self.fft_len * self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_segment_covers_band() {
+        let plan = SweepPlan::new(Hertz(0.0), Hertz::from_mhz(4.0), Hertz(50.0), 1 << 20);
+        assert_eq!(plan.segments().len(), 1);
+        let seg = plan.segments()[0];
+        // Segment span covers the band.
+        assert!(seg.sample_rate >= 4.0e6);
+        assert_eq!(seg.len as f64 * 50.0, seg.sample_rate);
+        // Bin 0 of the segment sits exactly at the band's lower edge.
+        let window = seg.window(0.0);
+        assert!((window.low_edge().hz() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_fft_tiles_band() {
+        let plan = SweepPlan::new(Hertz(0.0), Hertz::from_mhz(4.0), Hertz(100.0), 1 << 14);
+        // 16384 bins × 100 Hz = 1.6384 MHz per segment → 3 segments.
+        assert_eq!(plan.fft_len(), 1 << 14);
+        assert_eq!(plan.segments().len(), 3);
+        // Contiguous tiling: each segment starts where the previous ended.
+        for pair in plan.segments().windows(2) {
+            let prev_hi = pair[0].center.hz() + pair[0].sample_rate / 2.0;
+            let next_lo = pair[1].center.hz() - pair[1].sample_rate / 2.0;
+            assert!((prev_hi - next_lo).abs() < 1e-6);
+        }
+        assert_eq!(plan.samples_per_sweep(), 3 << 14);
+    }
+
+    #[test]
+    fn segment_duration_is_inverse_resolution() {
+        let plan = SweepPlan::new(Hertz(0.0), Hertz::from_mhz(1.0), Hertz(50.0), 1 << 15);
+        let seg = plan.segments()[0];
+        assert!((seg.duration() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn inverted_band_panics() {
+        let _ = SweepPlan::new(Hertz(1e6), Hertz(0.0), Hertz(50.0), 1 << 15);
+    }
+}

@@ -1,0 +1,185 @@
+//! Power domains of the modeled system.
+//!
+//! The paper's central observation is that different *power domains* leak
+//! through different carriers: the core regulator is modulated by on-chip
+//! activity, the memory-interface and DRAM regulators by memory traffic,
+//! the refresh signal by DRAM utilization. The activity model therefore
+//! reports load per domain, not one global number.
+
+use std::fmt;
+use std::ops::{Add, Index, Mul};
+
+/// A power domain of the modeled machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// CPU cores (ALUs, L1/L2 caches, pipeline).
+    Core,
+    /// On-chip memory interface / memory controller (shared LLC traffic,
+    /// DDR PHY).
+    MemoryInterface,
+    /// The DRAM DIMMs themselves.
+    Dram,
+}
+
+impl Domain {
+    /// All domains, in a fixed order matching [`DomainLoads`] indexing.
+    pub const ALL: [Domain; 3] = [Domain::Core, Domain::MemoryInterface, Domain::Dram];
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Domain::Core => "core",
+            Domain::MemoryInterface => "memory-interface",
+            Domain::Dram => "dram",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Instantaneous normalized load (0 = idle, 1 = fully active) per domain.
+///
+/// # Examples
+///
+/// ```
+/// use fase_sysmodel::{Domain, DomainLoads};
+/// let a = DomainLoads::new(1.0, 0.2, 0.0);
+/// let b = DomainLoads::new(0.0, 0.6, 1.0);
+/// let mix = a * 0.5 + b * 0.5;
+/// assert!((mix[Domain::MemoryInterface] - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DomainLoads {
+    /// Core-domain load.
+    pub core: f64,
+    /// Memory-interface-domain load.
+    pub memory_interface: f64,
+    /// DRAM-domain load.
+    pub dram: f64,
+}
+
+impl DomainLoads {
+    /// Fully idle system.
+    pub const IDLE: DomainLoads = DomainLoads { core: 0.0, memory_interface: 0.0, dram: 0.0 };
+
+    /// Creates loads from explicit per-domain values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any load is negative or non-finite. Loads above 1.0 are
+    /// permitted (transient overshoot) but unusual.
+    pub fn new(core: f64, memory_interface: f64, dram: f64) -> DomainLoads {
+        for (name, v) in [("core", core), ("memory_interface", memory_interface), ("dram", dram)] {
+            assert!(v >= 0.0 && v.is_finite(), "{name} load must be finite and >= 0, got {v}");
+        }
+        DomainLoads { core, memory_interface, dram }
+    }
+
+    /// Load of a single domain.
+    pub fn get(&self, domain: Domain) -> f64 {
+        match domain {
+            Domain::Core => self.core,
+            Domain::MemoryInterface => self.memory_interface,
+            Domain::Dram => self.dram,
+        }
+    }
+
+    /// Element-wise maximum.
+    pub fn max(self, other: DomainLoads) -> DomainLoads {
+        DomainLoads {
+            core: self.core.max(other.core),
+            memory_interface: self.memory_interface.max(other.memory_interface),
+            dram: self.dram.max(other.dram),
+        }
+    }
+
+    /// Clamps every load into `[0, 1]`.
+    pub fn clamped(self) -> DomainLoads {
+        DomainLoads {
+            core: self.core.clamp(0.0, 1.0),
+            memory_interface: self.memory_interface.clamp(0.0, 1.0),
+            dram: self.dram.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Index<Domain> for DomainLoads {
+    type Output = f64;
+    fn index(&self, domain: Domain) -> &f64 {
+        match domain {
+            Domain::Core => &self.core,
+            Domain::MemoryInterface => &self.memory_interface,
+            Domain::Dram => &self.dram,
+        }
+    }
+}
+
+impl Add for DomainLoads {
+    type Output = DomainLoads;
+    fn add(self, rhs: DomainLoads) -> DomainLoads {
+        DomainLoads {
+            core: self.core + rhs.core,
+            memory_interface: self.memory_interface + rhs.memory_interface,
+            dram: self.dram + rhs.dram,
+        }
+    }
+}
+
+impl Mul<f64> for DomainLoads {
+    type Output = DomainLoads;
+    fn mul(self, k: f64) -> DomainLoads {
+        DomainLoads {
+            core: self.core * k,
+            memory_interface: self.memory_interface * k,
+            dram: self.dram * k,
+        }
+    }
+}
+
+impl fmt::Display for DomainLoads {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core={:.2} mem-if={:.2} dram={:.2}",
+            self.core, self.memory_interface, self.dram
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_matches_fields() {
+        let l = DomainLoads::new(0.1, 0.2, 0.3);
+        assert_eq!(l[Domain::Core], 0.1);
+        assert_eq!(l[Domain::MemoryInterface], 0.2);
+        assert_eq!(l[Domain::Dram], 0.3);
+        assert_eq!(l.get(Domain::Dram), 0.3);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = DomainLoads::new(0.5, 0.0, 1.0);
+        let b = DomainLoads::new(0.5, 1.0, 0.5);
+        let sum = a + b;
+        assert_eq!(sum, DomainLoads::new(1.0, 1.0, 1.5));
+        assert_eq!(sum.clamped(), DomainLoads::new(1.0, 1.0, 1.0));
+        assert_eq!(a * 2.0, DomainLoads::new(1.0, 0.0, 2.0));
+        assert_eq!(a.max(b), DomainLoads::new(0.5, 1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "core load")]
+    fn negative_load_panics() {
+        let _ = DomainLoads::new(-0.1, 0.0, 0.0);
+    }
+
+    #[test]
+    fn display() {
+        let text = format!("{}", DomainLoads::new(1.0, 0.25, 0.0));
+        assert_eq!(text, "core=1.00 mem-if=0.25 dram=0.00");
+        assert_eq!(format!("{}", Domain::MemoryInterface), "memory-interface");
+    }
+}

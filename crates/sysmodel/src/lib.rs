@@ -1,0 +1,51 @@
+//! # fase-sysmodel — the micro-architectural activity model
+//!
+//! The FASE paper drives real machines with the Figure 6 micro-benchmark;
+//! this crate is the corresponding substrate for the simulated
+//! reproduction. It models:
+//!
+//! * a set-associative [`cache`] hierarchy in front of DRAM,
+//! * the [`activity`] types (LDM, LDL2, LDL1, STM, ALU ops) and the
+//!   pointer-chase address generator whose `mask` selects the serving
+//!   level,
+//! * the X/Y [`microbench`] alternation with calibration to a target
+//!   `f_alt` and 50% duty cycle,
+//! * a [`machine`] that executes alternations into per-domain
+//!   [`trace::ActivityTrace`]s (with realistic phase-timing jitter), and
+//! * the DDR3 refresh scheduler ([`controller`]) whose postpone-and-catch-up
+//!   behaviour under load creates the paper's §4.2 refresh side channel.
+//!
+//! The EM simulator (`fase-emsim`) consumes the traces and refresh events
+//! produced here; nothing in this crate knows anything about EM.
+//!
+//! ## Example
+//!
+//! ```
+//! use fase_sysmodel::{ActivityPair, Machine};
+//! use fase_sysmodel::controller::{schedule_refreshes, RefreshConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut machine = Machine::core_i7();
+//! let bench = ActivityPair::LdmLdl1.calibrated(&mut machine, 43_300.0);
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let trace = machine.run_alternation(&bench, 1e-3, &mut rng);
+//! let refreshes = schedule_refreshes(&trace, &RefreshConfig::ddr3(), &mut rng);
+//! assert!(!refreshes.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activity;
+pub mod cache;
+pub mod controller;
+pub mod domains;
+pub mod machine;
+pub mod microbench;
+pub mod trace;
+
+pub use activity::Activity;
+pub use domains::{Domain, DomainLoads};
+pub use machine::{JitterConfig, Machine, MachineConfig};
+pub use microbench::{ActivityPair, Alternation};
+pub use trace::{ActivityTrace, RefreshEvent, Segment};

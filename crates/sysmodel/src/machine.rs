@@ -1,0 +1,377 @@
+//! The modeled machine: executes activities through the cache hierarchy and
+//! produces per-domain activity traces.
+//!
+//! Two fidelity levels cooperate:
+//!
+//! * **op-level profiling** runs each activity's real pointer-chase through
+//!   the tag arrays to measure per-operation latency, serving level and
+//!   per-domain load (with warmed caches, as in the steady state of the
+//!   paper's benchmark);
+//! * **phase-level trace generation** then emits one trace segment per X or
+//!   Y phase, with per-phase timing jitter — fast enough to simulate the
+//!   hundreds of milliseconds a full five-`f_alt` campaign needs.
+
+use crate::activity::{Activity, PointerChase};
+use crate::cache::MemoryHierarchy;
+use crate::domains::DomainLoads;
+use crate::microbench::Alternation;
+use crate::trace::ActivityTrace;
+use rand::Rng;
+
+/// Timing-jitter model for phase execution.
+///
+/// Real repetitions of a loop do not all take the same time; the paper
+/// (§2.1, Figure 2) notes there are often *several commonly-occurring
+/// execution times* due to contention. We model a Gaussian per-phase jitter
+/// plus an occasional discrete "contention stretch".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterConfig {
+    /// Relative standard deviation of per-phase duration (e.g. 0.004).
+    pub sigma_rel: f64,
+    /// Probability that a phase suffers a contention stall.
+    pub contention_prob: f64,
+    /// Relative stretch of a stalled phase (e.g. 0.10 = 10% longer).
+    pub contention_stretch: f64,
+}
+
+impl Default for JitterConfig {
+    fn default() -> JitterConfig {
+        JitterConfig { sigma_rel: 0.004, contention_prob: 0.03, contention_stretch: 0.10 }
+    }
+}
+
+impl JitterConfig {
+    /// A perfectly deterministic machine (useful in tests).
+    pub const NONE: JitterConfig = JitterConfig {
+        sigma_rel: 0.0,
+        contention_prob: 0.0,
+        contention_stretch: 0.0,
+    };
+}
+
+/// Static configuration of a modeled machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// CPU core clock in Hz.
+    pub clock_hz: f64,
+    /// Phase-timing jitter model.
+    pub jitter: JitterConfig,
+    /// Stride of the pointer chase in bytes (one cache line by default).
+    pub chase_stride: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig { clock_hz: 3.4e9, jitter: JitterConfig::default(), chase_stride: 64 }
+    }
+}
+
+/// Steady-state profile of one activity on a machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Mean seconds per operation (warm caches).
+    pub op_seconds: f64,
+    /// Latency-weighted mean per-domain load while the activity runs.
+    pub loads: DomainLoads,
+    /// Fraction of operations served by DRAM.
+    pub dram_fraction: f64,
+}
+
+/// A modeled machine: clock + cache hierarchy + jitter model.
+///
+/// # Examples
+///
+/// ```
+/// use fase_sysmodel::{Activity, Machine};
+/// let mut machine = Machine::core_i7();
+/// let ldm = machine.profile(Activity::LoadDram, 4096);
+/// let ldl1 = machine.profile(Activity::LoadL1, 4096);
+/// // DRAM loads are much slower and load the DRAM power domain.
+/// assert!(ldm.op_seconds > 10.0 * ldl1.op_seconds);
+/// assert!(ldm.loads.dram > 0.9 && ldl1.loads.dram < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    hierarchy: MemoryHierarchy,
+}
+
+impl Machine {
+    /// Creates a machine from explicit parts.
+    pub fn new(config: MachineConfig, hierarchy: MemoryHierarchy) -> Machine {
+        Machine { config, hierarchy }
+    }
+
+    /// The paper's Intel Core i7 desktop (3.4 GHz).
+    pub fn core_i7() -> Machine {
+        Machine::new(MachineConfig::default(), MemoryHierarchy::core_i7())
+    }
+
+    /// A laptop-class machine (2.2 GHz, smaller caches) used for the AMD
+    /// Turion X2 scene.
+    pub fn laptop() -> Machine {
+        Machine::new(
+            MachineConfig { clock_hz: 2.2e9, ..MachineConfig::default() },
+            MemoryHierarchy::laptop(),
+        )
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Measures the steady-state per-op latency and domain loads of an
+    /// activity by running `ops` operations with warmed caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is zero.
+    pub fn profile(&mut self, activity: Activity, ops: usize) -> KernelProfile {
+        assert!(ops > 0, "profiling requires at least one operation");
+        let cycle = 1.0 / self.config.clock_hz;
+
+        if let Some(alu_cycles) = activity.alu_latency_cycles() {
+            return KernelProfile {
+                op_seconds: alu_cycles as f64 * cycle,
+                loads: activity.domain_loads(None),
+                dram_fraction: 0.0,
+            };
+        }
+
+        let footprint = activity
+            .footprint_bytes(&self.hierarchy)
+            .expect("memory activity has a footprint");
+        let mut chase = PointerChase::new(0x4000_0000, footprint, self.config.chase_stride);
+
+        // Warm up: two full passes over the footprint.
+        let lines = footprint as u64 / self.config.chase_stride;
+        for _ in 0..2 * lines {
+            self.hierarchy.access(chase.next_address());
+        }
+
+        let mut total_cycles = 0u64;
+        let mut weighted = DomainLoads::IDLE;
+        let mut dram_ops = 0usize;
+        for _ in 0..ops {
+            let addr = chase.next_address();
+            let outcome = self.hierarchy.access(addr);
+            total_cycles += outcome.latency_cycles;
+            weighted = weighted
+                + activity.domain_loads(Some(outcome.level)) * (outcome.latency_cycles as f64);
+            if outcome.level == crate::cache::AccessLevel::Dram {
+                dram_ops += 1;
+            }
+        }
+        KernelProfile {
+            op_seconds: total_cycles as f64 * cycle / ops as f64,
+            loads: weighted * (1.0 / total_cycles as f64),
+            dram_fraction: dram_ops as f64 / ops as f64,
+        }
+    }
+
+    /// Runs the X/Y alternation for at least `duration` seconds and returns
+    /// the resulting activity trace (one segment per phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive.
+    pub fn run_alternation<R: Rng + ?Sized>(
+        &mut self,
+        bench: &Alternation,
+        duration: f64,
+        rng: &mut R,
+    ) -> ActivityTrace {
+        assert!(duration > 0.0, "duration must be positive");
+        let x = self.profile(bench.x(), bench.profile_ops());
+        let y = self.profile(bench.y(), bench.profile_ops());
+        let x_nominal = bench.x_count() as f64 * x.op_seconds;
+        let y_nominal = bench.y_count() as f64 * y.op_seconds;
+
+        let mut trace = ActivityTrace::new();
+        while trace.duration() < duration {
+            trace.push(self.jittered(x_nominal, rng), x.loads);
+            trace.push(self.jittered(y_nominal, rng), y.loads);
+        }
+        trace
+    }
+
+    /// Runs a bit-keyed activity pattern: each bit executes `one` (for 1)
+    /// or `zero` (for 0) for `bit_duration` seconds — the transmitter side
+    /// of an activity-keyed covert channel over an EM carrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or `bit_duration` is not positive.
+    pub fn run_bit_pattern<R: Rng + ?Sized>(
+        &mut self,
+        bits: &[bool],
+        bit_duration: f64,
+        one: Activity,
+        zero: Activity,
+        rng: &mut R,
+    ) -> ActivityTrace {
+        assert!(!bits.is_empty(), "bit pattern must be non-empty");
+        assert!(bit_duration > 0.0, "bit duration must be positive");
+        let p_one = self.profile(one, Alternation::PROFILE_OPS);
+        let p_zero = self.profile(zero, Alternation::PROFILE_OPS);
+        let mut trace = ActivityTrace::new();
+        for &bit in bits {
+            let profile = if bit { &p_one } else { &p_zero };
+            trace.push(self.jittered(bit_duration, rng), profile.loads);
+        }
+        trace
+    }
+
+    fn jittered<R: Rng + ?Sized>(&self, nominal: f64, rng: &mut R) -> f64 {
+        let j = self.config.jitter;
+        let mut d = nominal;
+        if j.sigma_rel > 0.0 {
+            d *= 1.0 + j.sigma_rel * fase_gaussian(rng);
+        }
+        if j.contention_prob > 0.0 && rng.gen::<f64>() < j.contention_prob {
+            d *= 1.0 + j.contention_stretch;
+        }
+        d.max(nominal * 0.5)
+    }
+}
+
+/// Box–Muller standard normal (local copy; `fase-sysmodel` deliberately does
+/// not depend on `fase-dsp`).
+fn fase_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microbench::Alternation;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profiles_order_by_level() {
+        let mut m = Machine::core_i7();
+        let l1 = m.profile(Activity::LoadL1, 2000);
+        let l2 = m.profile(Activity::LoadL2, 2000);
+        let llc = m.profile(Activity::LoadLlc, 2000);
+        let dram = m.profile(Activity::LoadDram, 2000);
+        assert!(l1.op_seconds < l2.op_seconds);
+        assert!(l2.op_seconds < llc.op_seconds);
+        assert!(llc.op_seconds < dram.op_seconds);
+        assert!(l1.dram_fraction < 0.01);
+        assert!(dram.dram_fraction > 0.99);
+    }
+
+    #[test]
+    fn alu_profiles_are_exact() {
+        let mut m = Machine::core_i7();
+        let add = m.profile(Activity::Add, 1);
+        assert!((add.op_seconds - 1.0 / 3.4e9).abs() < 1e-18);
+        assert_eq!(add.dram_fraction, 0.0);
+        assert_eq!(add.loads.dram, 0.0);
+    }
+
+    #[test]
+    fn l2_activity_hits_l2_not_dram() {
+        let mut m = Machine::core_i7();
+        let p = m.profile(Activity::LoadL2, 4000);
+        // Expected latency ≈ L2 hit (12 cycles) with some L1 hits mixed in
+        // at the footprint wrap; definitely below LLC latency.
+        let cycles = p.op_seconds * 3.4e9;
+        assert!((4.0..=14.0).contains(&cycles), "L2 op = {cycles} cycles");
+        assert!(p.dram_fraction < 0.01);
+        assert_eq!(p.loads.dram, 0.0);
+    }
+
+    #[test]
+    fn alternation_trace_has_two_level_loads() {
+        let mut m = Machine::core_i7();
+        let bench = Alternation::calibrated(
+            &mut m,
+            Activity::LoadDram,
+            Activity::LoadL1,
+            43_300.0,
+        );
+        let mut rng = SmallRng::seed_from_u64(2);
+        let trace = m.run_alternation(&bench, 2e-3, &mut rng);
+        assert!(trace.len() > 100);
+        // Alternating dram loads: even segments busy, odd idle.
+        let segs = trace.segments();
+        assert!(segs[0].loads.dram > 0.9);
+        assert!(segs[1].loads.dram < 0.05);
+        assert!(segs[2].loads.dram > 0.9);
+    }
+
+    #[test]
+    fn alternation_period_matches_target() {
+        let mut m = Machine::core_i7();
+        let f_alt = 43_300.0;
+        let bench =
+            Alternation::calibrated(&mut m, Activity::LoadDram, Activity::LoadL1, f_alt);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trace = m.run_alternation(&bench, 10e-3, &mut rng);
+        // Mean alternation period = trace duration / number of X/Y pairs.
+        let pairs = trace.len() as f64 / 2.0;
+        let period = trace.duration() / pairs;
+        let measured_f = 1.0 / period;
+        assert!(
+            (measured_f - f_alt).abs() / f_alt < 0.03,
+            "measured f_alt {measured_f}"
+        );
+    }
+
+    #[test]
+    fn jitter_none_is_deterministic() {
+        let mut m = Machine::core_i7();
+        m.config.jitter = JitterConfig::NONE;
+        let bench =
+            Alternation::calibrated(&mut m, Activity::LoadL2, Activity::LoadL1, 100_000.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trace = m.run_alternation(&bench, 1e-3, &mut rng);
+        let d0 = trace.segments()[0].duration;
+        let d2 = trace.segments()[2].duration;
+        assert_eq!(d0, d2);
+    }
+
+    #[test]
+    fn bit_pattern_trace_follows_bits() {
+        let mut m = Machine::core_i7();
+        let bits = [true, false, true, true, false];
+        let mut rng = SmallRng::seed_from_u64(6);
+        let trace =
+            m.run_bit_pattern(&bits, 100e-6, Activity::LoadDram, Activity::LoadL1, &mut rng);
+        assert_eq!(trace.len(), bits.len());
+        for (seg, &bit) in trace.segments().iter().zip(&bits) {
+            if bit {
+                assert!(seg.loads.dram > 0.9, "1-bit must light DRAM");
+            } else {
+                assert!(seg.loads.dram < 0.05, "0-bit must idle DRAM");
+            }
+            assert!((seg.duration - 100e-6).abs() < 20e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_bit_pattern_panics() {
+        let mut m = Machine::core_i7();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let _ = m.run_bit_pattern(&[], 1e-4, Activity::LoadDram, Activity::LoadL1, &mut rng);
+    }
+
+    #[test]
+    fn jitter_produces_duration_spread() {
+        let mut m = Machine::core_i7();
+        let bench =
+            Alternation::calibrated(&mut m, Activity::LoadL2, Activity::LoadL1, 100_000.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let trace = m.run_alternation(&bench, 5e-3, &mut rng);
+        let durations: Vec<f64> = trace.segments().iter().step_by(2).map(|s| s.duration).collect();
+        let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+        let spread = durations.iter().map(|d| (d - mean).abs()).fold(0.0, f64::max);
+        assert!(spread > 0.0, "expected jitter to vary phase durations");
+    }
+}

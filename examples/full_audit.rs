@@ -1,0 +1,25 @@
+//! The complete auditor workflow in one call: both activity-pair
+//! campaigns, classification, and leakage quantification.
+//!
+//! ```sh
+//! cargo run --release --example full_audit
+//! ```
+
+use fase::audit::audit_system;
+use fase::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let audit = audit_system(
+        || SimulatedSystem::intel_i7_desktop(42),
+        Hertz::from_khz(60.0),
+        Hertz::from_mhz(2.0),
+        Hertz(100.0),
+        7,
+    )?;
+    println!("{audit}");
+    println!(
+        "worst-case leakage bound: {:.0} kbit/s",
+        audit.worst_leakage_bps().unwrap_or(0.0) / 1e3
+    );
+    Ok(())
+}
