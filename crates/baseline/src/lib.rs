@@ -20,5 +20,5 @@
 pub mod amc;
 pub mod pair_finder;
 
-pub use amc::{classify_am, AmcConfig, AmDetection};
+pub use amc::{classify_am, AmDetection, AmcConfig};
 pub use pair_finder::{find_pairs, PairDetection, PairFinderConfig};

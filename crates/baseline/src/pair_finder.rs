@@ -154,7 +154,10 @@ mod tests {
         // carrier+side-band pair is 1·f_alt apart, not 2·f_alt.)
         let s = spectrum_with(&[(1000, -100.0), (1200, -120.0)], 2001);
         let found = find_pairs(&s, Hertz(20_000.0), &PairFinderConfig::default());
-        assert!(found.is_empty(), "should miss with one side-band: {found:?}");
+        assert!(
+            found.is_empty(),
+            "should miss with one side-band: {found:?}"
+        );
     }
 
     #[test]

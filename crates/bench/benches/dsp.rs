@@ -1,7 +1,7 @@
 //! DSP substrate performance: FFT (radix-2 and Bluestein), windows, peak
-//! detection.
+//! detection. Run with `cargo bench --bench dsp`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fase_bench::harness::BenchReport;
 use fase_dsp::peaks::{find_peaks, PeakConfig};
 use fase_dsp::{Complex64, FftPlan, Window};
 use std::hint::black_box;
@@ -15,40 +15,34 @@ fn signal(n: usize) -> Vec<Complex64> {
         .collect()
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft");
+fn bench_fft(report: &mut BenchReport) {
     for &n in &[4096usize, 65536, 131072] {
         let plan = FftPlan::new(n);
         let data = signal(n);
-        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
-            b.iter(|| {
-                let mut buf = data.clone();
-                plan.forward(&mut buf);
-                black_box(buf[0]);
-            });
+        report.run(&format!("fft_radix2_{n}"), 3, 20, || {
+            let mut buf = data.clone();
+            plan.forward(&mut buf);
+            black_box(buf[0]);
         });
     }
     // Bluestein path (non power of two).
     let n = 100_000usize;
     let plan = FftPlan::new(n);
     let data = signal(n);
-    group.bench_function("bluestein_100k", |b| {
-        b.iter(|| {
-            let mut buf = data.clone();
-            plan.forward(&mut buf);
-            black_box(buf[0]);
-        });
-    });
-    group.finish();
-}
-
-fn bench_window(c: &mut Criterion) {
-    c.bench_function("blackman_harris_131072", |b| {
-        b.iter(|| black_box(Window::BlackmanHarris.coefficients(131072)));
+    report.run("fft_bluestein_100k", 2, 20, || {
+        let mut buf = data.clone();
+        plan.forward(&mut buf);
+        black_box(buf[0]);
     });
 }
 
-fn bench_welch_and_ridge(c: &mut Criterion) {
+fn bench_window(report: &mut BenchReport) {
+    report.run("blackman_harris_131072", 2, 20, || {
+        black_box(Window::BlackmanHarris.coefficients(131072));
+    });
+}
+
+fn bench_welch_and_ridge(report: &mut BenchReport) {
     use fase_dsp::demod::ridge_track;
     use fase_dsp::welch::{welch_psd, WelchConfig};
     use fase_dsp::Hertz;
@@ -57,21 +51,19 @@ fn bench_welch_and_ridge(c: &mut Criterion) {
     let iq: Vec<Complex64> = (0..n)
         .map(|i| Complex64::cis(0.3 * i as f64) + signal(1)[0].scale(1e-3))
         .collect();
-    c.bench_function("welch_psd_64k", |b| {
-        b.iter(|| {
-            black_box(
-                welch_psd(&iq, Hertz(0.0), fs, &WelchConfig::default())
-                    .unwrap()
-                    .len(),
-            )
-        });
+    report.run("welch_psd_64k", 2, 20, || {
+        black_box(
+            welch_psd(&iq, Hertz(0.0), fs, &WelchConfig::default())
+                .unwrap()
+                .len(),
+        );
     });
-    c.bench_function("ridge_track_64k", |b| {
-        b.iter(|| black_box(ridge_track(&iq, fs, 64, 32, Window::Hann).len()));
+    report.run("ridge_track_64k", 2, 20, || {
+        black_box(ridge_track(&iq, fs, 64, 32, Window::Hann).len());
     });
 }
 
-fn bench_peaks(c: &mut Criterion) {
+fn bench_peaks(report: &mut BenchReport) {
     let mut xs = vec![1.0f64; 80_000];
     for (i, x) in xs.iter_mut().enumerate() {
         *x += 0.1 * (((i * 2654435761) % 997) as f64 / 997.0);
@@ -80,14 +72,15 @@ fn bench_peaks(c: &mut Criterion) {
         xs[k * 4_000] = 30.0;
     }
     let cfg = PeakConfig::default();
-    c.bench_function("find_peaks_80k_bins", |b| {
-        b.iter(|| black_box(find_peaks(&xs, &cfg)));
+    report.run("find_peaks_80k_bins", 2, 20, || {
+        black_box(find_peaks(&xs, &cfg));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_fft, bench_window, bench_peaks, bench_welch_and_ridge
+fn main() {
+    let mut report = BenchReport::new();
+    bench_fft(&mut report);
+    bench_window(&mut report);
+    bench_peaks(&mut report);
+    bench_welch_and_ridge(&mut report);
 }
-criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! FASE methodology performance: the Eq. (1)/(2) scan over a paper-sized
-//! 80,000-bin campaign, and the full detection pipeline.
+//! 80,000-bin campaign, and the full detection pipeline. Run with
+//! `cargo bench --bench heuristic`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fase_bench::harness::BenchReport;
 use fase_core::heuristic::{all_harmonic_scores, campaign_from_spectra, harmonic_scores};
 use fase_core::{CampaignConfig, CampaignSpectra, Fase, HeuristicConfig};
 use fase_dsp::{Hertz, Spectrum};
@@ -28,28 +29,18 @@ fn paper_sized_campaign() -> CampaignSpectra {
     campaign_from_spectra(config, spectra).unwrap()
 }
 
-fn bench_heuristic(c: &mut Criterion) {
+fn main() {
     let campaign = paper_sized_campaign();
     let cfg = HeuristicConfig::default();
-    c.bench_function("harmonic_scores_80k_bins", |b| {
-        b.iter(|| black_box(harmonic_scores(&campaign, 1, &cfg)));
+    let mut report = BenchReport::new();
+    report.run("harmonic_scores_80k_bins", 2, 15, || {
+        black_box(harmonic_scores(&campaign, 1, &cfg));
     });
-    c.bench_function("all_harmonics_scores_80k_bins", |b| {
-        b.iter(|| black_box(all_harmonic_scores(&campaign, 5, &cfg)));
+    report.run("all_harmonics_scores_80k_bins", 2, 15, || {
+        black_box(all_harmonic_scores(&campaign, 5, &cfg));
     });
-}
-
-fn bench_full_analysis(c: &mut Criterion) {
-    let campaign = paper_sized_campaign();
     let fase = Fase::default();
-    c.bench_function("fase_analyze_80k_bins", |b| {
-        b.iter(|| black_box(fase.analyze(&campaign).unwrap().len()));
+    report.run("fase_analyze_80k_bins", 2, 15, || {
+        black_box(fase.analyze(&campaign).unwrap().len());
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_heuristic, bench_full_analysis
-}
-criterion_main!(benches);

@@ -1,59 +1,109 @@
-//! End-to-end simulation performance: scene rendering, a single capture,
-//! and a small complete campaign.
+//! End-to-end simulation performance: scene rendering in both synthesis
+//! modes, spectrum transformation, and a complete wide-band campaign run
+//! through the capture-task pool vs the per-sample reference path on a
+//! single thread. Run with `cargo bench --bench pipeline`.
+//!
+//! Writes `BENCH_pipeline.json` at the repo root recording every timing
+//! plus the derived `campaign_speedup` (exact single-thread median over
+//! fast pooled median) — the headline number of the performance overhaul.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fase_bench::harness::BenchReport;
 use fase_core::CampaignConfig;
 use fase_dsp::Hertz;
-use fase_emsim::{CaptureWindow, RenderCtx, SimulatedSystem};
-use fase_specan::{CampaignRunner, SpectrumAnalyzer};
+use fase_emsim::{CaptureWindow, RenderCtx, SimulatedSystem, SynthMode};
+use fase_specan::{run_campaign_with_options, CampaignOptions, SpectrumAnalyzer};
 use fase_sysmodel::{ActivityPair, Machine};
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_scene_render(c: &mut Criterion) {
+/// The e2e workload: a render-heavy slice of the paper's campaign — the
+/// upper 1–4 MHz of the 0–4 MHz band at 125 Hz resolution, two
+/// alternation frequencies, four averages per spectrum.
+fn campaign_config() -> CampaignConfig {
+    CampaignConfig::builder()
+        .band(Hertz::from_mhz(1.0), Hertz::from_mhz(4.0))
+        .resolution(Hertz(125.0))
+        .alternation(Hertz::from_khz(30.0), Hertz::from_khz(2.0), 2)
+        .averages(4)
+        .build()
+        .unwrap()
+}
+
+fn bench_scene_render(report: &mut BenchReport) {
     let mut system = SimulatedSystem::intel_i7_desktop(1);
     let window = CaptureWindow::new(Hertz::from_mhz(2.0), 4.0e6, 1 << 14, 0.0);
     let mut machine = Machine::core_i7();
     let bench = ActivityPair::LdmLdl1.calibrated(&mut machine, 43_300.0);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    let mut rng = fase_dsp::rng::SmallRng::seed_from_u64(2);
     let trace = machine.run_alternation(&bench, window.duration().secs(), &mut rng);
-    let ctx = RenderCtx::new(&trace, &[], &window);
-    c.bench_function("scene_render_16k_samples", |b| {
-        b.iter(|| black_box(system.scene.render(&window, &ctx).len()));
-    });
+    for (name, mode) in [
+        ("scene_render_16k_fast", SynthMode::Fast),
+        ("scene_render_16k_exact", SynthMode::Exact),
+    ] {
+        let ctx = RenderCtx::new(&trace, &[], &window).with_mode(mode);
+        report.run(name, 2, 15, || {
+            black_box(system.scene.render(&window, &ctx).len());
+        });
+    }
 }
 
-fn bench_analyzer(c: &mut Criterion) {
+fn bench_analyzer(report: &mut BenchReport) {
     let mut system = SimulatedSystem::intel_i7_desktop(1);
     let window = CaptureWindow::new(Hertz::from_mhz(2.0), 4.0e6, 1 << 16, 0.0);
     let ctx = RenderCtx::idle(&window);
     let iq = system.scene.render(&window, &ctx);
     let analyzer = SpectrumAnalyzer::default();
-    c.bench_function("analyzer_spectrum_64k", |b| {
-        b.iter(|| black_box(analyzer.spectrum(&window, &iq).unwrap().len()));
+    report.run("analyzer_spectrum_64k", 2, 15, || {
+        black_box(analyzer.spectrum(&window, &iq).unwrap().len());
     });
 }
 
-fn bench_small_campaign(c: &mut Criterion) {
-    let config = CampaignConfig::builder()
-        .band(Hertz::from_khz(290.0), Hertz::from_khz(340.0))
-        .resolution(Hertz(500.0))
-        .alternation(Hertz::from_khz(30.0), Hertz::from_khz(2.0), 3)
-        .averages(1)
-        .build()
-        .unwrap();
-    c.bench_function("small_campaign_end_to_end", |b| {
-        b.iter(|| {
-            let system = SimulatedSystem::intel_i7_desktop(1);
-            let mut runner = CampaignRunner::new(system, ActivityPair::LdmLdl1, 3);
-            black_box(runner.run(&config).unwrap().len())
-        });
-    });
+/// One full campaign through the pooled executor with the given options.
+fn run_campaign(config: &CampaignConfig, options: CampaignOptions) {
+    let spectra = run_campaign_with_options(
+        config,
+        ActivityPair::LdmLdl1,
+        |_| SimulatedSystem::intel_i7_desktop(1),
+        3,
+        options,
+    )
+    .unwrap();
+    black_box(spectra.len());
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_scene_render, bench_analyzer, bench_small_campaign
+fn main() {
+    let mut report = BenchReport::new();
+    bench_scene_render(&mut report);
+    bench_analyzer(&mut report);
+
+    let config = campaign_config();
+    // Baseline: the per-sample reference synthesis pinned to one worker —
+    // what every capture cost before the overhaul.
+    report.run("campaign_e2e_exact_single_thread", 1, 5, || {
+        run_campaign(
+            &config,
+            CampaignOptions {
+                threads: Some(1),
+                synth_mode: SynthMode::Exact,
+                ..CampaignOptions::default()
+            },
+        );
+    });
+    // Overhauled pipeline: phasor-recurrence synthesis on the capture-task
+    // pool with its default (machine-sized, `FASE_THREADS`-overridable)
+    // worker count.
+    report.run("campaign_e2e_fast_pool", 1, 5, || {
+        run_campaign(&config, CampaignOptions::default());
+    });
+
+    let exact = report
+        .get("campaign_e2e_exact_single_thread")
+        .unwrap()
+        .median_ns;
+    let fast = report.get("campaign_e2e_fast_pool").unwrap().median_ns;
+    let speedup = exact / fast;
+    println!("campaign speedup (exact 1-thread / fast pool): {speedup:.2}x");
+    // Anchor to the workspace root regardless of the bench's working dir.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, report.to_json(&[("campaign_speedup", speedup)]))
+        .expect("write BENCH_pipeline.json");
 }
-criterion_main!(benches);

@@ -31,7 +31,11 @@ fn score(report: &FaseReport) -> (usize, usize) {
             (f - k * base).abs() < 1_500.0 && k <= 32.0
         })
     };
-    let genuine = report.carriers().iter().filter(|c| is_genuine(c.frequency().hz())).count();
+    let genuine = report
+        .carriers()
+        .iter()
+        .filter(|c| is_genuine(c.frequency().hz()))
+        .count();
     let false_carriers = report.len() - genuine;
     (genuine, false_carriers)
 }
@@ -50,18 +54,57 @@ fn main() {
     let spectra = runner.run(&config).expect("campaign");
 
     let variants = [
-        Variant { name: "full detector (defaults)", search_bins: 3, min_support: 3, require_first: true, max_sideband_excess_db: 3.0 },
-        Variant { name: "no windowed-max search", search_bins: 0, min_support: 3, require_first: true, max_sideband_excess_db: 3.0 },
-        Variant { name: "no support gate", search_bins: 3, min_support: 1, require_first: true, max_sideband_excess_db: 3.0 },
-        Variant { name: "no first-harmonic requirement", search_bins: 3, min_support: 3, require_first: false, max_sideband_excess_db: 3.0 },
-        Variant { name: "no side-band-excess filter", search_bins: 3, min_support: 3, require_first: true, max_sideband_excess_db: 1e9 },
-        Variant { name: "everything off", search_bins: 0, min_support: 1, require_first: false, max_sideband_excess_db: 1e9 },
+        Variant {
+            name: "full detector (defaults)",
+            search_bins: 3,
+            min_support: 3,
+            require_first: true,
+            max_sideband_excess_db: 3.0,
+        },
+        Variant {
+            name: "no windowed-max search",
+            search_bins: 0,
+            min_support: 3,
+            require_first: true,
+            max_sideband_excess_db: 3.0,
+        },
+        Variant {
+            name: "no support gate",
+            search_bins: 3,
+            min_support: 1,
+            require_first: true,
+            max_sideband_excess_db: 3.0,
+        },
+        Variant {
+            name: "no first-harmonic requirement",
+            search_bins: 3,
+            min_support: 3,
+            require_first: false,
+            max_sideband_excess_db: 3.0,
+        },
+        Variant {
+            name: "no side-band-excess filter",
+            search_bins: 3,
+            min_support: 3,
+            require_first: true,
+            max_sideband_excess_db: 1e9,
+        },
+        Variant {
+            name: "everything off",
+            search_bins: 0,
+            min_support: 1,
+            require_first: false,
+            max_sideband_excess_db: 1e9,
+        },
     ];
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for v in &variants {
         let fase = Fase::new(FaseConfig {
-            heuristic: HeuristicConfig { search_bins: v.search_bins, ..Default::default() },
+            heuristic: HeuristicConfig {
+                search_bins: v.search_bins,
+                ..Default::default()
+            },
             detector: DetectorConfig {
                 min_support: v.min_support,
                 require_first_harmonic: v.require_first,
@@ -73,7 +116,11 @@ fn main() {
         let report = fase.analyze(&spectra).expect("analysis");
         let (genuine, false_carriers) = score(&report);
         results.push((genuine, false_carriers));
-        rows.push(vec![v.name.to_owned(), genuine.to_string(), false_carriers.to_string()]);
+        rows.push(vec![
+            v.name.to_owned(),
+            genuine.to_string(),
+            false_carriers.to_string(),
+        ]);
     }
     print_table(
         "detector ablations (i7, 60 kHz - 2 MHz, LDM/LDL1, shared spectra)",
@@ -81,7 +128,10 @@ fn main() {
         &rows,
     );
     let (base_genuine, base_false) = results[0];
-    assert!(base_genuine >= 3, "baseline must find the modulated families");
+    assert!(
+        base_genuine >= 3,
+        "baseline must find the modulated families"
+    );
     assert_eq!(base_false, 0, "baseline must be clean");
     let worst_false = results.iter().map(|r| r.1).max().unwrap();
     println!(

@@ -2,8 +2,8 @@
 //! generic AM classifier versus FASE, on the same captured spectra, scored
 //! against scene ground truth.
 
-use fase_bench::print_table;
 use fase_baseline::{classify_am, find_pairs, AmcConfig, PairFinderConfig};
+use fase_bench::print_table;
 use fase_core::{CampaignConfig, Fase};
 use fase_dsp::Hertz;
 use fase_emsim::{SimulatedSystem, SourceKind};
@@ -29,7 +29,10 @@ fn main() {
         .iter()
         .filter(|s| {
             s.modulated_by.is_some()
-                && matches!(s.kind, SourceKind::SwitchingRegulator | SourceKind::MemoryRefresh)
+                && matches!(
+                    s.kind,
+                    SourceKind::SwitchingRegulator | SourceKind::MemoryRefresh
+                )
                 && s.modulated_by != Some(fase_sysmodel::Domain::Core)
         })
         .map(|s| s.fundamental.hz())
@@ -43,7 +46,11 @@ fn main() {
 
     // FASE.
     let report = Fase::default().analyze(&spectra).expect("analysis");
-    let fase_hits = report.carriers().iter().filter(|c| is_genuine(c.frequency())).count();
+    let fase_hits = report
+        .carriers()
+        .iter()
+        .filter(|c| is_genuine(c.frequency()))
+        .count();
     let fase_fp = report.len() - fase_hits;
 
     // Naive pair finder on the f_alt1 spectrum.
@@ -59,17 +66,38 @@ fn main() {
     let amc_fp = amc.len() - amc_hits;
 
     let rows = vec![
-        vec!["FASE (5 x f_alt campaign)".into(), report.len().to_string(), fase_hits.to_string(), fase_fp.to_string()],
-        vec!["naive 2·f_alt pair finder".into(), pairs.len().to_string(), pair_hits.to_string(), pair_fp.to_string()],
-        vec!["generic AM classifier".into(), amc.len().to_string(), amc_hits.to_string(), amc_fp.to_string()],
+        vec![
+            "FASE (5 x f_alt campaign)".into(),
+            report.len().to_string(),
+            fase_hits.to_string(),
+            fase_fp.to_string(),
+        ],
+        vec![
+            "naive 2·f_alt pair finder".into(),
+            pairs.len().to_string(),
+            pair_hits.to_string(),
+            pair_fp.to_string(),
+        ],
+        vec![
+            "generic AM classifier".into(),
+            amc.len().to_string(),
+            amc_hits.to_string(),
+            amc_fp.to_string(),
+        ],
     ];
     print_table(
         "detector comparison (i7, LDM/LDL1, 60 kHz - 2 MHz)",
         &["method", "reported", "genuine", "false positives"],
         &rows,
     );
-    println!("\nFASE false positives: {fase_fp}; baseline false positives: {} / {}", pair_fp, amc_fp);
+    println!(
+        "\nFASE false positives: {fase_fp}; baseline false positives: {} / {}",
+        pair_fp, amc_fp
+    );
     assert_eq!(fase_fp, 0, "FASE reported a false carrier");
-    assert!(pair_fp > 0 || amc_fp > 0, "baselines were expected to misfire");
+    assert!(
+        pair_fp > 0 || amc_fp > 0,
+        "baselines were expected to misfire"
+    );
     println!("PASS: FASE clean; baselines misfire as the paper describes.");
 }

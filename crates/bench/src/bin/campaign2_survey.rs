@@ -12,7 +12,7 @@ use fase_sysmodel::ActivityPair;
 
 fn main() {
     let config = CampaignConfig::paper_0_120mhz();
-    println!("running {config} (parallel measurement threads; this is the big one)…");
+    println!("running {config} (pooled capture tasks; this is the big one)…");
     let spectra = fase_specan::run_campaign_parallel(
         &config,
         ActivityPair::LdmLdl1,
@@ -54,6 +54,9 @@ fn main() {
     );
     println!("  carriers reported above 20 MHz (nothing lives there): {high_band_false}");
     assert!(regulator, "the regulator family must be found");
-    assert_eq!(high_band_false, 0, "the quiet 20-120 MHz region must stay clean");
+    assert_eq!(
+        high_band_false, 0,
+        "the quiet 20-120 MHz region must stay clean"
+    );
     println!("PASS: campaign 2 scales to 240k bins with a clean high band.");
 }

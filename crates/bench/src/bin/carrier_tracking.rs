@@ -33,8 +33,16 @@ fn main() {
     println!(
         "tracked {} frames; carrier wanders {:.0}..{:.0} kHz around 332.85 MHz",
         ridge.len(),
-        ridge.iter().map(|p| p.frequency_offset).fold(f64::MAX, f64::min) / 1e3,
-        ridge.iter().map(|p| p.frequency_offset).fold(f64::MIN, f64::max) / 1e3,
+        ridge
+            .iter()
+            .map(|p| p.frequency_offset)
+            .fold(f64::MAX, f64::min)
+            / 1e3,
+        ridge
+            .iter()
+            .map(|p| p.frequency_offset)
+            .fold(f64::MIN, f64::max)
+            / 1e3,
     );
 
     // The demodulated ridge amplitude is the memory-activity readout.
@@ -73,6 +81,11 @@ fn main() {
     write_csv(
         "carrier_tracking.csv",
         "time_s,freq_offset_hz,amplitude",
-        ridge.iter().map(|p| format!("{:.6},{:.1},{:.3e}", p.time, p.frequency_offset, p.amplitude)),
+        ridge.iter().map(|p| {
+            format!(
+                "{:.6},{:.1},{:.3e}",
+                p.time, p.frequency_offset, p.amplitude
+            )
+        }),
     );
 }

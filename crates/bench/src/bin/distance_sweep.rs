@@ -44,8 +44,11 @@ fn main() {
         let spectra = runner.run(&config).expect("campaign");
         let report = Fase::default().analyze(&spectra).expect("analysis");
         let near = |f: f64| report.carrier_near(Hertz(f), Hertz(2_000.0)).is_some();
-        let (reg, memif, refresh) =
-            (near(315_660.0), near(522_070.0), near(512_000.0) || near(640_000.0));
+        let (reg, memif, refresh) = (
+            near(315_660.0),
+            near(522_070.0),
+            near(512_000.0) || near(640_000.0),
+        );
         if i == 0 {
             baseline_ok = reg && memif;
         }
@@ -56,14 +59,26 @@ fn main() {
             memif.to_string(),
             refresh.to_string(),
         ]);
-        csv.push(format!("{r},{loss:.1},{},{},{}", reg as u8, memif as u8, refresh as u8));
+        csv.push(format!(
+            "{r},{loss:.1},{},{},{}",
+            reg as u8, memif as u8, refresh as u8
+        ));
     }
     print_table(
         "detection vs. receiver distance (near-field 1/r^3 scaling)",
-        &["distance", "extra loss", "DRAM regulator", "mem-if regulator", "refresh"],
+        &[
+            "distance",
+            "extra loss",
+            "DRAM regulator",
+            "mem-if regulator",
+            "refresh",
+        ],
         &rows,
     );
-    assert!(baseline_ok, "the 30 cm baseline must detect both regulators");
+    assert!(
+        baseline_ok,
+        "the 30 cm baseline must detect both regulators"
+    );
     println!("\n(The regulators survive to ~0.6 m with this receiver; the refresh comb's");
     println!("strong harmonics live outside this 250-700 kHz window even at 30 cm —");
     println!("detection range depends on the carrier, as the paper's threat model implies.)");

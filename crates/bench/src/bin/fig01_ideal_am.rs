@@ -20,8 +20,15 @@ fn main() {
         0.0,
         1,
     );
-    let spectrum = SpectrumAnalyzer::default().spectrum(&window, &iq).expect("spectrum");
-    plot_spectrum("Figure 1: ideal carrier, sinusoidal modulation (dBm)", &spectrum, 72, 12);
+    let spectrum = SpectrumAnalyzer::default()
+        .spectrum(&window, &iq)
+        .expect("spectrum");
+    plot_spectrum(
+        "Figure 1: ideal carrier, sinusoidal modulation (dBm)",
+        &spectrum,
+        72,
+        12,
+    );
 
     // The defining structure: carrier and two side-bands m/2 down (−12 dB
     // for m = 0.5), nothing else.
@@ -30,7 +37,11 @@ fn main() {
     let upper = level(Hertz(fc.hz() + f_alt.hz()));
     let lower = level(Hertz(fc.hz() - f_alt.hz()));
     println!("\ncarrier {carrier:.1} dBm, side-bands {lower:.1} / {upper:.1} dBm");
-    println!("expected side-band offset: {:.1} dB (measured {:.1} / {:.1})",
-        20.0 * (m / 2.0f64).log10(), lower - carrier, upper - carrier);
+    println!(
+        "expected side-band offset: {:.1} dB (measured {:.1} / {:.1})",
+        20.0 * (m / 2.0f64).log10(),
+        lower - carrier,
+        upper - carrier
+    );
     write_spectra_csv("fig01_ideal_am.csv", &["spectrum"], &[&spectrum]);
 }

@@ -8,7 +8,6 @@ use fase_dsp::Hertz;
 use fase_emsim::CaptureWindow;
 use fase_specan::SpectrumAnalyzer;
 use fase_sysmodel::{ActivityPair, Domain, Machine};
-use rand::SeedableRng;
 
 fn main() {
     let fc = Hertz::from_khz(500.0);
@@ -20,7 +19,7 @@ fn main() {
     // Real program activity from the machine model.
     let mut machine = Machine::core_i7();
     let bench = ActivityPair::LdmLdl1.calibrated(&mut machine, f_alt);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    let mut rng = fase_dsp::rng::SmallRng::seed_from_u64(2);
     let trace = machine.run_alternation(&bench, n as f64 / fs, &mut rng);
     let load = trace.rasterize(Domain::Dram, fs, n);
 
@@ -31,8 +30,15 @@ fn main() {
         0.0,
         3,
     );
-    let spectrum = SpectrumAnalyzer::default().spectrum(&window, &iq).expect("spectrum");
-    plot_spectrum("Figure 2: ideal carrier, program-activity modulation (dBm)", &spectrum, 72, 12);
+    let spectrum = SpectrumAnalyzer::default()
+        .spectrum(&window, &iq)
+        .expect("spectrum");
+    plot_spectrum(
+        "Figure 2: ideal carrier, program-activity modulation (dBm)",
+        &spectrum,
+        72,
+        12,
+    );
     println!("\nside-bands now carry the activity spectrum: a dominant spike at");
     println!("f_c ± f_alt plus bumps from the other commonly-occurring repetition times.");
     write_spectra_csv("fig02_program_am.csv", &["spectrum"], &[&spectrum]);

@@ -19,8 +19,15 @@ fn main() {
         300.0, // RC-oscillator line width
         4,
     );
-    let spectrum = SpectrumAnalyzer::default().spectrum(&window, &iq).expect("spectrum");
-    plot_spectrum("Figure 3: non-ideal carrier, sinusoidal modulation (dBm)", &spectrum, 72, 12);
+    let spectrum = SpectrumAnalyzer::default()
+        .spectrum(&window, &iq)
+        .expect("spectrum");
+    plot_spectrum(
+        "Figure 3: non-ideal carrier, sinusoidal modulation (dBm)",
+        &spectrum,
+        72,
+        12,
+    );
     println!("\nthe side-bands at f_c ± f_alt inherit the carrier's spread even though");
     println!("f_alt itself is perfectly stable (paper §2.1).");
     write_spectra_csv("fig03_jittered_carrier.csv", &["spectrum"], &[&spectrum]);

@@ -7,7 +7,6 @@ use fase_dsp::Hertz;
 use fase_emsim::CaptureWindow;
 use fase_specan::SpectrumAnalyzer;
 use fase_sysmodel::{ActivityPair, Domain, Machine};
-use rand::SeedableRng;
 
 fn main() {
     let fc = Hertz::from_khz(500.0);
@@ -16,7 +15,7 @@ fn main() {
     let window = CaptureWindow::new(fc, fs, n, 0.0);
     let mut machine = Machine::core_i7();
     let bench = ActivityPair::LdmLdl1.calibrated(&mut machine, 10_000.0);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let mut rng = fase_dsp::rng::SmallRng::seed_from_u64(5);
     let trace = machine.run_alternation(&bench, n as f64 / fs, &mut rng);
     let load = trace.rasterize(Domain::Dram, fs, n);
     let iq = synthetic_carrier_capture(
@@ -26,7 +25,14 @@ fn main() {
         300.0,
         6,
     );
-    let spectrum = SpectrumAnalyzer::default().spectrum(&window, &iq).expect("spectrum");
-    plot_spectrum("Figure 4: non-ideal carrier, program-activity modulation (dBm)", &spectrum, 72, 12);
+    let spectrum = SpectrumAnalyzer::default()
+        .spectrum(&window, &iq)
+        .expect("spectrum");
+    plot_spectrum(
+        "Figure 4: non-ideal carrier, program-activity modulation (dBm)",
+        &spectrum,
+        72,
+        12,
+    );
     write_spectra_csv("fig04_nonideal_am.csv", &["spectrum"], &[&spectrum]);
 }

@@ -6,7 +6,6 @@
 
 use fase_bench::print_table;
 use fase_sysmodel::{Activity, ActivityPair, Machine};
-use rand::SeedableRng;
 
 fn main() {
     println!("Figure 6 (paper pseudo-code):");
@@ -44,7 +43,7 @@ fn main() {
     let mut rows = Vec::new();
     for f_alt in [43_300.0, 180_000.0] {
         let bench = ActivityPair::LdmLdl1.calibrated(&mut machine, f_alt);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(60);
+        let mut rng = fase_dsp::rng::SmallRng::seed_from_u64(60);
         let trace = machine.run_alternation(&bench, 5e-3, &mut rng);
         let pairs = trace.len() / 2;
         let achieved = pairs as f64 / trace.duration();
@@ -60,5 +59,7 @@ fn main() {
         &["requested", "alternation", "achieved", "error"],
         &rows,
     );
-    println!("\n(The LDM and LDL1 loops are the same code; only the pointer-chase mask differs — §3.)");
+    println!(
+        "\n(The LDM and LDL1 loops are the same code; only the pointer-chase mask differs — §3.)"
+    );
 }

@@ -16,7 +16,13 @@ fn capture(pair: ActivityPair, f_alt: Hertz, seed: u64) -> Spectrum {
     let system = SimulatedSystem::intel_i7_desktop(42);
     let mut runner = CampaignRunner::new(system, pair, seed);
     runner
-        .single_spectrum(f_alt, Hertz::from_khz(260.0), Hertz::from_khz(370.0), Hertz(50.0), 4)
+        .single_spectrum(
+            f_alt,
+            Hertz::from_khz(260.0),
+            Hertz::from_khz(370.0),
+            Hertz(50.0),
+            4,
+        )
         .expect("capture")
 }
 
@@ -63,7 +69,9 @@ fn main() {
     let right = spectra[0]
         .band(Hertz::from_khz(355.0), Hertz::from_khz(365.0))
         .expect("band");
-    let xs: Vec<f64> = (0..right.len()).map(|i| right.frequency_at(i).hz()).collect();
+    let xs: Vec<f64> = (0..right.len())
+        .map(|i| right.frequency_at(i).hz())
+        .collect();
     ascii_plot(
         "right side-band region, f_alt1 = 43.3 kHz (dBm)",
         &xs,
@@ -75,7 +83,14 @@ fn main() {
     let all: Vec<&Spectrum> = spectra.iter().chain(std::iter::once(&control)).collect();
     write_spectra_csv(
         "fig07_sideband_shift.csv",
-        &["falt_43_3", "falt_43_8", "falt_44_3", "falt_44_8", "falt_45_3", "control_ldl1"],
+        &[
+            "falt_43_3",
+            "falt_43_8",
+            "falt_44_3",
+            "falt_44_8",
+            "falt_45_3",
+            "control_ldl1",
+        ],
         &all,
     );
 }

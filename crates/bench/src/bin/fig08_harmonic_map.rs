@@ -52,8 +52,15 @@ fn main() {
         &["carrier", "f_c", "harmonic h", "side-band frequency"],
         &rows,
     );
-    println!("\n  {} carriers ({} harmonic sets); without FASE the interleaved",
-        report.len(), report.harmonic_sets().len());
+    println!(
+        "\n  {} carriers ({} harmonic sets); without FASE the interleaved",
+        report.len(),
+        report.harmonic_sets().len()
+    );
     println!("  side-band lines of different carriers are hard to attribute by eye.");
-    write_csv("fig08_harmonic_map.csv", "carrier,fc_hz,harmonic,sideband_hz", csv_rows);
+    write_csv(
+        "fig08_harmonic_map.csv",
+        "carrier,fc_hz,harmonic,sideband_hz",
+        csv_rows,
+    );
 }

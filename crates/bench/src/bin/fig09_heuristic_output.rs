@@ -10,11 +10,7 @@ use fase_emsim::SimulatedSystem;
 use fase_specan::CampaignRunner;
 use fase_sysmodel::ActivityPair;
 
-fn trace_around(
-    pair: ActivityPair,
-    fc: Hertz,
-    seed: u64,
-) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+fn trace_around(pair: ActivityPair, fc: Hertz, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let system = SimulatedSystem::intel_i7_desktop(42);
     let campaign = CampaignConfig::builder()
         .band(Hertz(fc.hz() - 60_000.0), Hertz(fc.hz() + 60_000.0))
@@ -63,15 +59,23 @@ fn main() {
         10,
     );
 
-    for (name, p, m) in [("DRAM regulator", &p_a, &m_a), ("core regulator", &p_b, &m_b)] {
+    for (name, p, m) in [
+        ("DRAM regulator", &p_a, &m_a),
+        ("core regulator", &p_b, &m_b),
+    ] {
         let peak_p = p.iter().cloned().fold(0.0, f64::max);
         let peak_m = m.iter().cloned().fold(0.0, f64::max);
         let median = fase_dsp::stats::median(p);
-        println!("{name}: peak F_+1 = {peak_p:.0}, peak F_-1 = {peak_m:.0}, baseline ≈ {median:.2}");
+        println!(
+            "{name}: peak F_+1 = {peak_p:.0}, peak F_-1 = {peak_m:.0}, baseline ≈ {median:.2}"
+        );
     }
 
     let rows = off_a.iter().enumerate().map(|(i, &off)| {
-        format!("{off:.1},{:.4},{:.4},{:.4},{:.4}", p_a[i], m_a[i], p_b[i], m_b[i])
+        format!(
+            "{off:.1},{:.4},{:.4},{:.4},{:.4}",
+            p_a[i], m_a[i], p_b[i], m_b[i]
+        )
     });
     write_csv(
         "fig09_heuristic_output.csv",

@@ -23,7 +23,7 @@ fn main() {
         .map(|s| s.fundamental)
         .collect();
     let config = CampaignConfig::paper_0_4mhz();
-    println!("running {config} (5 parallel measurement threads)…");
+    println!("running {config} (pooled capture tasks)…");
     let spectra = fase_specan::run_campaign_parallel(
         &config,
         ActivityPair::LdmLdl1,
@@ -34,7 +34,12 @@ fn main() {
     let report = Fase::default().analyze(&spectra).expect("analysis");
 
     let mean = spectra.mean_spectrum();
-    plot_spectrum("Figure 11 background: mean spectrum 0-4 MHz (dBm)", &mean, 110, 14);
+    plot_spectrum(
+        "Figure 11 background: mean spectrum 0-4 MHz (dBm)",
+        &mean,
+        110,
+        14,
+    );
 
     let mut rows = Vec::new();
     for set in report.harmonic_sets() {
@@ -50,27 +55,54 @@ fn main() {
     }
     print_table(
         "Figure 11: carriers reported by FASE (LDM/LDL1)",
-        &["set fundamental", "carrier", "magnitude", "side-bands", "evidence"],
+        &[
+            "set fundamental",
+            "carrier",
+            "magnitude",
+            "side-bands",
+            "evidence",
+        ],
         &rows,
     );
 
     // Shape checks against the paper.
     let near = |f: f64, tol: f64| report.carrier_near(Hertz(f), Hertz(tol)).is_some();
     let family = |base: f64| (1..=30).any(|k| near(base * k as f64, 2_500.0));
-    let station_flagged = stations
-        .iter()
-        .filter(|s| near(s.hz(), 5_000.0))
-        .count();
+    let station_flagged = stations.iter().filter(|s| near(s.hz(), 5_000.0)).count();
     let checks = [
-        ("DRAM memory regulator family (315 kHz)", family(315_000.0), true),
-        ("memory-interface regulator family (522 kHz)", family(522_070.0), true),
-        ("memory refresh family (128 kHz multiples)", family(128_000.0), true),
-        ("core regulator 332 kHz (must NOT appear)", near(332_000.0, 2_000.0), false),
+        (
+            "DRAM memory regulator family (315 kHz)",
+            family(315_000.0),
+            true,
+        ),
+        (
+            "memory-interface regulator family (522 kHz)",
+            family(522_070.0),
+            true,
+        ),
+        (
+            "memory refresh family (128 kHz multiples)",
+            family(128_000.0),
+            true,
+        ),
+        (
+            "core regulator 332 kHz (must NOT appear)",
+            near(332_000.0, 2_000.0),
+            false,
+        ),
         ("any broadcast station flagged", station_flagged > 0, false),
     ];
     println!();
     for (name, got, want) in checks {
-        println!("  {name}: {} {}", got, if got == want { "✓" } else { "✗ (expected different)" });
+        println!(
+            "  {name}: {} {}",
+            got,
+            if got == want {
+                "✓"
+            } else {
+                "✗ (expected different)"
+            }
+        );
     }
 
     write_spectra_csv("fig11_mean_spectrum.csv", &["mean"], &[&mean]);

@@ -13,7 +13,13 @@ fn capture(pair: ActivityPair, f_alt: Hertz, seed: u64) -> Spectrum {
     let system = SimulatedSystem::intel_i7_desktop(42);
     let mut runner = CampaignRunner::new(system, pair, seed);
     runner
-        .single_spectrum(f_alt, Hertz::from_khz(280.0), Hertz::from_khz(385.0), Hertz(50.0), 4)
+        .single_spectrum(
+            f_alt,
+            Hertz::from_khz(280.0),
+            Hertz::from_khz(385.0),
+            Hertz(50.0),
+            4,
+        )
         .expect("capture")
 }
 
@@ -31,8 +37,16 @@ fn main() {
     let around = spectra[0]
         .band(Hertz(fc - 3_000.0), Hertz(fc + 3_000.0))
         .expect("carrier region");
-    let xs: Vec<f64> = (0..around.len()).map(|i| around.frequency_at(i).hz()).collect();
-    ascii_plot("carrier line shape (dBm)", &xs, &around.to_dbm_vec(), 80, 10);
+    let xs: Vec<f64> = (0..around.len())
+        .map(|i| around.frequency_at(i).hz())
+        .collect();
+    ascii_plot(
+        "carrier line shape (dBm)",
+        &xs,
+        &around.to_dbm_vec(),
+        80,
+        10,
+    );
 
     let mut rows = Vec::new();
     for (s, &f_alt) in spectra.iter().zip(&f_alts) {
@@ -56,13 +70,23 @@ fn main() {
         &["f_alt", "left side-band", "right side-band"],
         &rows,
     );
-    let sb = control.sample(Hertz(fc + f_alts[0].hz())).map(|p| 10.0 * p.log10()).unwrap();
+    let sb = control
+        .sample(Hertz(fc + f_alts[0].hz()))
+        .map(|p| 10.0 * p.log10())
+        .unwrap();
     println!("\n  LDL1/LDL1 control at f_c + f_alt1: {sb:.1} dBm (no side-band)");
 
     let all: Vec<&Spectrum> = spectra.iter().chain(std::iter::once(&control)).collect();
     write_spectra_csv(
         "fig12_core_regulator.csv",
-        &["falt_43_3", "falt_43_8", "falt_44_3", "falt_44_8", "falt_45_3", "control_ldl1"],
+        &[
+            "falt_43_3",
+            "falt_43_8",
+            "falt_44_3",
+            "falt_44_8",
+            "falt_45_3",
+            "control_ldl1",
+        ],
         &all,
     );
 }

@@ -12,7 +12,7 @@ use fase_sysmodel::ActivityPair;
 
 fn main() {
     let config = CampaignConfig::paper_0_4mhz();
-    println!("running {config} (5 parallel measurement threads)…");
+    println!("running {config} (pooled capture tasks)…");
     let spectra = fase_specan::run_campaign_parallel(
         &config,
         ActivityPair::Ldl2Ldl1,
@@ -47,7 +47,10 @@ fn main() {
     let memory_regs = near(315_000.0, 2_000.0) || near(525_000.0, 2_000.0);
     println!("\n  core regulator family found: {core_found} ✓(expected true)");
     println!("  memory regulators reported: {memory_regs} (expected false)");
-    println!("  total carriers: {} (paper: only the core regulator's harmonics)", report.len());
+    println!(
+        "  total carriers: {} (paper: only the core regulator's harmonics)",
+        report.len()
+    );
 
     write_csv(
         "fig13_carriers.csv",

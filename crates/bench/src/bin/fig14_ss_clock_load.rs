@@ -25,8 +25,18 @@ fn capture(pair: ActivityPair, seed: u64) -> Spectrum {
 fn main() {
     let idle = capture(ActivityPair::Ldl1Ldl1, 140);
     let busy = capture(ActivityPair::LdmLdm, 141);
-    plot_spectrum("Figure 14a: DRAM clock, 0% memory activity (dBm)", &idle, 100, 10);
-    plot_spectrum("Figure 14b: DRAM clock, 100% memory activity (dBm)", &busy, 100, 10);
+    plot_spectrum(
+        "Figure 14a: DRAM clock, 0% memory activity (dBm)",
+        &idle,
+        100,
+        10,
+    );
+    plot_spectrum(
+        "Figure 14b: DRAM clock, 100% memory activity (dBm)",
+        &busy,
+        100,
+        10,
+    );
 
     let band_power = |s: &Spectrum| {
         s.band(Hertz::from_mhz(331.8), Hertz::from_mhz(333.2))
@@ -36,5 +46,9 @@ fn main() {
     let ratio_db = 10.0 * (band_power(&busy) / band_power(&idle)).log10();
     println!("\nclock-band power: 100% vs 0% activity = +{ratio_db:.1} dB");
     println!("(the emanation scales with DRAM switching activity, §4.3)");
-    write_spectra_csv("fig14_ss_clock_load.csv", &["idle_0pct", "busy_100pct"], &[&idle, &busy]);
+    write_spectra_csv(
+        "fig14_ss_clock_load.csv",
+        &["idle_0pct", "busy_100pct"],
+        &[&idle, &busy],
+    );
 }

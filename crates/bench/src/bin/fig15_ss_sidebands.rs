@@ -9,7 +9,9 @@ use fase_specan::CampaignRunner;
 use fase_sysmodel::ActivityPair;
 
 fn main() {
-    let f_alts: Vec<Hertz> = (0..5).map(|i| Hertz(180_000.0 + 10_000.0 * i as f64)).collect();
+    let f_alts: Vec<Hertz> = (0..5)
+        .map(|i| Hertz(180_000.0 + 10_000.0 * i as f64))
+        .collect();
     let mut spectra: Vec<Spectrum> = Vec::new();
     for (i, &f_alt) in f_alts.iter().enumerate() {
         let system = SimulatedSystem::intel_i7_desktop(42);
@@ -50,7 +52,13 @@ fn main() {
     let refs: Vec<&Spectrum> = spectra.iter().collect();
     write_spectra_csv(
         "fig15_ss_sidebands.csv",
-        &["falt_180k", "falt_190k", "falt_200k", "falt_210k", "falt_220k"],
+        &[
+            "falt_180k",
+            "falt_190k",
+            "falt_200k",
+            "falt_210k",
+            "falt_220k",
+        ],
         &refs,
     );
 }

@@ -41,7 +41,13 @@ fn main() {
     let plus = report.score_trace(1).expect("h=+1");
     let xs: Vec<f64> = (0..plus.len()).map(|b| plus.frequency_at(b).hz()).collect();
     let logs: Vec<f64> = plus.scores().iter().map(|s| s.log10()).collect();
-    ascii_plot("Figure 16: log10 F_{+1}(f) across the spread clock (Hz)", &xs, &logs, 100, 10);
+    ascii_plot(
+        "Figure 16: log10 F_{+1}(f) across the spread clock (Hz)",
+        &xs,
+        &logs,
+        100,
+        10,
+    );
 
     println!("\ncarriers reported:");
     for c in report.carriers() {

@@ -46,15 +46,38 @@ fn main() {
     let near = |f: f64, tol: f64| report.carrier_near(Hertz(f), Hertz(tol)).is_some();
     let refresh_family = (1..=8).any(|k| near(132_000.0 * k as f64, 2_500.0));
     let checks = [
-        ("memory refresh family (132 kHz multiples)", refresh_family, true),
+        (
+            "memory refresh family (132 kHz multiples)",
+            refresh_family,
+            true,
+        ),
         ("memory regulator (389 kHz)", near(389_140.0, 2_500.0), true),
-        ("unidentified carrier A (702 kHz)", near(701_750.0, 2_500.0), true),
-        ("unidentified carrier B (947 kHz)", near(946_930.0, 2_500.0), true),
-        ("FM core regulator (281 kHz) — must NOT appear", near(280_870.0, 4_000.0), false),
+        (
+            "unidentified carrier A (702 kHz)",
+            near(701_750.0, 2_500.0),
+            true,
+        ),
+        (
+            "unidentified carrier B (947 kHz)",
+            near(946_930.0, 2_500.0),
+            true,
+        ),
+        (
+            "FM core regulator (281 kHz) — must NOT appear",
+            near(280_870.0, 4_000.0),
+            false,
+        ),
     ];
     println!();
     for (name, got, want) in checks {
-        println!("  {name}: {got} {}", if got == want { "✓" } else { "✗ (expected different)" });
+        println!(
+            "  {name}: {got} {}",
+            if got == want {
+                "✓"
+            } else {
+                "✗ (expected different)"
+            }
+        );
     }
 
     write_csv(

@@ -26,11 +26,16 @@ fn fivr_system(seed: u64) -> SimulatedSystem {
         // loop tracks load tightly (large duty gain).
         // "Higher switching frequencies … resulting in stronger emanations":
         // hotter fundamental, tight fast control loop.
-        SwitchingRegulator::new("FIVR 140 MHz", Hertz::from_mhz(139.67), Domain::Core, seed + 1)
-            .with_fundamental_dbm(-96.0)
-            .with_base_duty(0.12)
-            .with_duty_gain(0.25)
-            .with_linewidth(Hertz::from_khz(25.0)),
+        SwitchingRegulator::new(
+            "FIVR 140 MHz",
+            Hertz::from_mhz(139.67),
+            Domain::Core,
+            seed + 1,
+        )
+        .with_fundamental_dbm(-96.0)
+        .with_base_duty(0.12)
+        .with_duty_gain(0.25)
+        .with_linewidth(Hertz::from_khz(25.0)),
     ));
     SimulatedSystem {
         machine: Machine::core_i7(),
@@ -61,7 +66,12 @@ fn main() {
 
     print_table(
         "FIVR vs. legacy regulator leakage",
-        &["regulator", "carrier", "demonstrated bandwidth", "capacity bound"],
+        &[
+            "regulator",
+            "carrier",
+            "demonstrated bandwidth",
+            "capacity bound",
+        ],
         &[
             vec![
                 "legacy board VRM (campaign 1)".into(),
@@ -81,7 +91,10 @@ fn main() {
         fivr.bandwidth.hz() > 40.0 * 43_300.0,
         "the FIVR readout bandwidth should dwarf the legacy regulator's"
     );
-    assert!(fivr.capacity_bps > 1e6, "FIVR leakage should exceed 1 Mbit/s");
+    assert!(
+        fivr.capacity_bps > 1e6,
+        "FIVR leakage should exceed 1 Mbit/s"
+    );
     println!(
         "\nPASS: the integrated regulator leaks a {}-wide readout — the paper's\n\
          'higher bandwidth readout of power consumption' concern, quantified.",

@@ -29,7 +29,10 @@ fn harmonic_levels(duty: f64, n_harmonics: u32) -> Vec<f64> {
     let cg = Window::BlackmanHarris.coherent_gain(n);
     let mut bins = fft(&iq);
     fft_shift(&mut bins);
-    let power: Vec<f64> = bins.iter().map(|z| (z.norm() / (n as f64 * cg)).powi(2)).collect();
+    let power: Vec<f64> = bins
+        .iter()
+        .map(|z| (z.norm() / (n as f64 * cg)).powi(2))
+        .collect();
     (1..=n_harmonics)
         .map(|k| {
             let f = fsw.hz() * k as f64 - 2.0e6;
@@ -53,7 +56,11 @@ fn main() {
         rows.push(row);
         csv.push(format!(
             "{d},{}",
-            levels.iter().map(|l| format!("{l:.2}")).collect::<Vec<_>>().join(",")
+            levels
+                .iter()
+                .map(|l| format!("{l:.2}"))
+                .collect::<Vec<_>>()
+                .join(",")
         ));
         profiles.push(levels);
     }
@@ -61,16 +68,29 @@ fn main() {
         .chain((1..=n_harmonics).map(|k| format!("h{k} (dBm)")))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    print_table("pulse-train harmonic levels vs duty cycle", &header_refs, &rows);
+    print_table(
+        "pulse-train harmonic levels vs duty cycle",
+        &header_refs,
+        &rows,
+    );
 
     // §2.1 checks.
     let small = &profiles[0];
     let spread = small.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - small.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(spread < 6.0, "small-duty harmonics should be similar (spread {spread:.1} dB)");
+    assert!(
+        spread < 6.0,
+        "small-duty harmonics should be similar (spread {spread:.1} dB)"
+    );
     let half = &profiles[2];
-    assert!(half[1] < half[0] - 25.0, "even harmonics must vanish at 50% duty");
-    assert!(half[3] < half[2] - 25.0, "4th harmonic must vanish at 50% duty");
+    assert!(
+        half[1] < half[0] - 25.0,
+        "even harmonics must vanish at 50% duty"
+    );
+    assert!(
+        half[3] < half[2] - 25.0,
+        "4th harmonic must vanish at 50% duty"
+    );
     println!("\nPASS: small duty ⇒ flat harmonics (spread {spread:.1} dB); 50% duty ⇒ even harmonics suppressed.");
     write_csv(
         "harmonic_profile.csv",

@@ -36,13 +36,21 @@ fn main() {
         .collect();
     print_table(
         "per-carrier leakage upper bounds (i7, LDM/LDL1)",
-        &["carrier", "side-band", "noise floor", "mod. SNR", "capacity ≤"],
+        &[
+            "carrier",
+            "side-band",
+            "noise floor",
+            "mod. SNR",
+            "capacity ≤",
+        ],
         &rows,
     );
     println!("\n(The strongest regulator side-bands allow power-analysis-grade readouts");
     println!("of memory activity from a distance — the paper's §4.1 threat.)");
-    assert!(estimates.iter().any(|e| e.capacity_bps > 10_000.0),
-        "expected at least one carrier with >10 kbit/s of leakage");
+    assert!(
+        estimates.iter().any(|e| e.capacity_bps > 10_000.0),
+        "expected at least one carrier with >10 kbit/s of leakage"
+    );
     write_csv(
         "leakage_capacity.csv",
         "carrier_hz,sideband_dbm,floor_dbm,snr_db,capacity_bps",

@@ -41,23 +41,47 @@ fn measure(system: SimulatedSystem, seed: u64) -> (f64, usize, FaseReport) {
 
 fn main() {
     let (base_dbm, base_found, base_report) = measure(SimulatedSystem::intel_i7_desktop(42), 230);
-    let (mit_dbm, mit_found, mit_report) = measure(SimulatedSystem::intel_i7_mitigated(42, 0.45), 231);
+    let (mit_dbm, mit_found, mit_report) =
+        measure(SimulatedSystem::intel_i7_mitigated(42, 0.45), 231);
 
     print_table(
         "refresh-randomization mitigation (LDM/LDL1 campaign)",
-        &["controller", "strongest refresh harmonic", "refresh carriers FASE finds"],
         &[
-            vec!["standard DDR3".into(), format!("{base_dbm:.1} dBm"), base_found.to_string()],
-            vec!["randomized issue".into(), format!("{mit_dbm:.1} dBm"), mit_found.to_string()],
+            "controller",
+            "strongest refresh harmonic",
+            "refresh carriers FASE finds",
+        ],
+        &[
+            vec![
+                "standard DDR3".into(),
+                format!("{base_dbm:.1} dBm"),
+                base_found.to_string(),
+            ],
+            vec![
+                "randomized issue".into(),
+                format!("{mit_dbm:.1} dBm"),
+                mit_found.to_string(),
+            ],
         ],
     );
-    println!("\ncomb suppression: {:.1} dB; detections {} -> {}", base_dbm - mit_dbm, base_found, mit_found);
+    println!(
+        "\ncomb suppression: {:.1} dB; detections {} -> {}",
+        base_dbm - mit_dbm,
+        base_found,
+        mit_found
+    );
     let outcome = evaluate_mitigation(&base_report, &mit_report, fase_dsp::Hertz(1_500.0));
     println!("\n{outcome}");
     // The mitigated comb disappears into the noise floor, so the measured
     // suppression is floor-limited.
-    assert!(mit_dbm < base_dbm - 4.0, "mitigation should suppress the comb by >4 dB");
-    assert!(mit_found < base_found, "mitigation should reduce FASE detections");
+    assert!(
+        mit_dbm < base_dbm - 4.0,
+        "mitigation should suppress the comb by >4 dB"
+    );
+    assert!(
+        mit_found < base_found,
+        "mitigation should reduce FASE detections"
+    );
     println!("PASS: randomized refresh suppresses the comb and removes FASE detections.");
     write_csv(
         "mitigation_randomize.csv",

@@ -11,21 +11,59 @@ use fase_sysmodel::ActivityPair;
 
 /// One probe definition: label, system builder, carrier Hz, span Hz,
 /// driving pair, expected verdict.
-type ProbeCase = (&'static str, fn(u64) -> SimulatedSystem, f64, f64, ActivityPair, &'static str);
+type ProbeCase = (
+    &'static str,
+    fn(u64) -> SimulatedSystem,
+    f64,
+    f64,
+    ActivityPair,
+    &'static str,
+);
 
 fn main() {
     let probes: [ProbeCase; 4] = [
-        ("i7 DRAM regulator 315.66 kHz", SimulatedSystem::intel_i7_desktop, 315_660.0, 24_000.0, ActivityPair::LdmLdl1, "Am"),
-        ("i7 core regulator 332.53 kHz", SimulatedSystem::intel_i7_desktop, 332_530.0, 24_000.0, ActivityPair::Ldl2Ldl1, "Am"),
-        ("Turion memory regulator 389.14 kHz", SimulatedSystem::amd_turion_laptop, 389_140.0, 24_000.0, ActivityPair::LdmLdl1, "Am"),
-        ("Turion core regulator 280.87 kHz (constant on-time)", SimulatedSystem::amd_turion_laptop, 280_870.0, 120_000.0, ActivityPair::Ldl2Ldl1, "Fm"),
+        (
+            "i7 DRAM regulator 315.66 kHz",
+            SimulatedSystem::intel_i7_desktop,
+            315_660.0,
+            24_000.0,
+            ActivityPair::LdmLdl1,
+            "Am",
+        ),
+        (
+            "i7 core regulator 332.53 kHz",
+            SimulatedSystem::intel_i7_desktop,
+            332_530.0,
+            24_000.0,
+            ActivityPair::Ldl2Ldl1,
+            "Am",
+        ),
+        (
+            "Turion memory regulator 389.14 kHz",
+            SimulatedSystem::amd_turion_laptop,
+            389_140.0,
+            24_000.0,
+            ActivityPair::LdmLdl1,
+            "Am",
+        ),
+        (
+            "Turion core regulator 280.87 kHz (constant on-time)",
+            SimulatedSystem::amd_turion_laptop,
+            280_870.0,
+            120_000.0,
+            ActivityPair::Ldl2Ldl1,
+            "Fm",
+        ),
     ];
     let mut rows = Vec::new();
     let mut all_ok = true;
     for (i, (name, make, carrier, span, pair, expected)) in probes.iter().enumerate() {
         let system = make(if name.starts_with("i7") { 42 } else { 2007 });
         let mut runner = CampaignRunner::new(system, *pair, 600 + i as u64);
-        let config = ProbeConfig { span: *span, ..ProbeConfig::default() };
+        let config = ProbeConfig {
+            span: *span,
+            ..ProbeConfig::default()
+        };
         let (stats, kind) = runner.probe_modulation(Hertz(*carrier), Hertz::from_khz(5.0), &config);
         let verdict = format!("{kind:?}");
         let ok = verdict == *expected;

@@ -26,7 +26,10 @@ fn main() {
 
     // Spur frequencies are not in SourceInfo; regenerate the forest
     // deterministically to recover them.
-    let spur_info = truth.iter().find(|s| s.kind == SourceKind::Spur).expect("spur forest");
+    let spur_info = truth
+        .iter()
+        .find(|s| s.kind == SourceKind::Spur)
+        .expect("spur forest");
     println!("scene: {} sources ({})", truth.len(), spur_info.name);
     let spurs = {
         // Recreate with the same parameters/seed as the preset.
@@ -71,15 +74,38 @@ fn main() {
 
     let modulated_found = report.len();
     let rows = vec![
-        vec!["unmodulated spurs in band".into(), spurs_in_band.len().to_string(), spurs_flagged.to_string()],
-        vec!["AM broadcast stations in band".into(), stations_in_band.len().to_string(), stations_flagged.to_string()],
-        vec!["activity-modulated carriers reported".into(), "-".into(), modulated_found.to_string()],
+        vec![
+            "unmodulated spurs in band".into(),
+            spurs_in_band.len().to_string(),
+            spurs_flagged.to_string(),
+        ],
+        vec![
+            "AM broadcast stations in band".into(),
+            stations_in_band.len().to_string(),
+            stations_flagged.to_string(),
+        ],
+        vec![
+            "activity-modulated carriers reported".into(),
+            "-".into(),
+            modulated_found.to_string(),
+        ],
     ];
-    print_table("rejection audit (LDM/LDL1, 60 kHz - 2 MHz)", &["population", "present", "flagged"], &rows);
+    print_table(
+        "rejection audit (LDM/LDL1, 60 kHz - 2 MHz)",
+        &["population", "present", "flagged"],
+        &rows,
+    );
 
     assert_eq!(spurs_flagged, 0, "FASE flagged an unmodulated spur");
     assert_eq!(stations_flagged, 0, "FASE flagged a broadcast station");
-    assert!(modulated_found >= 3, "expected the regulator + refresh carriers");
-    println!("\nPASS: all {} spurs and {} stations rejected; {} genuine carriers reported.",
-        spurs_in_band.len(), stations_in_band.len(), modulated_found);
+    assert!(
+        modulated_found >= 3,
+        "expected the regulator + refresh carriers"
+    );
+    println!(
+        "\nPASS: all {} spurs and {} stations rejected; {} genuine carriers reported.",
+        spurs_in_band.len(),
+        stations_in_band.len(),
+        modulated_found
+    );
 }

@@ -54,14 +54,36 @@ fn survey(name: &str, system: SimulatedSystem, seed: u64) -> Vec<String> {
 
 fn main() {
     let rows = vec![
-        survey("Intel Core i7 desktop", SimulatedSystem::intel_i7_desktop(42), 400),
-        survey("Intel Core i3 laptop", SimulatedSystem::intel_i3_laptop(2010), 401),
-        survey("AMD Turion X2 laptop", SimulatedSystem::amd_turion_laptop(2007), 402),
-        survey("Pentium 3M laptop", SimulatedSystem::pentium3m_laptop(2002), 403),
+        survey(
+            "Intel Core i7 desktop",
+            SimulatedSystem::intel_i7_desktop(42),
+            400,
+        ),
+        survey(
+            "Intel Core i3 laptop",
+            SimulatedSystem::intel_i3_laptop(2010),
+            401,
+        ),
+        survey(
+            "AMD Turion X2 laptop",
+            SimulatedSystem::amd_turion_laptop(2007),
+            402,
+        ),
+        survey(
+            "Pentium 3M laptop",
+            SimulatedSystem::pentium3m_laptop(2002),
+            403,
+        ),
     ];
     print_table(
         "systems survey (LDM/LDL1, 60 kHz - 1.2 MHz)",
-        &["system", "regulator found", "refresh found", "carriers", "stations flagged"],
+        &[
+            "system",
+            "regulator found",
+            "refresh found",
+            "carriers",
+            "stations flagged",
+        ],
         &rows,
     );
     for row in &rows {

@@ -3,13 +3,15 @@
 //! One binary per figure of the paper's evaluation (`fig01` … `fig17`),
 //! plus binaries for the prose claims (rejection, baseline comparison,
 //! refresh-vs-load, harmonic profiles, the refresh-randomization
-//! mitigation) and Criterion performance benches.
+//! mitigation) and dependency-free performance benches (see [`harness`]).
 //!
 //! Every binary prints the figure's series (with a terminal plot) and
 //! writes CSV data under `target/figures/`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod harness;
 
 use fase_dsp::{Hertz, Spectrum};
 use std::fs;
@@ -46,7 +48,10 @@ pub fn write_csv(name: &str, header: &str, rows: impl IntoIterator<Item = String
 pub fn write_spectra_csv(name: &str, labels: &[&str], spectra: &[&Spectrum]) {
     assert_eq!(labels.len(), spectra.len());
     let first = spectra[0];
-    assert!(spectra.iter().all(|s| first.same_grid(s)), "spectra must share a grid");
+    assert!(
+        spectra.iter().all(|s| first.same_grid(s)),
+        "spectra must share a grid"
+    );
     let header = std::iter::once("frequency_hz".to_owned())
         .chain(labels.iter().map(|l| format!("{l}_dbm")))
         .collect::<Vec<_>>()
@@ -70,8 +75,16 @@ pub fn ascii_plot(title: &str, xs: &[f64], ys: &[f64], width: usize, height: usi
         return;
     }
     let (x_lo, x_hi) = (xs[0], xs[xs.len() - 1]);
-    let y_lo = ys.iter().cloned().filter(|y| y.is_finite()).fold(f64::INFINITY, f64::min);
-    let y_hi = ys.iter().cloned().filter(|y| y.is_finite()).fold(f64::NEG_INFINITY, f64::max);
+    let y_lo = ys
+        .iter()
+        .cloned()
+        .filter(|y| y.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let y_hi = ys
+        .iter()
+        .cloned()
+        .filter(|y| y.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
     let y_span = (y_hi - y_lo).max(1e-12);
     let mut grid = vec![vec![b' '; width]; height];
     // Column-wise max so narrow spikes stay visible at any width.
@@ -113,7 +126,9 @@ pub fn ascii_plot(title: &str, xs: &[f64], ys: &[f64], width: usize, height: usi
 
 /// Plots a [`Spectrum`] in dBm.
 pub fn plot_spectrum(title: &str, spectrum: &Spectrum, width: usize, height: usize) {
-    let xs: Vec<f64> = (0..spectrum.len()).map(|i| spectrum.frequency_at(i).hz()).collect();
+    let xs: Vec<f64> = (0..spectrum.len())
+        .map(|i| spectrum.frequency_at(i).hz())
+        .collect();
     let ys = spectrum.to_dbm_vec();
     ascii_plot(title, &xs, &ys, width, height);
 }
@@ -160,8 +175,7 @@ pub fn synthetic_carrier_capture(
 ) -> Vec<fase_dsp::Complex64> {
     use fase_dsp::Complex64;
     use fase_emsim::source::FreqDrift;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut rng = fase_dsp::rng::SmallRng::seed_from_u64(seed);
     let mut drift = if drift_sigma_hz > 0.0 {
         FreqDrift::new(drift_sigma_hz, 0.5e-3)
     } else {
@@ -175,7 +189,8 @@ pub fn synthetic_carrier_capture(
             let t = n as f64 * dt;
             let d = drift.step(dt, &mut rng);
             let z = Complex64::from_polar(envelope(n, t), phase);
-            phase = (phase + std::f64::consts::TAU * (carrier.hz() + d - window.center().hz()) * dt)
+            phase = (phase
+                + std::f64::consts::TAU * (carrier.hz() + d - window.center().hz()) * dt)
                 % std::f64::consts::TAU;
             z
         })
@@ -188,7 +203,11 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        write_csv("test_helper.csv", "a,b", (0..3).map(|i| format!("{i},{}", i * 2)));
+        write_csv(
+            "test_helper.csv",
+            "a,b",
+            (0..3).map(|i| format!("{i},{}", i * 2)),
+        );
         let text = fs::read_to_string(figures_dir().join("test_helper.csv")).unwrap();
         assert!(text.starts_with("a,b\n0,0\n1,2\n2,4"));
     }

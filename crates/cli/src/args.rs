@@ -42,7 +42,11 @@ impl fmt::Display for ArgError {
             ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
             ArgError::UnexpectedToken(t) => write!(f, "unexpected argument '{t}'"),
             ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
-            ArgError::BadValue { option, value, expected } => {
+            ArgError::BadValue {
+                option,
+                value,
+                expected,
+            } => {
                 write!(f, "option --{option}: '{value}' is not a valid {expected}")
             }
             ArgError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
@@ -89,7 +93,8 @@ impl ParsedArgs {
     ///
     /// [`ArgError::MissingOption`] when absent.
     pub fn required(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError::MissingOption(key.to_owned()))
+        self.get(key)
+            .ok_or_else(|| ArgError::MissingOption(key.to_owned()))
     }
 
     /// A frequency option (supports `k`/`M`/`G` suffixes), with a default.
@@ -174,7 +179,10 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!(ParsedArgs::parse(&[]).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            ParsedArgs::parse(&[]).unwrap_err(),
+            ArgError::MissingCommand
+        );
         assert_eq!(
             ParsedArgs::parse(&argv("--lo 60k")).unwrap_err(),
             ArgError::MissingCommand
@@ -207,14 +215,24 @@ mod tests {
         assert_eq!(p.integer_or("avg", 4).unwrap(), 8);
         assert_eq!(p.integer_or("alts", 5).unwrap(), 5);
         assert_eq!(p.frequency_or("res", 100.0).unwrap(), 100.0);
-        assert!(matches!(p.required("system"), Err(ArgError::MissingOption(_))));
+        assert!(matches!(
+            p.required("system"),
+            Err(ArgError::MissingOption(_))
+        ));
         let bad = ParsedArgs::parse(&argv("scan --avg nope")).unwrap();
-        assert!(matches!(bad.integer_or("avg", 4), Err(ArgError::BadValue { .. })));
+        assert!(matches!(
+            bad.integer_or("avg", 4),
+            Err(ArgError::BadValue { .. })
+        ));
     }
 
     #[test]
     fn error_display() {
-        let e = ArgError::BadValue { option: "lo".into(), value: "x".into(), expected: "frequency (e.g. 43.3k, 2M, 100)" };
+        let e = ArgError::BadValue {
+            option: "lo".into(),
+            value: "x".into(),
+            expected: "frequency (e.g. 43.3k, 2M, 100)",
+        };
         assert!(format!("{e}").contains("--lo"));
     }
 }

@@ -183,7 +183,10 @@ fn probe(parsed: &ParsedArgs) -> Result<String, CliError> {
     let carrier = Hertz(parsed.frequency("carrier")?);
     let falt = Hertz(parsed.frequency_or("falt", 5_000.0)?);
     let span = parsed.frequency_or("span", 24_000.0)?;
-    let config = ProbeConfig { span, ..ProbeConfig::default() };
+    let config = ProbeConfig {
+        span,
+        ..ProbeConfig::default()
+    };
     let mut runner = CampaignRunner::new(system, ActivityPair::LdmLdl1, seed.wrapping_add(1));
     let (stats, kind) = runner.probe_modulation(carrier, falt, &config);
     Ok(format!(
@@ -217,14 +220,18 @@ fn attribute(parsed: &ParsedArgs) -> Result<String, CliError> {
     let mut runner = CampaignRunner::new(system, pair, seed.wrapping_add(1));
     let spectra = runner.run(&config)?;
     let ranked = attribute_peak(&spectra, peak, &AttributionConfig::default());
-    let mut out = format!("attributions of the peak at {peak}:
-");
+    let mut out = format!(
+        "attributions of the peak at {peak}:
+"
+    );
     for a in ranked.iter().take(5) {
         let _ = writeln!(out, "  {a}");
     }
     if ranked.is_empty() {
-        out.push_str("  (no in-band interpretation)
-");
+        out.push_str(
+            "  (no in-band interpretation)
+",
+        );
     }
     Ok(out)
 }

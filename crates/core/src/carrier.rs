@@ -50,10 +50,19 @@ impl Carrier {
         sideband_magnitude: Dbm,
         mut harmonics: Vec<Harmonic>,
     ) -> Carrier {
-        assert!(!harmonics.is_empty(), "a carrier needs at least one harmonic of evidence");
+        assert!(
+            !harmonics.is_empty(),
+            "a carrier needs at least one harmonic of evidence"
+        );
         harmonics.sort_by_key(|h| (h.h.unsigned_abs(), h.h < 0));
         let total_log_score = harmonics.iter().map(|h| h.score.max(1.0).ln()).sum();
-        Carrier { frequency, magnitude, sideband_magnitude, harmonics, total_log_score }
+        Carrier {
+            frequency,
+            magnitude,
+            sideband_magnitude,
+            harmonics,
+            total_log_score,
+        }
     }
 
     /// The carrier frequency `f_c`.
@@ -119,7 +128,10 @@ mod tests {
             Dbm(-104.0),
             Dbm(-118.0),
             vec![
-                Harmonic { h: -1, score: 200.0 },
+                Harmonic {
+                    h: -1,
+                    score: 200.0,
+                },
                 Harmonic { h: 1, score: 500.0 },
                 Harmonic { h: 3, score: 20.0 },
             ],

@@ -50,14 +50,17 @@ pub fn classify_by_pairs(
     tolerance: Hertz,
 ) -> Vec<ClassifiedCarrier> {
     let mut out: Vec<ClassifiedCarrier> = Vec::new();
-    let matches = |a: &Carrier, b: &Carrier| {
-        (a.frequency() - b.frequency()).hz().abs() <= tolerance.hz()
-    };
+    let matches =
+        |a: &Carrier, b: &Carrier| (a.frequency() - b.frequency()).hz().abs() <= tolerance.hz();
     for m in memory_pair.carriers() {
         let in_onchip = onchip_pair.carriers().iter().any(|o| matches(m, o));
         out.push(ClassifiedCarrier {
             carrier: m.clone(),
-            class: if in_onchip { ModulationClass::Both } else { ModulationClass::MemoryRelated },
+            class: if in_onchip {
+                ModulationClass::Both
+            } else {
+                ModulationClass::MemoryRelated
+            },
         });
     }
     for o in onchip_pair.carriers() {
@@ -91,7 +94,10 @@ mod tests {
             Hertz(f),
             Dbm(-105.0),
             Dbm(-120.0),
-            vec![Harmonic { h: 1, score: 50.0 }, Harmonic { h: -1, score: 50.0 }],
+            vec![
+                Harmonic { h: 1, score: 50.0 },
+                Harmonic { h: -1, score: 50.0 },
+            ],
         )
     }
 
@@ -124,7 +130,10 @@ mod tests {
         let memory = report(&[900_000.0, 100_000.0]);
         let onchip = report(&[500_000.0]);
         let classified = classify_by_pairs(&memory, &onchip, Hertz(1_000.0));
-        let freqs: Vec<f64> = classified.iter().map(|c| c.carrier.frequency().hz()).collect();
+        let freqs: Vec<f64> = classified
+            .iter()
+            .map(|c| c.carrier.frequency().hz())
+            .collect();
         assert_eq!(freqs, vec![100_000.0, 500_000.0, 900_000.0]);
     }
 
@@ -136,7 +145,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(format!("{}", ModulationClass::MemoryRelated), "memory-related");
+        assert_eq!(
+            format!("{}", ModulationClass::MemoryRelated),
+            "memory-related"
+        );
         assert_eq!(format!("{}", ModulationClass::Both), "memory-and-on-chip");
     }
 }

@@ -165,7 +165,12 @@ impl CampaignConfigBuilder {
     }
 
     /// Sets the alternation family: first frequency, step, and count.
-    pub fn alternation(mut self, f_alt1: Hertz, f_delta: Hertz, count: usize) -> CampaignConfigBuilder {
+    pub fn alternation(
+        mut self,
+        f_alt1: Hertz,
+        f_delta: Hertz,
+        count: usize,
+    ) -> CampaignConfigBuilder {
         self.alternation = Some((f_alt1, f_delta, count));
         self
     }
@@ -275,9 +280,18 @@ mod tests {
         assert!(base().build().is_ok());
         assert!(base().band(Hertz(1e6), Hertz(0.0)).build().is_err());
         assert!(base().resolution(Hertz(0.0)).build().is_err());
-        assert!(base().alternation(Hertz(40_000.0), Hertz(500.0), 1).build().is_err());
-        assert!(base().alternation(Hertz(500.0), Hertz(500.0), 5).build().is_err());
-        assert!(base().alternation(Hertz(40_000.0), Hertz(10.0), 5).build().is_err());
+        assert!(base()
+            .alternation(Hertz(40_000.0), Hertz(500.0), 1)
+            .build()
+            .is_err());
+        assert!(base()
+            .alternation(Hertz(500.0), Hertz(500.0), 5)
+            .build()
+            .is_err());
+        assert!(base()
+            .alternation(Hertz(40_000.0), Hertz(10.0), 5)
+            .build()
+            .is_err());
         assert!(base().averages(0).build().is_err());
         assert!(CampaignConfig::builder().build().is_err());
     }

@@ -142,7 +142,10 @@ pub fn merge_detections(
             for d in &cluster {
                 match harmonics.iter_mut().find(|h| h.h == d.harmonic) {
                     Some(h) => h.score = h.score.max(d.score),
-                    None => harmonics.push(Harmonic { h: d.harmonic, score: d.score }),
+                    None => harmonics.push(Harmonic {
+                        h: d.harmonic,
+                        score: d.score,
+                    }),
                 }
             }
             if harmonics.len() < config.min_harmonics {
@@ -215,12 +218,7 @@ fn local_peak_dbm(mean: &fase_dsp::Spectrum, f: Hertz, tol: usize) -> Dbm {
 
 /// Mean side-band level across spectra, measured at `f ± h·f_alt_i` for the
 /// lowest detected |h|.
-fn sideband_dbm(
-    spectra: &CampaignSpectra,
-    f: Hertz,
-    harmonics: &[Harmonic],
-    tol: usize,
-) -> Dbm {
+fn sideband_dbm(spectra: &CampaignSpectra, f: Hertz, harmonics: &[Harmonic], tol: usize) -> Dbm {
     let h = harmonics
         .iter()
         .map(|x| x.h)

@@ -13,6 +13,9 @@ pub enum FaseError {
     InvalidSpectra(String),
     /// An underlying spectrum operation failed.
     Spectrum(SpectrumError),
+    /// A campaign worker thread died (panicked) before finishing its
+    /// capture tasks; the payload is the panic message.
+    Worker(String),
 }
 
 impl fmt::Display for FaseError {
@@ -21,6 +24,7 @@ impl fmt::Display for FaseError {
             FaseError::InvalidConfig(msg) => write!(f, "invalid campaign configuration: {msg}"),
             FaseError::InvalidSpectra(msg) => write!(f, "invalid campaign spectra: {msg}"),
             FaseError::Spectrum(e) => write!(f, "spectrum error: {e}"),
+            FaseError::Worker(msg) => write!(f, "campaign worker failed: {msg}"),
         }
     }
 }

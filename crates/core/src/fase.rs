@@ -180,13 +180,18 @@ mod tests {
         let report = Fase::new(FaseConfig::default()).analyze(&campaign).unwrap();
         assert_eq!(report.len(), 2);
         assert!(report.carrier_near(Hertz(80_000.0), Hertz(300.0)).is_some());
-        assert!(report.carrier_near(Hertz(150_000.0), Hertz(300.0)).is_some());
+        assert!(report
+            .carrier_near(Hertz(150_000.0), Hertz(300.0))
+            .is_some());
     }
 
     #[test]
     fn zero_harmonics_rejected() {
         let campaign = modulated_campaign(&[100_000.0]);
-        let fase = Fase::new(FaseConfig { max_harmonic: 0, ..FaseConfig::default() });
+        let fase = Fase::new(FaseConfig {
+            max_harmonic: 0,
+            ..FaseConfig::default()
+        });
         assert!(matches!(
             fase.analyze(&campaign),
             Err(FaseError::InvalidConfig(_))

@@ -143,7 +143,10 @@ pub fn group_harmonic_sets(carriers: &[Carrier], rel_tol: f64) -> Vec<HarmonicSe
                     / sets[i].members.len() as f64;
                 sets[i].fundamental = Hertz(refined);
             }
-            None => sets.push(HarmonicSet { fundamental: carrier.frequency(), members: vec![carrier] }),
+            None => sets.push(HarmonicSet {
+                fundamental: carrier.frequency(),
+                members: vec![carrier],
+            }),
         }
     }
     merge_by_gcd(sets, rel_tol)
@@ -202,15 +205,11 @@ fn merge_by_gcd(mut sets: Vec<HarmonicSet>, rel_tol: f64) -> Vec<HarmonicSet> {
                     continue;
                 };
                 // Every member of both sets must sit near a multiple of g.
-                let all_fit = sets[i]
-                    .members
-                    .iter()
-                    .chain(&sets[j].members)
-                    .all(|c| {
-                        let f = c.frequency().hz();
-                        let k = (f / g).round().max(1.0);
-                        (f - k * g).abs() <= gcd_tol * f.max(g)
-                    });
+                let all_fit = sets[i].members.iter().chain(&sets[j].members).all(|c| {
+                    let f = c.frequency().hz();
+                    let k = (f / g).round().max(1.0);
+                    (f - k * g).abs() <= gcd_tol * f.max(g)
+                });
                 if !all_fit {
                     continue;
                 }
@@ -242,7 +241,13 @@ mod tests {
             Hertz(f),
             Dbm(dbm),
             Dbm(dbm - 15.0),
-            vec![Harmonic { h: 1, score: 100.0 }, Harmonic { h: -1, score: 100.0 }],
+            vec![
+                Harmonic { h: 1, score: 100.0 },
+                Harmonic {
+                    h: -1,
+                    score: 100.0,
+                },
+            ],
         )
     }
 
@@ -250,9 +255,9 @@ mod tests {
     fn groups_regulator_harmonics() {
         let carriers = vec![
             carrier(315_000.0, -104.0),
-            carrier(630_050.0, -108.0),  // slight measurement error
+            carrier(630_050.0, -108.0), // slight measurement error
             carrier(944_900.0, -112.0),
-            carrier(512_000.0, -124.0),  // refresh family
+            carrier(512_000.0, -124.0), // refresh family
             carrier(1_024_000.0, -125.0),
         ];
         let sets = group_harmonic_sets(&carriers, 0.002);

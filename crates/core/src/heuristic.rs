@@ -41,7 +41,11 @@ pub struct HeuristicConfig {
 
 impl Default for HeuristicConfig {
     fn default() -> HeuristicConfig {
-        HeuristicConfig { search_bins: 3, floor_fraction: 0.1, support_ratio: 2.0 }
+        HeuristicConfig {
+            search_bins: 3,
+            floor_fraction: 0.1,
+            support_ratio: 2.0,
+        }
     }
 }
 
@@ -149,113 +153,211 @@ impl ScoreTrace {
     }
 }
 
+/// Harmonic-independent precompute shared by every `F_h` evaluation:
+/// windowed-maxed, floored spectra and their per-bin column sums.
+///
+/// Building this costs as much as one harmonic's worth of array passes, so
+/// sharing it across the `±1..=±max_harmonic` sweep removes the dominant
+/// redundant work of the scoring stage.
+#[derive(Debug)]
+struct ScoreContext {
+    /// Per-spectrum windowed-max powers with the stabilizing floor added.
+    floored: Vec<Vec<f64>>,
+    /// Per-bin sum of `floored` across spectra; each denominator is then
+    /// `(sum − own)/(N−1)` in O(1).
+    column_sum: Vec<f64>,
+    /// Alternation frequency of each spectrum, in bins per harmonic.
+    f_alt_bins: Vec<f64>,
+    start: Hertz,
+    resolution: Hertz,
+    n_spectra: usize,
+}
+
+impl ScoreContext {
+    fn new(spectra: &CampaignSpectra, config: &HeuristicConfig) -> ScoreContext {
+        let n_spectra = spectra.len();
+        let first = spectra.spectrum(0);
+        let bins = first.len();
+        let resolution = first.resolution();
+
+        // The search window must stay below the f_Δ spacing, or a neighbour
+        // spectrum's own side-band would leak into the denominator lookup.
+        let delta_bins = (spectra.config().f_delta() / resolution).round() as usize;
+        let search = config.search_bins.min(delta_bins.saturating_sub(1) / 2);
+
+        let floored: Vec<Vec<f64>> = (0..n_spectra)
+            .map(|i| {
+                let floor = (spectra.spectrum(i).median_power() * config.floor_fraction)
+                    .max(f64::MIN_POSITIVE);
+                let mut maxed = windowed_max(spectra.spectrum(i).powers(), search);
+                for v in &mut maxed {
+                    *v += floor;
+                }
+                maxed
+            })
+            .collect();
+        let mut column_sum = vec![0.0f64; bins];
+        for row in &floored {
+            for (acc, v) in column_sum.iter_mut().zip(row) {
+                *acc += v;
+            }
+        }
+        let f_alt_bins = spectra
+            .spectra()
+            .iter()
+            .map(|s| s.f_alt.hz() / resolution.hz())
+            .collect();
+        ScoreContext {
+            floored,
+            column_sum,
+            f_alt_bins,
+            start: first.start(),
+            resolution,
+            n_spectra,
+        }
+    }
+
+    /// Evaluates `F_h(f)` over the whole band for one harmonic.
+    fn harmonic(&self, h: i32, config: &HeuristicConfig) -> ScoreTrace {
+        let bins = self.column_sum.len();
+        // Integer bin shift per spectrum: h · f_alt_i / f_res.
+        let shifts: Vec<i64> = self
+            .f_alt_bins
+            .iter()
+            .map(|&fb| (h as f64 * fb).round() as i64)
+            .collect();
+
+        let mut scores = vec![1.0f64; bins];
+        let mut support = vec![0u8; bins];
+        for b in 0..bins {
+            let mut f = 1.0;
+            let mut contributions = 0usize;
+            let mut supporters = 0u8;
+            for (shift, row) in shifts.iter().zip(&self.floored) {
+                let idx = b as i64 + shift;
+                if idx < 0 || idx >= bins as i64 {
+                    continue; // off-band lookup: neutral sub-score of 1
+                }
+                let idx = idx as usize;
+                let own = row[idx];
+                let others = (self.column_sum[idx] - own) / (self.n_spectra - 1) as f64;
+                let sub = own / others;
+                f *= sub;
+                contributions += 1;
+                if sub > config.support_ratio {
+                    supporters += 1;
+                }
+            }
+            if contributions >= 2 {
+                scores[b] = f;
+                support[b] = supporters;
+            }
+        }
+        ScoreTrace {
+            harmonic: h,
+            start: self.start,
+            resolution: self.resolution,
+            scores,
+            support,
+            n_spectra: self.n_spectra,
+        }
+    }
+}
+
 /// Computes `F_h(f)` for one harmonic across the whole campaign band.
 ///
 /// Shifted lookups that fall outside the measured band contribute a neutral
 /// sub-score of 1 — the paper's "obscured side-band" behaviour: missing
 /// evidence weakens but does not destroy a detection.
-pub fn harmonic_scores(
-    spectra: &CampaignSpectra,
-    h: i32,
-    config: &HeuristicConfig,
-) -> ScoreTrace {
-    let n_spectra = spectra.len();
-    let first = spectra.spectrum(0);
-    let bins = first.len();
-    let resolution = first.resolution();
-
-    // The search window must stay below the f_Δ spacing, or a neighbour
-    // spectrum's own side-band would leak into the denominator lookup.
-    let delta_bins = (spectra.config().f_delta() / resolution).round() as usize;
-    let search = config
-        .search_bins
-        .min(delta_bins.saturating_sub(1) / 2);
-
-    // Windowed-max of each spectrum, plus its stabilizing floor.
-    let maxed: Vec<Vec<f64>> = (0..n_spectra)
-        .map(|i| windowed_max(spectra.spectrum(i).powers(), search))
-        .collect();
-    let floors: Vec<f64> = (0..n_spectra)
-        .map(|i| (spectra.spectrum(i).median_power() * config.floor_fraction).max(f64::MIN_POSITIVE))
-        .collect();
-
-    // Integer bin shift per spectrum: h · f_alt_i / f_res.
-    let shifts: Vec<i64> = spectra
-        .spectra()
-        .iter()
-        .map(|s| ((h as f64 * s.f_alt.hz()) / resolution.hz()).round() as i64)
-        .collect();
-
-    // Column sums across spectra (after flooring) let each denominator be
-    // computed as (sum − own)/(N−1) in O(1).
-    let floored: Vec<Vec<f64>> = maxed
-        .iter()
-        .zip(&floors)
-        .map(|(m, &fl)| m.iter().map(|&v| v + fl).collect())
-        .collect();
-    let mut column_sum = vec![0.0f64; bins];
-    for row in &floored {
-        for (acc, v) in column_sum.iter_mut().zip(row) {
-            *acc += v;
-        }
-    }
-
-    let mut scores = vec![1.0f64; bins];
-    let mut support = vec![0u8; bins];
-    for b in 0..bins {
-        let mut f = 1.0;
-        let mut contributions = 0usize;
-        let mut supporters = 0u8;
-        for i in 0..n_spectra {
-            let idx = b as i64 + shifts[i];
-            if idx < 0 || idx >= bins as i64 {
-                continue; // off-band lookup: neutral sub-score of 1
-            }
-            let idx = idx as usize;
-            let own = floored[i][idx];
-            let others = (column_sum[idx] - own) / (n_spectra - 1) as f64;
-            let sub = own / others;
-            f *= sub;
-            contributions += 1;
-            if sub > config.support_ratio {
-                supporters += 1;
-            }
-        }
-        if contributions >= 2 {
-            scores[b] = f;
-            support[b] = supporters;
-        }
-    }
-    ScoreTrace { harmonic: h, start: first.start(), resolution, scores, support, n_spectra }
+pub fn harmonic_scores(spectra: &CampaignSpectra, h: i32, config: &HeuristicConfig) -> ScoreTrace {
+    ScoreContext::new(spectra, config).harmonic(h, config)
 }
 
 /// Computes score traces for every harmonic `±1..=±max_harmonic`.
+///
+/// The harmonic-independent precompute is built once and shared; the
+/// per-harmonic evaluations then run on scoped worker threads (count from
+/// `FASE_THREADS` or the machine's parallelism). Each trace depends only
+/// on its harmonic, so the result is identical to the sequential sweep.
 pub fn all_harmonic_scores(
     spectra: &CampaignSpectra,
     max_harmonic: u32,
     config: &HeuristicConfig,
 ) -> Vec<ScoreTrace> {
-    let mut traces = Vec::with_capacity(2 * max_harmonic as usize);
-    for k in 1..=max_harmonic as i32 {
-        traces.push(harmonic_scores(spectra, k, config));
-        traces.push(harmonic_scores(spectra, -k, config));
+    let ctx = ScoreContext::new(spectra, config);
+    let harmonics: Vec<i32> = (1..=max_harmonic as i32).flat_map(|k| [k, -k]).collect();
+    let threads = heuristic_threads().min(harmonics.len()).max(1);
+    if threads == 1 {
+        return harmonics.iter().map(|&h| ctx.harmonic(h, config)).collect();
     }
-    traces
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<ScoreTrace>>> = harmonics
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&h) = harmonics.get(i) else { break };
+                let trace = ctx.harmonic(h, config);
+                *results[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(trace);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("harmonic worker completed")
+        })
+        .collect()
 }
 
-/// Sliding maximum with half-width `w` (O(n·w); `w` is small).
+/// Worker count for the harmonic sweep: `FASE_THREADS` if set, else the
+/// machine's available parallelism.
+fn heuristic_threads() -> usize {
+    if let Some(n) = std::env::var("FASE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Sliding maximum with half-width `w` via a monotonically decreasing
+/// index deque — O(n) regardless of window size.
 fn windowed_max(xs: &[f64], w: usize) -> Vec<f64> {
     if w == 0 {
         return xs.to_vec();
     }
     let n = xs.len();
-    (0..n)
-        .map(|i| {
-            let lo = i.saturating_sub(w);
-            let hi = (i + w).min(n - 1);
-            xs[lo..=hi].iter().copied().fold(f64::MIN, f64::max)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    // Emitting out[i] once the window's right edge j = i + w has been
+    // pushed keeps the deque front the maximum of xs[i−w ..= i+w].
+    for j in 0..n + w {
+        if j < n {
+            while deque.back().is_some_and(|&b| xs[b] <= xs[j]) {
+                deque.pop_back();
+            }
+            deque.push_back(j);
+        }
+        if j >= w {
+            let i = j - w;
+            while deque.front().is_some_and(|&f| f + w < i) {
+                deque.pop_front();
+            }
+            out.push(xs[deque[0]]);
+        }
+    }
+    out
 }
 
 /// Builds a [`Spectrum`]-backed campaign from raw per-alternation spectra —
@@ -285,11 +387,7 @@ mod tests {
     /// Builds a synthetic campaign: flat noise floor at `floor` with, for
     /// each f_alt_i, side-band spikes at `fc ± f_alt_i` (if `modulated`),
     /// plus optional fixed spurs that do NOT move with f_alt.
-    fn synthetic_campaign(
-        fc: f64,
-        modulated: bool,
-        spur_at: Option<f64>,
-    ) -> CampaignSpectra {
+    fn synthetic_campaign(fc: f64, modulated: bool, spur_at: Option<f64>) -> CampaignSpectra {
         let config = CampaignConfig::builder()
             .band(Hertz(0.0), Hertz(100_000.0))
             .resolution(Hertz(100.0))
@@ -436,6 +534,32 @@ mod tests {
         assert_eq!(windowed_max(&[1.0, 5.0, 2.0], 0), vec![1.0, 5.0, 2.0]);
         let xs = [0.0, 1.0, 0.0, 0.0, 7.0];
         assert_eq!(windowed_max(&xs, 2), vec![1.0, 1.0, 7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn windowed_max_matches_naive_reference() {
+        use fase_dsp::rng::{Rng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(0xFA5E);
+        for (n, w) in [(1usize, 3usize), (7, 2), (64, 1), (129, 5), (500, 17)] {
+            let xs: Vec<f64> = (0..n).map(|_| rng.gen_f64()).collect();
+            let naive: Vec<f64> = (0..n)
+                .map(|i| {
+                    let lo = i.saturating_sub(w);
+                    let hi = (i + w).min(n - 1);
+                    xs[lo..=hi].iter().copied().fold(f64::MIN, f64::max)
+                })
+                .collect();
+            assert_eq!(windowed_max(&xs, w), naive, "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_scores() {
+        let campaign = synthetic_campaign(50_000.0, true, Some(30_000.0));
+        let cfg = HeuristicConfig::default();
+        for t in &all_harmonic_scores(&campaign, 5, &cfg) {
+            assert_eq!(*t, harmonic_scores(&campaign, t.harmonic(), &cfg));
+        }
     }
 
     #[test]

@@ -131,7 +131,13 @@ mod tests {
             Hertz(100_000.0),
             Dbm(-100.0),
             Dbm(sideband_dbm),
-            vec![Harmonic { h: 1, score: 100.0 }, Harmonic { h: -1, score: 100.0 }],
+            vec![
+                Harmonic { h: 1, score: 100.0 },
+                Harmonic {
+                    h: -1,
+                    score: 100.0,
+                },
+            ],
         );
         (campaign, carrier)
     }
@@ -174,8 +180,7 @@ mod tests {
             Dbm(-134.0),
             vec![Harmonic { h: 1, score: 50.0 }],
         );
-        let report =
-            crate::report::FaseReport::from_carriers(vec![weak, carrier], 0.003);
+        let report = crate::report::FaseReport::from_carriers(vec![weak, carrier], 0.003);
         let all = estimate_all(&campaign, &report, Hertz(5_000.0));
         assert_eq!(all.len(), 2);
         assert!(all[0].capacity_bps >= all[1].capacity_bps);

@@ -53,7 +53,11 @@ impl fmt::Display for CarrierFate {
                 write!(f, "{} -> ELIMINATED", before.frequency())
             }
             CarrierFate::Survived { before, delta, .. } => {
-                write!(f, "{} -> survives ({delta} side-band change)", before.frequency())
+                write!(
+                    f,
+                    "{} -> survives ({delta} side-band change)",
+                    before.frequency()
+                )
             }
         }
     }
@@ -145,7 +149,10 @@ mod tests {
             Hertz(f),
             Dbm(sideband_dbm + 15.0),
             Dbm(sideband_dbm),
-            vec![Harmonic { h: 1, score: 40.0 }, Harmonic { h: -1, score: 30.0 }],
+            vec![
+                Harmonic { h: 1, score: 40.0 },
+                Harmonic { h: -1, score: 30.0 },
+            ],
         )
     }
 
@@ -161,11 +168,7 @@ mod tests {
         assert_eq!(outcome.eliminated(), 1);
         assert_eq!(outcome.survived(), 1);
         assert!(outcome.introduced.is_empty());
-        let survived = outcome
-            .fates
-            .iter()
-            .find(|f| !f.is_eliminated())
-            .unwrap();
+        let survived = outcome.fates.iter().find(|f| !f.is_eliminated()).unwrap();
         match survived {
             CarrierFate::Survived { delta, .. } => {
                 assert!((delta.db() - -6.0).abs() < 1e-9, "delta {delta}");

@@ -39,7 +39,11 @@ impl FaseReport {
     /// the given relative tolerance). Used by the analyzer and by tests.
     pub fn from_carriers(carriers: Vec<Carrier>, group_rel_tol: f64) -> FaseReport {
         let sets = group_harmonic_sets(&carriers, group_rel_tol);
-        FaseReport { carriers, sets, traces: Vec::new() }
+        FaseReport {
+            carriers,
+            sets,
+            traces: Vec::new(),
+        }
     }
 
     /// Attaches the heuristic score traces.
@@ -93,7 +97,12 @@ impl FaseReport {
 
 impl fmt::Display for FaseReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "FASE report: {} carrier(s) in {} harmonic set(s)", self.carriers.len(), self.sets.len())?;
+        writeln!(
+            f,
+            "FASE report: {} carrier(s) in {} harmonic set(s)",
+            self.carriers.len(),
+            self.sets.len()
+        )?;
         for set in &self.sets {
             writeln!(f, "  set @ fundamental {}:", set.fundamental())?;
             for c in set.members() {
@@ -115,7 +124,10 @@ mod tests {
             Hertz(f),
             Dbm(-100.0),
             Dbm(-114.0),
-            vec![Harmonic { h: 1, score: 40.0 }, Harmonic { h: -1, score: 30.0 }],
+            vec![
+                Harmonic { h: 1, score: 40.0 },
+                Harmonic { h: -1, score: 30.0 },
+            ],
         )
     }
 
@@ -129,14 +141,17 @@ mod tests {
         assert_eq!(report.harmonic_sets().len(), 2);
         let near = report.carrier_near(Hertz(314_800.0), Hertz(500.0)).unwrap();
         assert_eq!(near.frequency(), Hertz(315_000.0));
-        assert!(report.carrier_near(Hertz(400_000.0), Hertz(500.0)).is_none());
+        assert!(report
+            .carrier_near(Hertz(400_000.0), Hertz(500.0))
+            .is_none());
     }
 
     #[test]
     fn nearest_wins_among_multiple() {
-        let report =
-            FaseReport::from_carriers(vec![carrier(100_000.0), carrier(100_900.0)], 0.002);
-        let near = report.carrier_near(Hertz(100_800.0), Hertz(2_000.0)).unwrap();
+        let report = FaseReport::from_carriers(vec![carrier(100_000.0), carrier(100_900.0)], 0.002);
+        let near = report
+            .carrier_near(Hertz(100_800.0), Hertz(2_000.0))
+            .unwrap();
         assert_eq!(near.frequency(), Hertz(100_900.0));
     }
 

@@ -32,7 +32,11 @@ impl fmt::Display for Attribution {
         write!(
             f,
             "h = {:+}: carrier {} ({}/{} spectra consistent, ratio {:.1})",
-            self.harmonic, self.carrier, self.consistent_spectra, self.mean_ratio as usize, self.mean_ratio
+            self.harmonic,
+            self.carrier,
+            self.consistent_spectra,
+            self.mean_ratio as usize,
+            self.mean_ratio
         )
     }
 }
@@ -51,7 +55,11 @@ pub struct AttributionConfig {
 
 impl Default for AttributionConfig {
     fn default() -> AttributionConfig {
-        AttributionConfig { max_harmonic: 5, search_bins: 3, min_ratio: 2.0 }
+        AttributionConfig {
+            max_harmonic: 5,
+            search_bins: 3,
+            min_ratio: 2.0,
+        }
     }
 }
 
@@ -105,20 +113,16 @@ pub fn attribute_peak(
         });
     }
     out.sort_by(|a, b| {
-        b.consistent_spectra
-            .cmp(&a.consistent_spectra)
-            .then(b.mean_ratio.partial_cmp(&a.mean_ratio).expect("finite ratios"))
+        b.consistent_spectra.cmp(&a.consistent_spectra).then(
+            b.mean_ratio
+                .partial_cmp(&a.mean_ratio)
+                .expect("finite ratios"),
+        )
     });
     out
 }
 
-fn local_max(
-    spectra: &CampaignSpectra,
-    i: usize,
-    f: Hertz,
-    half_bins: usize,
-    res: f64,
-) -> f64 {
+fn local_max(spectra: &CampaignSpectra, i: usize, f: Hertz, half_bins: usize, res: f64) -> f64 {
     let s = spectra.spectrum(i);
     let mut best: f64 = 0.0;
     for k in -(half_bins as i64)..=half_bins as i64 {

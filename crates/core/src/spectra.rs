@@ -149,7 +149,10 @@ mod tests {
         let spectra: Vec<LabeledSpectrum> = cfg
             .alternation_frequencies()
             .into_iter()
-            .map(|f_alt| LabeledSpectrum { f_alt, spectrum: flat(1.0) })
+            .map(|f_alt| LabeledSpectrum {
+                f_alt,
+                spectrum: flat(1.0),
+            })
             .collect();
         let c = CampaignSpectra::new(cfg, spectra).unwrap();
         assert_eq!(c.len(), 3);
@@ -159,7 +162,10 @@ mod tests {
     #[test]
     fn count_mismatch_rejected() {
         let cfg = config(3);
-        let spectra = vec![LabeledSpectrum { f_alt: Hertz(200.0), spectrum: flat(1.0) }];
+        let spectra = vec![LabeledSpectrum {
+            f_alt: Hertz(200.0),
+            spectrum: flat(1.0),
+        }];
         assert!(matches!(
             CampaignSpectra::new(cfg, spectra),
             Err(FaseError::InvalidSpectra(_))
@@ -170,8 +176,14 @@ mod tests {
     fn label_mismatch_rejected() {
         let cfg = config(2);
         let spectra = vec![
-            LabeledSpectrum { f_alt: Hertz(200.0), spectrum: flat(1.0) },
-            LabeledSpectrum { f_alt: Hertz(999.0), spectrum: flat(1.0) },
+            LabeledSpectrum {
+                f_alt: Hertz(200.0),
+                spectrum: flat(1.0),
+            },
+            LabeledSpectrum {
+                f_alt: Hertz(999.0),
+                spectrum: flat(1.0),
+            },
         ];
         assert!(CampaignSpectra::new(cfg, spectra).is_err());
     }
@@ -181,8 +193,14 @@ mod tests {
         let cfg = config(2);
         let other = Spectrum::new(Hertz(5.0), Hertz(10.0), vec![1.0; 101]).unwrap();
         let spectra = vec![
-            LabeledSpectrum { f_alt: Hertz(200.0), spectrum: flat(1.0) },
-            LabeledSpectrum { f_alt: Hertz(210.0), spectrum: other },
+            LabeledSpectrum {
+                f_alt: Hertz(200.0),
+                spectrum: flat(1.0),
+            },
+            LabeledSpectrum {
+                f_alt: Hertz(210.0),
+                spectrum: other,
+            },
         ];
         assert!(CampaignSpectra::new(cfg, spectra).is_err());
     }
@@ -191,8 +209,14 @@ mod tests {
     fn mean_spectrum_averages_power() {
         let cfg = config(2);
         let spectra = vec![
-            LabeledSpectrum { f_alt: Hertz(200.0), spectrum: flat(1.0) },
-            LabeledSpectrum { f_alt: Hertz(210.0), spectrum: flat(3.0) },
+            LabeledSpectrum {
+                f_alt: Hertz(200.0),
+                spectrum: flat(1.0),
+            },
+            LabeledSpectrum {
+                f_alt: Hertz(210.0),
+                spectrum: flat(3.0),
+            },
         ];
         let c = CampaignSpectra::new(cfg, spectra).unwrap();
         assert_eq!(c.mean_spectrum().powers()[50], 2.0);

@@ -43,7 +43,10 @@ impl Complex64 {
     /// Creates a complex number from polar coordinates.
     pub fn from_polar(magnitude: f64, phase: f64) -> Complex64 {
         let (s, c) = phase.sin_cos();
-        Complex64 { re: magnitude * c, im: magnitude * s }
+        Complex64 {
+            re: magnitude * c,
+            im: magnitude * s,
+        }
     }
 
     /// `e^{jθ}` — a unit phasor at angle `theta` radians.
@@ -68,12 +71,18 @@ impl Complex64 {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex64 {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Multiplies by a real scalar.
     pub fn scale(self, k: f64) -> Complex64 {
-        Complex64 { re: self.re * k, im: self.im * k }
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// Reciprocal `1/z`.
@@ -82,7 +91,10 @@ impl Complex64 {
     /// division semantics.
     pub fn recip(self) -> Complex64 {
         let d = self.norm_sqr();
-        Complex64 { re: self.re / d, im: -self.im / d }
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// True if both components are finite.
@@ -110,7 +122,10 @@ impl fmt::Display for Complex64 {
 impl Add for Complex64 {
     type Output = Complex64;
     fn add(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -124,7 +139,10 @@ impl AddAssign for Complex64 {
 impl Sub for Complex64 {
     type Output = Complex64;
     fn sub(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -177,14 +195,20 @@ impl Div for Complex64 {
 impl Div<f64> for Complex64 {
     type Output = Complex64;
     fn div(self, rhs: f64) -> Complex64 {
-        Complex64 { re: self.re / rhs, im: self.im / rhs }
+        Complex64 {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
     }
 }
 
 impl Neg for Complex64 {
     type Output = Complex64;
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -130,7 +130,7 @@ pub fn spectrogram(
     if iq.len() < frame_len {
         return Vec::new();
     }
-    let plan = crate::fft::FftPlan::new(frame_len);
+    let plan = crate::fft::cached_plan(frame_len);
     let coeffs = window.coefficients(frame_len);
     let mut frames = Vec::new();
     let mut start = 0usize;
@@ -223,9 +223,7 @@ pub fn ridge_track_in_band(
         .map(|(k, frame)| {
             let peak = *allowed
                 .iter()
-                .max_by(|&&a, &&b| {
-                    frame[a].partial_cmp(&frame[b]).expect("finite powers")
-                })
+                .max_by(|&&a, &&b| frame[a].partial_cmp(&frame[b]).expect("finite powers"))
                 .expect("non-empty allowed set");
             RidgePoint {
                 time: k as f64 * hop as f64 / sample_rate,
@@ -272,10 +270,17 @@ pub fn classify_modulation(
 ) -> (ModulationStats, ModulationKind) {
     let env = envelope(iq, smooth);
     let mean = crate::stats::mean(&env);
-    let am_depth = if mean > 0.0 { crate::stats::std_dev(&env) / mean } else { 0.0 };
+    let am_depth = if mean > 0.0 {
+        crate::stats::std_dev(&env) / mean
+    } else {
+        0.0
+    };
     let inst = moving_average(&instantaneous_frequency(iq, sample_rate), smooth);
     let fm_deviation_hz = crate::stats::std_dev(&inst);
-    let stats = ModulationStats { am_depth, fm_deviation_hz };
+    let stats = ModulationStats {
+        am_depth,
+        fm_deviation_hz,
+    };
     let am = am_depth >= am_threshold;
     let fm = fm_deviation_hz >= fm_threshold_hz;
     let kind = match (am, fm) {
@@ -344,8 +349,9 @@ mod tests {
     fn retune_moves_carrier_to_dc() {
         let fs = 50_000.0;
         let offset = 5_000.0;
-        let iq: Vec<Complex64> =
-            (0..4096).map(|n| Complex64::cis(TAU * offset * n as f64 / fs)).collect();
+        let iq: Vec<Complex64> = (0..4096)
+            .map(|n| Complex64::cis(TAU * offset * n as f64 / fs))
+            .collect();
         let tuned = retune(&iq, offset, fs);
         let inst = instantaneous_frequency(&tuned, fs);
         assert!(inst.iter().skip(1).all(|&f| f.abs() < 1e-6));
@@ -366,19 +372,14 @@ mod tests {
         let fs = 24_000.0;
         // DC carrier + strong interferer at 7 kHz offset.
         let iq: Vec<Complex64> = (0..4096)
-            .map(|n| {
-                Complex64::ONE + Complex64::cis(TAU * 7_000.0 * n as f64 / fs).scale(2.0)
-            })
+            .map(|n| Complex64::ONE + Complex64::cis(TAU * 7_000.0 * n as f64 / fs).scale(2.0))
             .collect();
         let filtered = lowpass_iq(&iq, 12, 2);
         // Middle samples: DC survives, the interferer is strongly rejected.
         let mid = &filtered[1000..3000];
         let mean: Complex64 = mid.iter().copied().sum::<Complex64>() / mid.len() as f64;
         assert!((mean.norm() - 1.0).abs() < 0.05, "DC lost: {}", mean.norm());
-        let ripple = mid
-            .iter()
-            .map(|z| (*z - mean).norm())
-            .fold(0.0, f64::max);
+        let ripple = mid.iter().map(|z| (*z - mean).norm()).fold(0.0, f64::max);
         assert!(ripple < 0.1, "interferer leaked: ripple {ripple}");
     }
 
@@ -453,19 +454,36 @@ mod tests {
             .map(|i| {
                 let t = i as f64 / fs;
                 let sweep_phase = (t / sweep_period).rem_euclid(1.0);
-                let tri = if sweep_phase < 0.5 { 2.0 * sweep_phase } else { 2.0 * (1.0 - sweep_phase) };
+                let tri = if sweep_phase < 0.5 {
+                    2.0 * sweep_phase
+                } else {
+                    2.0 * (1.0 - sweep_phase)
+                };
                 let dev = 200e3 * (tri - 0.5);
                 phase += TAU * dev / fs;
-                let amp = if (t / key_period).rem_euclid(2.0) < 1.0 { 1.0 } else { 0.3 };
+                let amp = if (t / key_period).rem_euclid(2.0) < 1.0 {
+                    1.0
+                } else {
+                    0.3
+                };
                 Complex64::from_polar(amp, phase)
             })
             .collect();
         let ridge = ridge_track(&iq, fs, 32, 16, Window::Hann);
         assert!(ridge.len() > 500);
         // The tracked offsets span most of the ±100 kHz sweep.
-        let max_off = ridge.iter().map(|p| p.frequency_offset).fold(f64::MIN, f64::max);
-        let min_off = ridge.iter().map(|p| p.frequency_offset).fold(f64::MAX, f64::min);
-        assert!(max_off > 60e3 && min_off < -60e3, "sweep not tracked: {min_off}..{max_off}");
+        let max_off = ridge
+            .iter()
+            .map(|p| p.frequency_offset)
+            .fold(f64::MIN, f64::max);
+        let min_off = ridge
+            .iter()
+            .map(|p| p.frequency_offset)
+            .fold(f64::MAX, f64::min);
+        assert!(
+            max_off > 60e3 && min_off < -60e3,
+            "sweep not tracked: {min_off}..{max_off}"
+        );
         // Amplitudes cluster near 1.0 and 0.3 (frames straddling a keying
         // edge may land between).
         let highs = ridge.iter().filter(|p| p.amplitude > 0.8).count();
@@ -481,7 +499,12 @@ mod tests {
                 .collect();
             crate::stats::mean(&vals)
         };
-        assert!(slot(0) > 2.0 * slot(1), "keying not recovered: {} vs {}", slot(0), slot(1));
+        assert!(
+            slot(0) > 2.0 * slot(1),
+            "keying not recovered: {} vs {}",
+            slot(0),
+            slot(1)
+        );
     }
 
     #[test]

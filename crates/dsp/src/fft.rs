@@ -9,10 +9,16 @@
 //!   the radix-2 kernel.
 //!
 //! A [`FftPlan`] precomputes twiddle factors and bit-reversal tables once and
-//! can then transform any number of buffers of the planned length.
+//! can then transform any number of buffers of the planned length. Repeated
+//! transforms of the same length can avoid re-planning entirely through the
+//! per-thread cache ([`cached_plan`]), and Bluestein transforms can reuse their
+//! convolution workspace across calls via [`FftScratch`].
 
 use crate::complex::Complex64;
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::rc::Rc;
 
 /// Direction of a transform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,12 +76,21 @@ impl FftPlan {
     pub fn new(n: usize) -> FftPlan {
         assert!(n > 0, "FFT length must be non-zero");
         if n == 1 {
-            return FftPlan { n, kind: PlanKind::Trivial };
+            return FftPlan {
+                n,
+                kind: PlanKind::Trivial,
+            };
         }
         if n.is_power_of_two() {
-            FftPlan { n, kind: Self::plan_radix2(n) }
+            FftPlan {
+                n,
+                kind: Self::plan_radix2(n),
+            }
         } else {
-            FftPlan { n, kind: Self::plan_bluestein(n) }
+            FftPlan {
+                n,
+                kind: Self::plan_bluestein(n),
+            }
         }
     }
 
@@ -116,7 +131,11 @@ impl FftPlan {
             filter[m - k] = c;
         }
         inner.forward(&mut filter);
-        PlanKind::Bluestein { inner, chirp, filter_fft: filter }
+        PlanKind::Bluestein {
+            inner,
+            chirp,
+            filter_fft: filter,
+        }
     }
 
     /// The planned transform length.
@@ -150,10 +169,52 @@ impl FftPlan {
 
     /// In-place transform in the given direction.
     ///
+    /// Non-power-of-two (Bluestein) plans allocate a fresh convolution
+    /// workspace on each call; hot paths that transform repeatedly should
+    /// hold a [`FftScratch`] and call [`FftPlan::transform_with`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `data.len() != self.len()`.
     pub fn transform(&self, data: &mut [Complex64], direction: Direction) {
+        self.transform_with(data, direction, &mut FftScratch::new());
+    }
+
+    /// In-place forward transform reusing `scratch` for intermediates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward_with(&self, data: &mut [Complex64], scratch: &mut FftScratch) {
+        self.transform_with(data, Direction::Forward, scratch);
+    }
+
+    /// In-place inverse transform (scaled by `1/N`) reusing `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse_with(&self, data: &mut [Complex64], scratch: &mut FftScratch) {
+        self.transform_with(data, Direction::Inverse, scratch);
+    }
+
+    /// In-place transform in the given direction, reusing `scratch` for any
+    /// intermediate buffers.
+    ///
+    /// Power-of-two plans work fully in place and never touch the scratch;
+    /// Bluestein plans borrow their `m`-point convolution buffer from it,
+    /// growing it on first use and reusing the capacity afterwards. One
+    /// scratch can serve plans of different lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn transform_with(
+        &self,
+        data: &mut [Complex64],
+        direction: Direction,
+        scratch: &mut FftScratch,
+    ) {
         assert_eq!(data.len(), self.n, "buffer length must match plan length");
         match (&self.kind, direction) {
             (PlanKind::Trivial, _) => {}
@@ -170,11 +231,18 @@ impl FftPlan {
                     }
                 }
             }
-            (PlanKind::Bluestein { inner, chirp, filter_fft }, dir) => {
+            (
+                PlanKind::Bluestein {
+                    inner,
+                    chirp,
+                    filter_fft,
+                },
+                dir,
+            ) => {
                 if dir == Direction::Inverse {
                     conjugate(data);
                 }
-                bluestein(data, inner, chirp, filter_fft);
+                bluestein(data, inner, chirp, filter_fft, scratch);
                 if dir == Direction::Inverse {
                     conjugate(data);
                     let inv_n = 1.0 / self.n as f64;
@@ -185,6 +253,69 @@ impl FftPlan {
             }
         }
     }
+}
+
+/// Reusable workspace for [`FftPlan::transform_with`].
+///
+/// Bluestein (arbitrary-length) transforms need an `m`-point convolution
+/// buffer where `m = (2n-1).next_power_of_two()`. Allocating it per call
+/// dominates small repeated transforms; a scratch amortizes the allocation
+/// across calls. The buffer grows to the largest length requested and is
+/// then reused, so a single scratch can serve plans of mixed sizes.
+#[derive(Debug, Default, Clone)]
+pub struct FftScratch {
+    buf: Vec<Complex64>,
+}
+
+impl FftScratch {
+    /// Creates an empty scratch; the workspace grows lazily on first use.
+    pub fn new() -> FftScratch {
+        FftScratch::default()
+    }
+
+    /// Returns a zeroed buffer of exactly `len` elements, reusing capacity.
+    fn zeroed(&mut self, len: usize) -> &mut [Complex64] {
+        self.buf.clear();
+        self.buf.resize(len, Complex64::ZERO);
+        &mut self.buf
+    }
+}
+
+thread_local! {
+    static PLAN_CACHE: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
+}
+
+/// Fetches (or creates and caches) the current thread's plan of length `n`.
+///
+/// Planning a transform costs O(n log n) trigonometric evaluations — for
+/// repeated segment captures of the same length that re-planning dwarfs the
+/// transform itself. Plans are cached per thread, so worker threads in a
+/// capture pool each build their own table once and never contend on a lock.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::{fft::cached_plan, Complex64};
+/// let plan = cached_plan(8);
+/// let mut data = vec![Complex64::ONE; 8];
+/// plan.forward(&mut data);
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// // The second fetch reuses the same planning work.
+/// assert!(std::rc::Rc::ptr_eq(&plan, &cached_plan(8)));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn cached_plan(n: usize) -> Rc<FftPlan> {
+    PLAN_CACHE.with(|cache| {
+        Rc::clone(
+            cache
+                .borrow_mut()
+                .entry(n)
+                .or_insert_with(|| Rc::new(FftPlan::new(n))),
+        )
+    })
 }
 
 fn conjugate(data: &mut [Complex64]) {
@@ -224,18 +355,19 @@ fn bluestein(
     inner: &FftPlan,
     chirp: &[Complex64],
     filter_fft: &[Complex64],
+    scratch: &mut FftScratch,
 ) {
     let n = data.len();
     let m = inner.len();
-    let mut a = vec![Complex64::ZERO; m];
+    let a = scratch.zeroed(m);
     for k in 0..n {
         a[k] = data[k] * chirp[k];
     }
-    inner.forward(&mut a);
+    inner.forward(a);
     for (z, f) in a.iter_mut().zip(filter_fft) {
         *z *= *f;
     }
-    inner.inverse(&mut a);
+    inner.inverse(a);
     for k in 0..n {
         data[k] = a[k] * chirp[k];
     }
@@ -425,6 +557,37 @@ mod tests {
             ifft_shift(&mut v);
             assert_eq!(v, orig);
         }
+    }
+
+    #[test]
+    fn scratch_transform_matches_plain() {
+        let mut scratch = FftScratch::new();
+        // Mixed sizes through ONE scratch: pow2 (ignores it) and Bluestein.
+        for &n in &[8usize, 100, 17, 1000, 100] {
+            let plan = FftPlan::new(n);
+            let x = test_signal(n);
+            let mut plain = x.clone();
+            let mut scratched = x.clone();
+            plan.forward(&mut plain);
+            plan.forward_with(&mut scratched, &mut scratch);
+            assert_close(&scratched, &plain, 0.0);
+            plan.inverse(&mut plain);
+            plan.inverse_with(&mut scratched, &mut scratch);
+            assert_close(&scratched, &plain, 0.0);
+            assert_close(&scratched, &x, 1e-10);
+        }
+    }
+
+    #[test]
+    fn cached_plan_returns_shared_plan() {
+        let a = cached_plan(240);
+        let b = cached_plan(240);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 240);
+        let x = test_signal(240);
+        let mut via_cache = x.clone();
+        a.forward(&mut via_cache);
+        assert_close(&via_cache, &fft(&x), 0.0);
     }
 
     #[test]

@@ -199,8 +199,12 @@ mod tests {
         let fs = 10_000.0;
         let fir = Fir::lowpass(101, 500.0, fs, Window::Hann);
         let n = 2_000;
-        let low: Vec<f64> = (0..n).map(|i| (TAU * 100.0 * i as f64 / fs).sin()).collect();
-        let high: Vec<f64> = (0..n).map(|i| (TAU * 3_000.0 * i as f64 / fs).sin()).collect();
+        let low: Vec<f64> = (0..n)
+            .map(|i| (TAU * 100.0 * i as f64 / fs).sin())
+            .collect();
+        let high: Vec<f64> = (0..n)
+            .map(|i| (TAU * 3_000.0 * i as f64 / fs).sin())
+            .collect();
         let rms = |xs: &[f64]| {
             (xs[200..n - 200].iter().map(|x| x * x).sum::<f64>() / (n - 400) as f64).sqrt()
         };

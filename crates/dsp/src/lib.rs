@@ -15,6 +15,8 @@
 //!   chain's channel filters).
 //! * [`noise`] — seeded Gaussian / pink / Gauss–Markov / phase-walk
 //!   generators.
+//! * [`rng`] — the self-contained SplitMix64 PRNG every stochastic
+//!   component draws from (no external `rand` dependency).
 //! * [`welch`] — Welch averaged-periodogram PSD estimation for long IQ
 //!   captures.
 //! * [`stats`] — small robust-statistics helpers.
@@ -50,6 +52,7 @@ pub mod fft;
 pub mod fir;
 pub mod noise;
 pub mod peaks;
+pub mod rng;
 pub mod spectrum;
 pub mod stats;
 pub mod units;
@@ -57,7 +60,7 @@ pub mod welch;
 pub mod window;
 
 pub use complex::Complex64;
-pub use fft::FftPlan;
+pub use fft::{cached_plan, FftPlan, FftScratch};
 pub use spectrum::{Spectrum, SpectrumError};
 pub use units::{Dbm, Decibels, Hertz, Seconds};
 pub use window::Window;

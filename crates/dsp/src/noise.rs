@@ -1,34 +1,43 @@
 //! Seeded noise generators.
 //!
 //! Everything stochastic in the simulator flows from explicit RNGs so that
-//! figures and tests are reproducible. `rand` provides uniform variates; the
-//! Gaussian, pink and random-walk processes here are built on top of it.
+//! figures and tests are reproducible. [`crate::rng`] provides uniform
+//! variates; the Gaussian, pink and random-walk processes here are built on
+//! top of it.
 
 use crate::complex::Complex64;
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Draws one standard-normal variate via the Box–Muller transform.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// use fase_dsp::rng::SmallRng;
+/// let mut rng = SmallRng::seed_from_u64(1);
 /// let x = fase_dsp::noise::standard_normal(&mut rng);
 /// assert!(x.is_finite());
 /// ```
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // Avoid ln(0) by sampling u1 from the half-open (0, 1].
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
+    let u1 = 1.0 - rng.gen_f64();
+    let u2 = rng.gen_f64();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 /// Draws a complex sample with independent N(0, σ²/2) components — circular
 /// white Gaussian noise with total power σ².
+///
+/// Uses both Box–Muller outputs of a single uniform pair (the cosine and
+/// sine legs), so one `ln`/`sqrt` and two uniforms serve the whole complex
+/// draw — half the cost of two independent [`standard_normal`] calls.
 pub fn complex_normal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> Complex64 {
-    let s = sigma / std::f64::consts::SQRT_2;
-    Complex64::new(s * standard_normal(rng), s * standard_normal(rng))
+    let u1 = 1.0 - rng.gen_f64();
+    let u2 = rng.gen_f64();
+    // (σ/√2)·√(−2·ln u1) = σ·√(−ln u1).
+    let r = sigma * (-u1.ln()).sqrt();
+    let (sin, cos) = (std::f64::consts::TAU * u2).sin_cos();
+    Complex64::new(r * cos, r * sin)
 }
 
 /// Fills `out` with white Gaussian noise of standard deviation `sigma`.
@@ -64,7 +73,11 @@ impl GaussMarkov {
         assert!(tau_steps > 0.0, "correlation time must be positive");
         let alpha = (-1.0 / tau_steps).exp();
         let innovation = sigma * (1.0 - alpha * alpha).sqrt();
-        GaussMarkov { state: 0.0, alpha, innovation }
+        GaussMarkov {
+            state: 0.0,
+            alpha,
+            innovation,
+        }
     }
 
     /// Advances one step and returns the new state.
@@ -100,7 +113,10 @@ impl PhaseWalk {
     /// Panics if `step_sigma` is negative.
     pub fn new(step_sigma: f64) -> PhaseWalk {
         assert!(step_sigma >= 0.0, "step sigma must be non-negative");
-        PhaseWalk { phase: 0.0, step_sigma }
+        PhaseWalk {
+            phase: 0.0,
+            step_sigma,
+        }
     }
 
     /// Advances one step and returns the accumulated phase in radians.
@@ -141,9 +157,8 @@ pub fn pink_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64, octaves: u32, n: usi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SmallRng;
     use crate::stats;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn normal_moments() {

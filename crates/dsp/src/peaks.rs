@@ -75,8 +75,16 @@ pub fn find_peaks(values: &[f64], config: &PeakConfig) -> Vec<Peak> {
         let hi = (i + w).min(n - 1);
         let left = &values[lo..i];
         let right = &values[i + 1..=hi];
-        let rise_left = if left.is_empty() { 0.0 } else { values[i] - stats::mean(left) };
-        let rise_right = if right.is_empty() { 0.0 } else { values[i] - stats::mean(right) };
+        let rise_left = if left.is_empty() {
+            0.0
+        } else {
+            values[i] - stats::mean(left)
+        };
+        let rise_right = if right.is_empty() {
+            0.0
+        } else {
+            values[i] - stats::mean(right)
+        };
         scores[i] = 0.5 * (rise_left + rise_right);
     }
 
@@ -91,11 +99,13 @@ pub fn find_peaks(values: &[f64], config: &PeakConfig) -> Vec<Peak> {
     // Candidate peaks: strict local maxima whose score clears the threshold.
     let mut candidates: Vec<Peak> = (1..n - 1)
         .filter(|&i| {
-            values[i] >= values[i - 1]
-                && values[i] > values[i + 1]
-                && scores[i] >= threshold
+            values[i] >= values[i - 1] && values[i] > values[i + 1] && scores[i] >= threshold
         })
-        .map(|i| Peak { index: i, value: values[i], score: scores[i] })
+        .map(|i| Peak {
+            index: i,
+            value: values[i],
+            score: scores[i],
+        })
         .collect();
 
     // Non-maximum suppression: strongest first, knock out close neighbors.
@@ -189,7 +199,10 @@ mod tests {
         x[41] = 15.0; // shoulder next to the main peak
         let peaks = find_peaks(
             &x,
-            &PeakConfig { min_distance: 5, ..PeakConfig::default() },
+            &PeakConfig {
+                min_distance: 5,
+                ..PeakConfig::default()
+            },
         );
         assert_eq!(peaks.len(), 1);
         assert_eq!(peaks[0].index, 40);
@@ -205,9 +218,7 @@ mod tests {
     fn parabolic_interpolation_recovers_offset() {
         // Samples of a parabola with vertex at 10.3.
         let vertex = 10.3;
-        let x: Vec<f64> = (0..21)
-            .map(|i| 5.0 - (i as f64 - vertex).powi(2))
-            .collect();
+        let x: Vec<f64> = (0..21).map(|i| 5.0 - (i as f64 - vertex).powi(2)).collect();
         let off = parabolic_offset(&x, 10);
         assert!((off - 0.3).abs() < 1e-9, "offset {off}");
         assert_eq!(parabolic_offset(&x, 0), 0.0);

@@ -95,7 +95,11 @@ impl Spectrum {
         {
             return Err(SpectrumError::BadPower { index, value });
         }
-        Ok(Spectrum { start, resolution, power_mw })
+        Ok(Spectrum {
+            start,
+            resolution,
+            power_mw,
+        })
     }
 
     /// Creates a spectrum from dBm bin values.
@@ -111,7 +115,13 @@ impl Spectrum {
     ) -> Result<Spectrum, SpectrumError> {
         let power: Vec<f64> = dbm
             .iter()
-            .map(|&d| if d == f64::NEG_INFINITY { 0.0 } else { Dbm(d).milliwatts() })
+            .map(|&d| {
+                if d == f64::NEG_INFINITY {
+                    0.0
+                } else {
+                    Dbm(d).milliwatts()
+                }
+            })
             .collect();
         Spectrum::new(start, resolution, power)
     }
@@ -226,7 +236,10 @@ impl Spectrum {
             .iter()
             .copied()
             .enumerate()
-            .fold((0, f64::MIN), |best, (i, p)| if p > best.1 { (i, p) } else { best })
+            .fold(
+                (0, f64::MIN),
+                |best, (i, p)| if p > best.1 { (i, p) } else { best },
+            )
     }
 
     /// Total power across all bins, in milliwatts.
@@ -456,7 +469,10 @@ mod tests {
     fn averaging_rejects_mismatch() {
         let a = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1.0, 3.0]).unwrap();
         let b = Spectrum::new(Hertz(5.0), Hertz(1.0), vec![3.0, 5.0]).unwrap();
-        assert_eq!(Spectrum::average([&a, &b]).unwrap_err(), SpectrumError::GridMismatch);
+        assert_eq!(
+            Spectrum::average([&a, &b]).unwrap_err(),
+            SpectrumError::GridMismatch
+        );
     }
 
     #[test]
@@ -469,7 +485,10 @@ mod tests {
         assert_eq!(s.powers(), &[1.0, 2.0, 3.0, 4.0]);
 
         let gap = Spectrum::new(Hertz(5.0), Hertz(1.0), vec![9.0]).unwrap();
-        assert_eq!(Spectrum::stitch([&a, &gap]).unwrap_err(), SpectrumError::GridMismatch);
+        assert_eq!(
+            Spectrum::stitch([&a, &gap]).unwrap_err(),
+            SpectrumError::GridMismatch
+        );
     }
 
     #[test]

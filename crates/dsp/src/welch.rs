@@ -6,7 +6,7 @@
 //! `fase-specan`'s raw captures) and want a low-variance spectrum from it.
 
 use crate::complex::Complex64;
-use crate::fft::{fft_shift, FftPlan};
+use crate::fft::fft_shift;
 use crate::spectrum::{Spectrum, SpectrumError};
 use crate::units::Hertz;
 use crate::window::Window;
@@ -25,7 +25,11 @@ pub struct WelchConfig {
 
 impl Default for WelchConfig {
     fn default() -> WelchConfig {
-        WelchConfig { segment: 1024, overlap: 512, window: Window::Hann }
+        WelchConfig {
+            segment: 1024,
+            overlap: 512,
+            window: Window::Hann,
+        }
     }
 }
 
@@ -74,7 +78,7 @@ pub fn welch_psd(
         return Err(SpectrumError::Empty);
     }
     let hop = seg - config.overlap;
-    let plan = FftPlan::new(seg);
+    let plan = crate::fft::cached_plan(seg);
     let coeffs = config.window.coefficients(seg);
     let cg = config.window.coherent_gain(seg);
     let scale = 1.0 / (seg as f64 * cg);
@@ -109,8 +113,7 @@ pub fn welch_psd(
 mod tests {
     use super::*;
     use crate::noise::complex_normal;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SmallRng;
     use std::f64::consts::TAU;
 
     #[test]
@@ -132,20 +135,30 @@ mod tests {
     fn averaging_reduces_noise_variance() {
         let fs = 100_000.0;
         let mut rng = SmallRng::seed_from_u64(3);
-        let iq: Vec<Complex64> = (0..1 << 15).map(|_| complex_normal(&mut rng, 1e-6)).collect();
+        let iq: Vec<Complex64> = (0..1 << 15)
+            .map(|_| complex_normal(&mut rng, 1e-6))
+            .collect();
         // One-segment "Welch" (a bare periodogram) vs many averaged segments.
         let one = welch_psd(
             &iq[..1024],
             Hertz(0.0),
             fs,
-            &WelchConfig { segment: 1024, overlap: 0, window: Window::Hann },
+            &WelchConfig {
+                segment: 1024,
+                overlap: 0,
+                window: Window::Hann,
+            },
         )
         .unwrap();
         let many = welch_psd(
             &iq,
             Hertz(0.0),
             fs,
-            &WelchConfig { segment: 1024, overlap: 512, window: Window::Hann },
+            &WelchConfig {
+                segment: 1024,
+                overlap: 512,
+                window: Window::Hann,
+            },
         )
         .unwrap();
         let rel_var = |s: &Spectrum| {
@@ -168,7 +181,11 @@ mod tests {
             &iq,
             Hertz(1_000_000.0),
             fs,
-            &WelchConfig { segment: 256, overlap: 128, window: Window::Hann },
+            &WelchConfig {
+                segment: 256,
+                overlap: 128,
+                window: Window::Hann,
+            },
         )
         .unwrap();
         assert_eq!(psd.len(), 256);
@@ -193,7 +210,11 @@ mod tests {
             &iq,
             Hertz(0.0),
             1e3,
-            &WelchConfig { segment: 256, overlap: 256, window: Window::Hann },
+            &WelchConfig {
+                segment: 256,
+                overlap: 256,
+                window: Window::Hann,
+            },
         );
     }
 }

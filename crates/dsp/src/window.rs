@@ -55,7 +55,13 @@ impl Window {
             Window::Hann => &[0.5, -0.5],
             Window::Hamming => &[0.54, -0.46],
             Window::BlackmanHarris => &[0.35875, -0.48829, 0.14128, -0.01168],
-            Window::FlatTop => &[0.21557895, -0.41663158, 0.277263158, -0.083578947, 0.006947368],
+            Window::FlatTop => &[
+                0.21557895,
+                -0.41663158,
+                0.277263158,
+                -0.083578947,
+                0.006947368,
+            ],
         };
         let step = std::f64::consts::TAU / n as f64;
         (0..n)
@@ -87,7 +93,13 @@ impl Window {
             Window::Hann => &[0.5, -0.5],
             Window::Hamming => &[0.54, -0.46],
             Window::BlackmanHarris => &[0.35875, -0.48829, 0.14128, -0.01168],
-            Window::FlatTop => &[0.21557895, -0.41663158, 0.277263158, -0.083578947, 0.006947368],
+            Window::FlatTop => &[
+                0.21557895,
+                -0.41663158,
+                0.277263158,
+                -0.083578947,
+                0.006947368,
+            ],
         };
         let step = std::f64::consts::TAU / (n - 1) as f64;
         (0..n)

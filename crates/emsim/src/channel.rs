@@ -7,9 +7,8 @@
 
 use crate::ctx::CaptureWindow;
 use fase_dsp::noise::complex_normal;
+use fase_dsp::rng::SmallRng;
 use fase_dsp::{Complex64, Decibels};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Receiver channel model.
 ///
@@ -90,8 +89,11 @@ mod tests {
         ch.apply(&window, &mut iq);
         // Average bin power (rectangular window) = density · bin_hz.
         let bins = fft(&iq);
-        let avg: f64 =
-            bins.iter().map(|z| z.norm_sqr() / (n as f64 * n as f64)).sum::<f64>() / n as f64;
+        let avg: f64 = bins
+            .iter()
+            .map(|z| z.norm_sqr() / (n as f64 * n as f64))
+            .sum::<f64>()
+            / n as f64;
         let bin_hz = fs / n as f64;
         let expected = 10f64.powf(-150.0 / 10.0) * bin_hz;
         let err_db = 10.0 * (avg / expected).log10();

@@ -10,11 +10,11 @@
 //! [`ClockSource::unmodulated`].
 
 use crate::ctx::{dbm_to_amplitude, CaptureWindow, RenderCtx};
+use crate::phasor::{Phasor, SynthMode, BLOCK};
 use crate::source::{harmonics_in_window, EmSource, FreqDrift, SourceInfo, SourceKind};
+use fase_dsp::rng::SmallRng;
 use fase_dsp::{Complex64, Hertz};
 use fase_sysmodel::Domain;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::f64::consts::TAU;
 
 /// Maximum clock harmonics rendered.
@@ -108,7 +108,10 @@ impl ClockSource {
     /// Makes the emanated amplitude track `domain` load:
     /// envelope = full · (idle_fraction + (1 − idle_fraction)·load).
     pub fn modulated_by(mut self, domain: Domain, idle_fraction: f64) -> ClockSource {
-        assert!((0.0..=1.0).contains(&idle_fraction), "idle fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&idle_fraction),
+            "idle fraction in [0,1]"
+        );
         self.domain = Some(domain);
         self.idle_fraction = idle_fraction;
         self
@@ -145,7 +148,11 @@ impl ClockSource {
             return 0.0;
         }
         let phase = (t / self.sweep_period).rem_euclid(1.0);
-        let tri = if phase < 0.5 { 2.0 * phase } else { 2.0 * (1.0 - phase) };
+        let tri = if phase < 0.5 {
+            2.0 * phase
+        } else {
+            2.0 * (1.0 - phase)
+        };
         span * (tri - 0.5)
     }
 }
@@ -170,25 +177,74 @@ impl EmSource for ClockSource {
         let dt = 1.0 / fs;
         let t0 = window.start_time();
         let f_nom = self.nominal_frequency().hz();
+        let f_off = window.center().hz();
         let load = self.domain.map(|d| ctx.load_waveform(d));
         // Harmonic amplitude rolloff ~1/k (fast digital edges).
         let amps: Vec<f64> = ks.iter().map(|&k| self.full_amplitude / k as f64).collect();
-        let mut phases: Vec<f64> = ks
-            .iter()
-            .map(|&k| TAU * ((k as f64 * f_nom - window.center().hz()) * t0) % TAU)
-            .collect();
-        for (n, sample) in out.iter_mut().enumerate().take(window.len()) {
-            let t = t0 + n as f64 * dt;
-            let drift = self.drift.step(dt, &mut self.rng);
-            let dev = self.sweep_deviation(t);
-            let envelope = match load {
-                Some(w) => self.idle_fraction + (1.0 - self.idle_fraction) * w[n],
-                None => 1.0,
-            };
-            for (i, &k) in ks.iter().enumerate() {
-                *sample += Complex64::from_polar(amps[i] * envelope, phases[i]);
-                let inst = k as f64 * (f_nom + dev + drift) - window.center().hz();
-                phases[i] = (phases[i] + TAU * inst * dt) % TAU;
+        match ctx.mode() {
+            SynthMode::Exact => {
+                let mut phases: Vec<f64> = ks
+                    .iter()
+                    .map(|&k| TAU * ((k as f64 * f_nom - f_off) * t0) % TAU)
+                    .collect();
+                for (n, sample) in out.iter_mut().enumerate().take(window.len()) {
+                    let t = t0 + n as f64 * dt;
+                    let drift = self.drift.step(dt, &mut self.rng);
+                    let dev = self.sweep_deviation(t);
+                    let envelope = match load {
+                        Some(w) => self.idle_fraction + (1.0 - self.idle_fraction) * w[n],
+                        None => 1.0,
+                    };
+                    for (i, &k) in ks.iter().enumerate() {
+                        *sample += Complex64::from_polar(amps[i] * envelope, phases[i]);
+                        let inst = k as f64 * (f_nom + dev + drift) - f_off;
+                        phases[i] = (phases[i] + TAU * inst * dt) % TAU;
+                    }
+                }
+            }
+            SynthMode::Fast => {
+                // The triangular sweep is piecewise-linear in frequency, so
+                // a per-block linear chirp (second-order phasor recurrence)
+                // reproduces it exactly except across the two vertices per
+                // sweep period; the load envelope stays per-sample — it is
+                // the amplitude modulation FASE detects.
+                let mut phasors: Vec<Phasor> = ks
+                    .iter()
+                    .map(|&k| Phasor::new(TAU * ((k as f64 * f_nom - f_off) * t0) % TAU))
+                    .collect();
+                let mut rots = vec![Complex64::ONE; ks.len()];
+                let mut accels = vec![Complex64::ONE; ks.len()];
+                let n = window.len();
+                let mut pos = 0;
+                while pos < n {
+                    let len = (n - pos).min(BLOCK);
+                    let drift = self.drift.step(dt * len as f64, &mut self.rng);
+                    let dev0 = self.sweep_deviation(t0 + pos as f64 * dt);
+                    let dev1 = self.sweep_deviation(t0 + (pos + len) as f64 * dt);
+                    for (i, &k) in ks.iter().enumerate() {
+                        let f0 = k as f64 * (f_nom + dev0 + drift) - f_off;
+                        let f1 = k as f64 * (f_nom + dev1 + drift) - f_off;
+                        rots[i] = Phasor::rotation(f0, dt);
+                        accels[i] = Phasor::chirp(f0, f1, len, dt);
+                    }
+                    for (n_i, sample) in out[pos..pos + len].iter_mut().enumerate() {
+                        let envelope = match load {
+                            Some(w) => {
+                                self.idle_fraction + (1.0 - self.idle_fraction) * w[pos + n_i]
+                            }
+                            None => 1.0,
+                        };
+                        for (i, p) in phasors.iter_mut().enumerate() {
+                            *sample += p.value().scale(amps[i] * envelope);
+                            p.advance(rots[i]);
+                            rots[i] *= accels[i];
+                        }
+                    }
+                    for p in phasors.iter_mut() {
+                        p.renormalize();
+                    }
+                    pos += len;
+                }
             }
         }
     }
@@ -200,7 +256,13 @@ mod tests {
     use fase_dsp::fft::{fft, fft_shift};
     use fase_sysmodel::{ActivityTrace, DomainLoads};
 
-    fn render_spectrum(clk: &mut ClockSource, center: Hertz, fs: f64, n: usize, dram: f64) -> Vec<f64> {
+    fn render_spectrum(
+        clk: &mut ClockSource,
+        center: Hertz,
+        fs: f64,
+        n: usize,
+        dram: f64,
+    ) -> Vec<f64> {
         let window = CaptureWindow::new(center, fs, n, 0.0);
         let mut trace = ActivityTrace::new();
         trace.push(10.0, DomainLoads::new(0.0, dram, dram));
@@ -209,7 +271,9 @@ mod tests {
         clk.render(&window, &ctx, &mut iq);
         let mut bins = fft(&iq);
         fft_shift(&mut bins);
-        bins.iter().map(|z| z.norm_sqr() / (n as f64 * n as f64)).collect()
+        bins.iter()
+            .map(|z| z.norm_sqr() / (n as f64 * n as f64))
+            .collect()
     }
 
     #[test]
@@ -265,7 +329,11 @@ mod tests {
         // And it is genuinely spread: the strongest single bin is far below
         // the total.
         let peak = spec.iter().cloned().fold(0.0, f64::max);
-        assert!(peak / total < 0.3, "not spread: peak fraction {}", peak / total);
+        assert!(
+            peak / total < 0.3,
+            "not spread: peak fraction {}",
+            peak / total
+        );
     }
 
     #[test]
@@ -290,7 +358,11 @@ mod tests {
             .iter()
             .sum();
         // Amplitude ratio 10x => power ratio 100x.
-        assert!(busy / idle > 50.0, "modulation depth wrong: {}", busy / idle);
+        assert!(
+            busy / idle > 50.0,
+            "modulation depth wrong: {}",
+            busy / idle
+        );
     }
 
     #[test]

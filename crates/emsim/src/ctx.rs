@@ -1,5 +1,6 @@
 //! Capture windows and the render context shared by all EM sources.
 
+use crate::phasor::SynthMode;
 use fase_dsp::{Complex64, Hertz, Seconds};
 use fase_sysmodel::{ActivityTrace, Domain, RefreshEvent};
 
@@ -35,7 +36,12 @@ impl CaptureWindow {
     pub fn new(center: Hertz, sample_rate: f64, len: usize, start_time: f64) -> CaptureWindow {
         assert!(sample_rate > 0.0, "sample rate must be positive");
         assert!(len > 0, "capture length must be non-zero");
-        CaptureWindow { center, sample_rate, len, start_time }
+        CaptureWindow {
+            center,
+            sample_rate,
+            len,
+            start_time,
+        }
     }
 
     /// Tuned center frequency.
@@ -99,6 +105,7 @@ pub struct RenderCtx<'a> {
     trace: &'a ActivityTrace,
     refreshes: &'a [RefreshEvent],
     loads: [Vec<f64>; 3],
+    mode: SynthMode,
 }
 
 impl<'a> RenderCtx<'a> {
@@ -117,7 +124,24 @@ impl<'a> RenderCtx<'a> {
             trace.rasterize(Domain::MemoryInterface, fs, n),
             trace.rasterize(Domain::Dram, fs, n),
         ];
-        RenderCtx { trace, refreshes, loads }
+        RenderCtx {
+            trace,
+            refreshes,
+            loads,
+            mode: SynthMode::Fast,
+        }
+    }
+
+    /// Selects the synthesis path sources should use (default
+    /// [`SynthMode::Fast`]).
+    pub fn with_mode(mut self, mode: SynthMode) -> RenderCtx<'a> {
+        self.mode = mode;
+        self
+    }
+
+    /// The selected synthesis path.
+    pub fn mode(&self) -> SynthMode {
+        self.mode
     }
 
     /// An idle context (all loads zero, no refreshes) for `window`.
@@ -132,6 +156,7 @@ impl<'a> RenderCtx<'a> {
                 vec![0.0; window.len()],
                 vec![0.0; window.len()],
             ],
+            mode: SynthMode::Fast,
         }
     }
 

@@ -8,12 +8,12 @@
 //! reported; these sources provide the corresponding workload.
 
 use crate::ctx::{dbm_to_amplitude, CaptureWindow, RenderCtx};
+use crate::phasor::{Phasor, SynthMode, BLOCK};
 use crate::source::{EmSource, FreqDrift, SourceInfo, SourceKind};
+use fase_dsp::fft::cached_plan;
 use fase_dsp::noise::standard_normal;
-use fase_dsp::{Complex64, FftPlan, Hertz};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use fase_dsp::rng::{Rng, SmallRng};
+use fase_dsp::{Complex64, Hertz};
 use std::f64::consts::TAU;
 
 /// An AM broadcast station: a strong, stable carrier amplitude-modulated by
@@ -52,8 +52,8 @@ impl AmBroadcast {
         let mut rng = SmallRng::seed_from_u64(seed);
         let tones = (0..3)
             .map(|_| {
-                let f = 300.0 + rng.gen::<f64>() * 3_700.0;
-                let level = 0.3 + rng.gen::<f64>() * 0.7;
+                let f = 300.0 + rng.gen_f64() * 3_700.0;
+                let level = 0.3 + rng.gen_f64() * 0.7;
                 (f, level)
             })
             .collect();
@@ -97,8 +97,7 @@ impl AmBroadcast {
             .iter()
             .map(|&(f, level)| level * (TAU * f * t).sin())
             .sum();
-        a = 0.5 * a / self.tones.len() as f64
-            + 0.5 * self.audio_noise.step(dt, &mut self.rng);
+        a = 0.5 * a / self.tones.len() as f64 + 0.5 * self.audio_noise.step(dt, &mut self.rng);
         a.clamp(-1.0, 1.0)
     }
 }
@@ -113,21 +112,57 @@ impl EmSource for AmBroadcast {
         }
     }
 
-    fn render(&mut self, window: &CaptureWindow, _ctx: &RenderCtx<'_>, out: &mut [Complex64]) {
+    fn render(&mut self, window: &CaptureWindow, ctx: &RenderCtx<'_>, out: &mut [Complex64]) {
         if !window.contains(self.carrier, Hertz(20_000.0)) {
             return;
         }
         let fs = window.sample_rate();
         let dt = 1.0 / fs;
         let t0 = window.start_time();
-        let mut phase = TAU * ((self.carrier.hz() - window.center().hz()) * t0) % TAU;
-        for (n, sample) in out.iter_mut().enumerate().take(window.len()) {
-            let t = t0 + n as f64 * dt;
-            let drift = self.drift.step(dt, &mut self.rng);
-            let envelope =
-                self.amplitude * (1.0 + self.modulation_index * self.audio(t, dt)).max(0.0);
-            *sample += Complex64::from_polar(envelope, phase);
-            phase = (phase + TAU * (self.carrier.hz() + drift - window.center().hz()) * dt) % TAU;
+        let f_off = window.center().hz();
+        match ctx.mode() {
+            SynthMode::Exact => {
+                let mut phase = TAU * ((self.carrier.hz() - f_off) * t0) % TAU;
+                for (n, sample) in out.iter_mut().enumerate().take(window.len()) {
+                    let t = t0 + n as f64 * dt;
+                    let drift = self.drift.step(dt, &mut self.rng);
+                    let envelope =
+                        self.amplitude * (1.0 + self.modulation_index * self.audio(t, dt)).max(0.0);
+                    *sample += Complex64::from_polar(envelope, phase);
+                    phase = (phase + TAU * (self.carrier.hz() + drift - f_off) * dt) % TAU;
+                }
+            }
+            SynthMode::Fast => {
+                // The audio program reaches ~4 kHz, so cap the envelope
+                // block to keep several lerp points per audio cycle; at
+                // audio-scale sample rates this degenerates to per-sample
+                // evaluation, which is the correct (exact) behaviour.
+                let block = BLOCK.min(((fs / 32_000.0) as usize).max(1));
+                let mut phasor = Phasor::new(TAU * ((self.carrier.hz() - f_off) * t0) % TAU);
+                let mut env_end =
+                    self.amplitude * (1.0 + self.modulation_index * self.audio(t0, dt)).max(0.0);
+                let n = window.len();
+                let mut pos = 0;
+                while pos < n {
+                    let len = (n - pos).min(block);
+                    let dt_block = dt * len as f64;
+                    let drift = self.drift.step(dt_block, &mut self.rng);
+                    let env0 = env_end;
+                    let t_end = t0 + (pos + len) as f64 * dt;
+                    env_end = self.amplitude
+                        * (1.0 + self.modulation_index * self.audio(t_end, dt_block)).max(0.0);
+                    let rot = Phasor::rotation(self.carrier.hz() + drift - f_off, dt);
+                    let step = (env_end - env0) / len as f64;
+                    let mut env = env0;
+                    for sample in &mut out[pos..pos + len] {
+                        *sample += phasor.value().scale(env);
+                        phasor.advance(rot);
+                        env += step;
+                    }
+                    phasor.renormalize();
+                    pos += len;
+                }
+            }
         }
     }
 }
@@ -144,7 +179,6 @@ pub struct SpurForest {
     name: String,
     /// `(frequency, envelope amplitude, phase)` per spur.
     spurs: Vec<(Hertz, f64, f64)>,
-    plans: HashMap<usize, FftPlan>,
 }
 
 impl SpurForest {
@@ -155,9 +189,8 @@ impl SpurForest {
             name: name.to_owned(),
             spurs: spurs
                 .iter()
-                .map(|&(f, dbm)| (f, dbm_to_amplitude(dbm), rng.gen::<f64>() * TAU))
+                .map(|&(f, dbm)| (f, dbm_to_amplitude(dbm), rng.gen_f64() * TAU))
                 .collect(),
-            plans: HashMap::new(),
         }
     }
 
@@ -181,12 +214,15 @@ impl SpurForest {
         let mut rng = SmallRng::seed_from_u64(seed);
         let spurs: Vec<(Hertz, f64, f64)> = (0..count)
             .map(|_| {
-                let f = Hertz(lo.hz() + rng.gen::<f64>() * (hi.hz() - lo.hz()));
-                let dbm = level_lo_dbm + rng.gen::<f64>() * (level_hi_dbm - level_lo_dbm);
-                (f, dbm_to_amplitude(dbm), rng.gen::<f64>() * TAU)
+                let f = Hertz(lo.hz() + rng.gen_f64() * (hi.hz() - lo.hz()));
+                let dbm = level_lo_dbm + rng.gen_f64() * (level_hi_dbm - level_lo_dbm);
+                (f, dbm_to_amplitude(dbm), rng.gen_f64() * TAU)
             })
             .collect();
-        SpurForest { name: name.to_owned(), spurs, plans: HashMap::new() }
+        SpurForest {
+            name: name.to_owned(),
+            spurs,
+        }
     }
 
     /// Number of spurs.
@@ -238,11 +274,7 @@ impl EmSource for SpurForest {
         if !any {
             return;
         }
-        let plan = self
-            .plans
-            .entry(n)
-            .or_insert_with(|| FftPlan::new(n));
-        plan.inverse(&mut freq);
+        cached_plan(n).inverse(&mut freq);
         for (o, s) in out.iter_mut().zip(&freq) {
             *o += *s;
         }
@@ -272,18 +304,21 @@ pub struct RollingNoise {
     /// Noise density far from any hill, in dBm/Hz.
     floor_dbm_per_hz: f64,
     hills: Vec<NoiseHill>,
-    plans: HashMap<usize, FftPlan>,
     rng: SmallRng,
 }
 
 impl RollingNoise {
     /// Creates rolling noise with an explicit hill list.
-    pub fn new(name: &str, floor_dbm_per_hz: f64, hills: Vec<NoiseHill>, seed: u64) -> RollingNoise {
+    pub fn new(
+        name: &str,
+        floor_dbm_per_hz: f64,
+        hills: Vec<NoiseHill>,
+        seed: u64,
+    ) -> RollingNoise {
         RollingNoise {
             name: name.to_owned(),
             floor_dbm_per_hz,
             hills,
-            plans: HashMap::new(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -300,9 +335,9 @@ impl RollingNoise {
         let mut rng = SmallRng::seed_from_u64(seed);
         let hills = (0..count)
             .map(|_| NoiseHill {
-                center: Hertz(lo.hz() + rng.gen::<f64>() * (hi.hz() - lo.hz())),
-                width: Hertz((hi.hz() - lo.hz()) * (0.01 + 0.04 * rng.gen::<f64>())),
-                excess_db: 3.0 + 9.0 * rng.gen::<f64>(),
+                center: Hertz(lo.hz() + rng.gen_f64() * (hi.hz() - lo.hz())),
+                width: Hertz((hi.hz() - lo.hz()) * (0.01 + 0.04 * rng.gen_f64())),
+                excess_db: 3.0 + 9.0 * rng.gen_f64(),
             })
             .collect();
         RollingNoise::new(name, floor_dbm_per_hz, hills, seed ^ 0x9E37_79B9)
@@ -340,7 +375,11 @@ impl EmSource for RollingNoise {
         let mut freq = Vec::with_capacity(n);
         for k in 0..n {
             // FFT bin k ↔ baseband offset (k > n/2 means negative).
-            let offset = if k <= n / 2 { k as f64 } else { k as f64 - n as f64 } * bin_hz;
+            let offset = if k <= n / 2 {
+                k as f64
+            } else {
+                k as f64 - n as f64
+            } * bin_hz;
             let f = Hertz(window.center().hz() + offset);
             let density = self.density_at(f);
             // X_k ~ CN(0, density·n·fs) gives PSD = density after the IFFT.
@@ -350,8 +389,7 @@ impl EmSource for RollingNoise {
                 sigma * standard_normal(&mut self.rng),
             ));
         }
-        let plan = self.plans.entry(n).or_insert_with(|| FftPlan::new(n));
-        plan.inverse(&mut freq);
+        cached_plan(n).inverse(&mut freq);
         for (o, s) in out.iter_mut().zip(&freq) {
             *o += *s;
         }
@@ -377,7 +415,9 @@ mod tests {
         let n = iq.len();
         let mut bins = fft(iq);
         fft_shift(&mut bins);
-        bins.iter().map(|z| z.norm_sqr() / (n as f64 * n as f64)).collect()
+        bins.iter()
+            .map(|z| z.norm_sqr() / (n as f64 * n as f64))
+            .collect()
     }
 
     #[test]
@@ -391,7 +431,10 @@ mod tests {
         let spec = power_bins(&iq);
         let carrier = spec[n / 2 - 2..n / 2 + 2].iter().sum::<f64>();
         let carrier_dbm = 10.0 * carrier.log10();
-        assert!((carrier_dbm - -90.0).abs() < 1.5, "carrier {carrier_dbm} dBm");
+        assert!(
+            (carrier_dbm - -90.0).abs() < 1.5,
+            "carrier {carrier_dbm} dBm"
+        );
         // Audio side-bands: power within ±5 kHz (excluding carrier bins)
         // well above power outside ±6 kHz.
         let bin_hz = fs / n as f64;
@@ -406,7 +449,10 @@ mod tests {
         // Audio-band side-band *density* well above the residual tails of
         // the (Lorentzian) program noise outside it.
         let density_ratio = (inner / inner_bins as f64) / (outer / outer_bins as f64);
-        assert!(density_ratio > 10.0, "side-bands missing: density ratio {density_ratio}");
+        assert!(
+            density_ratio > 10.0,
+            "side-bands missing: density ratio {density_ratio}"
+        );
     }
 
     #[test]
@@ -438,21 +484,16 @@ mod tests {
 
     #[test]
     fn spur_amplitudes_stable_across_renders() {
-        let mut forest = SpurForest::random(
-            "f",
-            Hertz(0.0),
-            Hertz(1e6),
-            50,
-            -130.0,
-            -105.0,
-            7,
-        );
+        let mut forest = SpurForest::random("f", Hertz(0.0), Hertz(1e6), 50, -130.0, -105.0, 7);
         let fs = 1e6;
         let n = 1 << 13;
         let a = power_bins(&render(&mut forest, Hertz::from_khz(500.0), fs, n));
         let b = power_bins(&render(&mut forest, Hertz::from_khz(500.0), fs, n));
         for (x, y) in a.iter().zip(&b) {
-            assert!((x - y).abs() <= 1e-18 + 1e-9 * x.max(*y), "spurs moved between captures");
+            assert!(
+                (x - y).abs() <= 1e-18 + 1e-9 * x.max(*y),
+                "spurs moved between captures"
+            );
         }
     }
 

@@ -34,6 +34,7 @@ pub mod channel;
 pub mod clock;
 pub mod ctx;
 pub mod interference;
+pub mod phasor;
 pub mod refresh;
 pub mod regulator;
 pub mod scene;
@@ -41,5 +42,6 @@ pub mod source;
 pub mod timedomain;
 
 pub use ctx::{CaptureWindow, RenderCtx};
+pub use phasor::SynthMode;
 pub use scene::{RefreshPolicy, Scene, SimulatedSystem};
 pub use source::{EmSource, SourceInfo, SourceKind};

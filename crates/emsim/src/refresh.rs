@@ -156,11 +156,20 @@ mod tests {
     fn periodic_events(rate: f64, width: f64, duration: f64) -> Vec<RefreshEvent> {
         let n = (duration * rate) as usize;
         (0..n)
-            .map(|i| RefreshEvent { start: i as f64 / rate, duration: width })
+            .map(|i| RefreshEvent {
+                start: i as f64 / rate,
+                duration: width,
+            })
             .collect()
     }
 
-    fn power_spectrum(src: &mut RefreshSource, events: &[RefreshEvent], center: Hertz, fs: f64, n: usize) -> Vec<f64> {
+    fn power_spectrum(
+        src: &mut RefreshSource,
+        events: &[RefreshEvent],
+        center: Hertz,
+        fs: f64,
+        n: usize,
+    ) -> Vec<f64> {
         let window = CaptureWindow::new(center, fs, n, 0.0);
         let trace = ActivityTrace::new();
         let ctx = RenderCtx::new(&trace, events, &window);
@@ -170,7 +179,9 @@ mod tests {
         let cg = Win::BlackmanHarris.coherent_gain(n);
         let mut bins = fft(&iq);
         fft_shift(&mut bins);
-        bins.iter().map(|z| (z.norm() / (n as f64 * cg)).powi(2)).collect()
+        bins.iter()
+            .map(|z| (z.norm() / (n as f64 * cg)).powi(2))
+            .collect()
     }
 
     fn band_power(spec: &[f64], fs: f64, n: usize, f_offset: f64, half_bins: usize) -> f64 {
@@ -181,8 +192,8 @@ mod tests {
 
     #[test]
     fn periodic_train_has_flat_harmonic_comb() {
-        let mut src = RefreshSource::new("refresh", Hertz(128_000.0), 200e-9)
-            .with_harmonic_dbm(-120.0);
+        let mut src =
+            RefreshSource::new("refresh", Hertz(128_000.0), 200e-9).with_harmonic_dbm(-120.0);
         let fs = 4.0e6;
         let n = 1 << 16;
         let events = periodic_events(128_000.0, 200e-9, n as f64 / fs);
@@ -197,7 +208,10 @@ mod tests {
         // legitimately costs up to ~2 dB at this span offset) ...
         assert!((p4_dbm - -120.0).abs() < 4.0, "4th harmonic {p4_dbm} dBm");
         // ... and "of similar strength" across harmonics (§4.2).
-        assert!((p8_dbm - p4_dbm).abs() < 3.0, "harmonics differ: {p4_dbm} vs {p8_dbm}");
+        assert!(
+            (p8_dbm - p4_dbm).abs() < 3.0,
+            "harmonics differ: {p4_dbm} vs {p8_dbm}"
+        );
         // Between harmonics: essentially nothing.
         let gap = band_power(&spec, fs, n, 576_000.0 - 2.0e6, 3);
         assert!(gap < p4 * 1e-4, "gap power too high");
@@ -207,9 +221,8 @@ mod tests {
     fn jittered_train_weakens_harmonics() {
         // The §4.2 mechanism: random postponement spreads energy, weakening
         // the narrowband harmonics.
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+        use fase_dsp::rng::Rng;
+        let mut rng = fase_dsp::rng::SmallRng::seed_from_u64(8);
         let fs = 4.0e6;
         let n = 1 << 16;
         let duration = n as f64 / fs;
@@ -218,7 +231,7 @@ mod tests {
         let jittered: Vec<RefreshEvent> = clean
             .iter()
             .map(|e| RefreshEvent {
-                start: e.start + rng.gen::<f64>() * 2.0 * t_refi,
+                start: e.start + rng.gen_f64() * 2.0 * t_refi,
                 duration: e.duration,
             })
             .collect();
@@ -249,7 +262,10 @@ mod tests {
         let mut src = RefreshSource::new("refresh", Hertz(128_000.0), 200e-9);
         let window = CaptureWindow::new(Hertz::from_mhz(1.0), 1e6, 1024, 0.0);
         let trace = ActivityTrace::new();
-        let far = [RefreshEvent { start: 100.0, duration: 200e-9 }];
+        let far = [RefreshEvent {
+            start: 100.0,
+            duration: 200e-9,
+        }];
         let ctx = RenderCtx::new(&trace, &far, &window);
         let mut iq = vec![Complex64::ZERO; 1024];
         src.render(&window, &ctx, &mut iq);

@@ -13,13 +13,13 @@
 //! [`FmRegulator`] models that case.
 
 use crate::ctx::{dbm_to_amplitude, CaptureWindow, RenderCtx};
+use crate::phasor::{runs_of, Phasor, SynthMode};
 use crate::source::{
     harmonics_in_window, pulse_harmonic_amplitude, EmSource, FreqDrift, SourceInfo, SourceKind,
 };
+use fase_dsp::rng::SmallRng;
 use fase_dsp::{Complex64, Hertz};
 use fase_sysmodel::Domain;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::f64::consts::TAU;
 
 /// Maximum harmonics rendered per regulator (render-cost bound).
@@ -126,6 +126,77 @@ impl SwitchingRegulator {
     fn duty(&self, load: f64) -> f64 {
         (self.base_duty + self.duty_gain * load).clamp(0.01, 0.95)
     }
+
+    /// Reference path: per-sample trigonometry and per-sample drift.
+    fn render_exact(
+        &mut self,
+        window: &CaptureWindow,
+        load: &[f64],
+        ks: &[u32],
+        out: &mut [Complex64],
+    ) {
+        let dt = 1.0 / window.sample_rate();
+        let t0 = window.start_time();
+        let mut phases: Vec<f64> = ks
+            .iter()
+            .map(|&k| TAU * ((k as f64 * self.fsw.hz() - window.center().hz()) * t0) % TAU)
+            .collect();
+        for (n, sample) in out.iter_mut().enumerate().take(window.len()) {
+            let drift = self.drift.step(dt, &mut self.rng);
+            let d = self.duty(load[n]);
+            for (i, &k) in ks.iter().enumerate() {
+                let amp = self.amp_scale * pulse_harmonic_amplitude(k, d);
+                *sample += Complex64::from_polar(amp, phases[i]);
+                let inst_freq = k as f64 * (self.fsw.hz() + drift) - window.center().hz();
+                phases[i] = (phases[i] + TAU * inst_freq * dt) % TAU;
+            }
+        }
+    }
+
+    /// Fast path: phasor recurrences, with amplitudes recomputed only when
+    /// the load value actually changes (the envelope — the signal under
+    /// test — stays sample-exact) and drift stepped once per run.
+    fn render_fast(
+        &mut self,
+        window: &CaptureWindow,
+        load: &[f64],
+        ks: &[u32],
+        out: &mut [Complex64],
+    ) {
+        let dt = 1.0 / window.sample_rate();
+        let t0 = window.start_time();
+        let fsw = self.fsw.hz();
+        let f_off = window.center().hz();
+        let mut phasors: Vec<Phasor> = ks
+            .iter()
+            .map(|&k| Phasor::new(TAU * ((k as f64 * fsw - f_off) * t0) % TAU))
+            .collect();
+        let mut amps = vec![0.0f64; ks.len()];
+        let mut rots = vec![Complex64::ONE; ks.len()];
+        let mut last_load = f64::NAN;
+        for (start, len) in runs_of(window.len(), |a, b| load[a] == load[b]) {
+            let drift = self.drift.step(dt * len as f64, &mut self.rng);
+            if load[start] != last_load {
+                last_load = load[start];
+                let d = self.duty(last_load);
+                for (a, &k) in amps.iter_mut().zip(ks) {
+                    *a = self.amp_scale * pulse_harmonic_amplitude(k, d);
+                }
+            }
+            for (r, &k) in rots.iter_mut().zip(ks) {
+                *r = Phasor::rotation(k as f64 * (fsw + drift) - f_off, dt);
+            }
+            for sample in &mut out[start..start + len] {
+                for ((p, &amp), &rot) in phasors.iter_mut().zip(&amps).zip(&rots) {
+                    *sample += p.value().scale(amp);
+                    p.advance(rot);
+                }
+            }
+            for p in phasors.iter_mut() {
+                p.renormalize();
+            }
+        }
+    }
 }
 
 impl EmSource for SwitchingRegulator {
@@ -143,25 +214,10 @@ impl EmSource for SwitchingRegulator {
         if ks.is_empty() {
             return;
         }
-        let fs = window.sample_rate();
-        let dt = 1.0 / fs;
-        let t0 = window.start_time();
         let load = ctx.load_waveform(self.domain);
-        // Per-harmonic phase accumulators; base phase ties to absolute time
-        // so captures are mutually consistent.
-        let mut phases: Vec<f64> = ks
-            .iter()
-            .map(|&k| TAU * ((k as f64 * self.fsw.hz() - window.center().hz()) * t0) % TAU)
-            .collect();
-        for (n, sample) in out.iter_mut().enumerate().take(window.len()) {
-            let drift = self.drift.step(dt, &mut self.rng);
-            let d = self.duty(load[n]);
-            for (i, &k) in ks.iter().enumerate() {
-                let amp = self.amp_scale * pulse_harmonic_amplitude(k, d);
-                *sample += Complex64::from_polar(amp, phases[i]);
-                let inst_freq = k as f64 * (self.fsw.hz() + drift) - window.center().hz();
-                phases[i] = (phases[i] + TAU * inst_freq * dt) % TAU;
-            }
+        match ctx.mode() {
+            SynthMode::Exact => self.render_exact(window, load, &ks, out),
+            SynthMode::Fast => self.render_fast(window, load, &ks, out),
         }
     }
 }
@@ -245,18 +301,50 @@ impl EmSource for FmRegulator {
             .iter()
             .map(|&k| self.amp_scale * pulse_harmonic_amplitude(k, self.duty))
             .collect();
-        let mut phases: Vec<f64> = ks
-            .iter()
-            .map(|&k| TAU * ((k as f64 * self.fsw.hz() - window.center().hz()) * t0) % TAU)
-            .collect();
-        for (n, sample) in out.iter_mut().enumerate().take(window.len()) {
-            let drift = self.drift.step(dt, &mut self.rng);
-            // Constant on-time: instantaneous switching frequency tracks load.
-            let f_inst = self.fsw.hz() * (1.0 + self.fm_gain * load[n]) + drift;
-            for (i, &k) in ks.iter().enumerate() {
-                *sample += Complex64::from_polar(amps[i], phases[i]);
-                let inst = k as f64 * f_inst - window.center().hz();
-                phases[i] = (phases[i] + TAU * inst * dt) % TAU;
+        let f_off = window.center().hz();
+        match ctx.mode() {
+            SynthMode::Exact => {
+                let mut phases: Vec<f64> = ks
+                    .iter()
+                    .map(|&k| TAU * ((k as f64 * self.fsw.hz() - f_off) * t0) % TAU)
+                    .collect();
+                for (n, sample) in out.iter_mut().enumerate().take(window.len()) {
+                    let drift = self.drift.step(dt, &mut self.rng);
+                    // Constant on-time: instantaneous switching frequency
+                    // tracks load.
+                    let f_inst = self.fsw.hz() * (1.0 + self.fm_gain * load[n]) + drift;
+                    for (i, &k) in ks.iter().enumerate() {
+                        *sample += Complex64::from_polar(amps[i], phases[i]);
+                        let inst = k as f64 * f_inst - f_off;
+                        phases[i] = (phases[i] + TAU * inst * dt) % TAU;
+                    }
+                }
+            }
+            SynthMode::Fast => {
+                // The FM *is* the load waveform: frequency stays sample-
+                // exact by breaking runs at every load change, so only the
+                // drift noise moves to run rate.
+                let mut phasors: Vec<Phasor> = ks
+                    .iter()
+                    .map(|&k| Phasor::new(TAU * ((k as f64 * self.fsw.hz() - f_off) * t0) % TAU))
+                    .collect();
+                let mut rots = vec![Complex64::ONE; ks.len()];
+                for (start, len) in runs_of(window.len(), |a, b| load[a] == load[b]) {
+                    let drift = self.drift.step(dt * len as f64, &mut self.rng);
+                    let f_inst = self.fsw.hz() * (1.0 + self.fm_gain * load[start]) + drift;
+                    for (r, &k) in rots.iter_mut().zip(&ks) {
+                        *r = Phasor::rotation(k as f64 * f_inst - f_off, dt);
+                    }
+                    for sample in &mut out[start..start + len] {
+                        for ((p, &amp), &rot) in phasors.iter_mut().zip(&amps).zip(&rots) {
+                            *sample += p.value().scale(amp);
+                            p.advance(rot);
+                        }
+                    }
+                    for p in phasors.iter_mut() {
+                        p.renormalize();
+                    }
+                }
             }
         }
     }
@@ -280,7 +368,10 @@ mod tests {
     ) -> Vec<f64> {
         let window = CaptureWindow::new(center, fs, n, 0.0);
         let mut trace = ActivityTrace::new();
-        trace.push(n as f64 / fs + 1.0, DomainLoads::new(0.0, dram_load, dram_load));
+        trace.push(
+            n as f64 / fs + 1.0,
+            DomainLoads::new(0.0, dram_load, dram_load),
+        );
         let ctx = RenderCtx::new(&trace, &[], &window);
         let mut iq = vec![Complex64::ZERO; n];
         source.render(&window, &ctx, &mut iq);
@@ -288,7 +379,9 @@ mod tests {
         let cg = Win::BlackmanHarris.coherent_gain(n);
         let mut bins = fft(&iq);
         fft_shift(&mut bins);
-        bins.iter().map(|z| (z.norm() / (n as f64 * cg)).powi(2)).collect()
+        bins.iter()
+            .map(|z| (z.norm() / (n as f64 * cg)).powi(2))
+            .collect()
     }
 
     fn bin_of(freq_offset: f64, fs: f64, n: usize) -> usize {
@@ -297,10 +390,9 @@ mod tests {
 
     #[test]
     fn regulator_emits_harmonic_family() {
-        let mut reg =
-            SwitchingRegulator::new("test", Hertz::from_khz(315.0), Domain::Dram, 1)
-                .with_fundamental_dbm(-100.0)
-                .with_linewidth(Hertz(30.0));
+        let mut reg = SwitchingRegulator::new("test", Hertz::from_khz(315.0), Domain::Dram, 1)
+            .with_fundamental_dbm(-100.0)
+            .with_linewidth(Hertz(30.0));
         let fs = 4.0e6;
         let n = 1 << 16;
         let spec = spectrum_of(&mut reg, Hertz::from_mhz(2.0), fs, n, 0.0);
@@ -350,7 +442,10 @@ mod tests {
         let b = n / 2;
         let p0: f64 = spec0[b - 100..b + 100].iter().sum();
         let p1: f64 = spec1[b - 100..b + 100].iter().sum();
-        assert!(p1 > 1.5 * p0, "expected stronger fundamental under load: {p0} -> {p1}");
+        assert!(
+            p1 > 1.5 * p0,
+            "expected stronger fundamental under load: {p0} -> {p1}"
+        );
     }
 
     #[test]
@@ -401,7 +496,8 @@ mod tests {
 
     #[test]
     fn info_reports_ground_truth() {
-        let reg = SwitchingRegulator::new("DRAM regulator", Hertz::from_khz(315.0), Domain::Dram, 6);
+        let reg =
+            SwitchingRegulator::new("DRAM regulator", Hertz::from_khz(315.0), Domain::Dram, 6);
         let info = reg.info();
         assert_eq!(info.kind, SourceKind::SwitchingRegulator);
         assert_eq!(info.fundamental, Hertz::from_khz(315.0));

@@ -8,12 +8,12 @@ use crate::interference::{AmBroadcast, RollingNoise, SpurForest};
 use crate::refresh::RefreshSource;
 use crate::regulator::{FmRegulator, SwitchingRegulator};
 use crate::source::{EmSource, SourceInfo};
+use fase_dsp::rng::Rng;
 use fase_dsp::{Complex64, Hertz};
 use fase_sysmodel::controller::{
     schedule_refreshes, schedule_refreshes_randomized, RandomizedRefresh, RefreshConfig,
 };
 use fase_sysmodel::{ActivityTrace, Domain, Machine, RefreshEvent};
-use rand::Rng;
 
 /// A collection of EM sources plus the receive channel.
 ///
@@ -37,7 +37,10 @@ pub struct Scene {
 impl Scene {
     /// Creates an empty scene with the given channel.
     pub fn new(channel: Channel) -> Scene {
-        Scene { sources: Vec::new(), channel }
+        Scene {
+            sources: Vec::new(),
+            channel,
+        }
     }
 
     /// A tiny demonstration scene: one memory regulator, one AM station,
@@ -51,8 +54,7 @@ impl Scene {
                 .with_duty_gain(0.10),
         ));
         scene.add_source(Box::new(
-            AmBroadcast::new("demo AM station", Hertz::from_khz(750.0), 0xD2)
-                .with_level_dbm(-98.0),
+            AmBroadcast::new("demo AM station", Hertz::from_khz(750.0), 0xD2).with_level_dbm(-98.0),
         ));
         scene
     }
@@ -144,11 +146,16 @@ impl SimulatedSystem {
         let mut scene = Scene::new(Channel::quiet(s(0)));
         scene.add_source(Box::new(
             // Nominal 315 kHz; RC-oscillator tolerance puts the real part at +0.21%.
-            SwitchingRegulator::new("DRAM memory regulator", Hertz::from_khz(315.66), Domain::Dram, s(1))
-                .with_fundamental_dbm(-104.0)
-                .with_base_duty(0.12)
-                .with_duty_gain(0.10)
-                .with_linewidth(Hertz(260.0)),
+            SwitchingRegulator::new(
+                "DRAM memory regulator",
+                Hertz::from_khz(315.66),
+                Domain::Dram,
+                s(1),
+            )
+            .with_fundamental_dbm(-104.0)
+            .with_base_duty(0.12)
+            .with_duty_gain(0.10)
+            .with_linewidth(Hertz(260.0)),
         ));
         scene.add_source(Box::new(
             SwitchingRegulator::new(
@@ -163,11 +170,16 @@ impl SimulatedSystem {
             .with_linewidth(Hertz(420.0)),
         ));
         scene.add_source(Box::new(
-            SwitchingRegulator::new("CPU core regulator", Hertz::from_khz(332.53), Domain::Core, s(3))
-                .with_fundamental_dbm(-102.0)
-                .with_base_duty(0.15)
-                .with_duty_gain(0.25)
-                .with_linewidth(Hertz(330.0)),
+            SwitchingRegulator::new(
+                "CPU core regulator",
+                Hertz::from_khz(332.53),
+                Domain::Core,
+                s(3),
+            )
+            .with_fundamental_dbm(-102.0)
+            .with_base_duty(0.15)
+            .with_duty_gain(0.25)
+            .with_linewidth(Hertz(330.0)),
         ));
         scene.add_source(Box::new(
             RefreshSource::new("memory refresh", Hertz(128_000.0), 200e-9)
@@ -199,11 +211,18 @@ impl SimulatedSystem {
             .unmodulated()
             .with_level_dbm(-121.0),
         ));
-        for (i, khz) in [610.0, 750.0, 920.0, 1_110.0, 1_340.0, 1_590.0].iter().enumerate() {
+        for (i, khz) in [610.0, 750.0, 920.0, 1_110.0, 1_340.0, 1_590.0]
+            .iter()
+            .enumerate()
+        {
             scene.add_source(Box::new(
-                AmBroadcast::new(&format!("AM station {khz:.0} kHz"), Hertz::from_khz(*khz), s(6 + i as u64))
-                    .with_level_dbm(-96.0 - 2.0 * i as f64)
-                    .with_modulation_index(0.5),
+                AmBroadcast::new(
+                    &format!("AM station {khz:.0} kHz"),
+                    Hertz::from_khz(*khz),
+                    s(6 + i as u64),
+                )
+                .with_level_dbm(-96.0 - 2.0 * i as f64)
+                .with_modulation_index(0.5),
             ));
         }
         // Long-wave interference (paper: the 30–300 kHz band is crowded).
@@ -242,41 +261,65 @@ impl SimulatedSystem {
         let s = |k: u64| seed.wrapping_mul(0xBF58_476D_1CE4_E5B9).wrapping_add(k);
         let mut scene = Scene::new(Channel::quiet(s(0)));
         scene.add_source(Box::new(
-            SwitchingRegulator::new("memory regulator", Hertz::from_khz(389.14), Domain::Dram, s(1))
-                .with_fundamental_dbm(-106.0)
-                .with_base_duty(0.14)
-                .with_duty_gain(0.11)
-                .with_linewidth(Hertz(300.0)),
+            SwitchingRegulator::new(
+                "memory regulator",
+                Hertz::from_khz(389.14),
+                Domain::Dram,
+                s(1),
+            )
+            .with_fundamental_dbm(-106.0)
+            .with_base_duty(0.14)
+            .with_duty_gain(0.11)
+            .with_linewidth(Hertz(300.0)),
         ));
         scene.add_source(Box::new(
             RefreshSource::new("memory refresh (132 kHz)", Hertz(132_000.0), 200e-9)
                 .with_harmonic_dbm(-118.0),
         ));
         scene.add_source(Box::new(
-            SwitchingRegulator::new("unidentified carrier A", Hertz::from_khz(701.75), Domain::MemoryInterface, s(2))
-                .with_fundamental_dbm(-110.0)
-                .with_base_duty(0.16)
-                .with_duty_gain(0.20)
-                .with_linewidth(Hertz(350.0)),
+            SwitchingRegulator::new(
+                "unidentified carrier A",
+                Hertz::from_khz(701.75),
+                Domain::MemoryInterface,
+                s(2),
+            )
+            .with_fundamental_dbm(-110.0)
+            .with_base_duty(0.16)
+            .with_duty_gain(0.20)
+            .with_linewidth(Hertz(350.0)),
         ));
         scene.add_source(Box::new(
-            SwitchingRegulator::new("unidentified carrier B", Hertz::from_khz(946.93), Domain::Dram, s(3))
-                .with_fundamental_dbm(-113.0)
-                .with_base_duty(0.22)
-                .with_duty_gain(0.16)
-                .with_linewidth(Hertz(280.0)),
+            SwitchingRegulator::new(
+                "unidentified carrier B",
+                Hertz::from_khz(946.93),
+                Domain::Dram,
+                s(3),
+            )
+            .with_fundamental_dbm(-113.0)
+            .with_base_duty(0.22)
+            .with_duty_gain(0.16)
+            .with_linewidth(Hertz(280.0)),
         ));
         // The FM (constant on-time) core regulator: modulated by core
         // activity, but in frequency — FASE must reject it.
         scene.add_source(Box::new(
-            FmRegulator::new("core regulator (constant on-time)", Hertz::from_khz(280.87), Domain::Core, s(4))
-                .with_fundamental_dbm(-105.0)
-                .with_fm_gain(0.06),
+            FmRegulator::new(
+                "core regulator (constant on-time)",
+                Hertz::from_khz(280.87),
+                Domain::Core,
+                s(4),
+            )
+            .with_fundamental_dbm(-105.0)
+            .with_fm_gain(0.06),
         ));
         for (i, khz) in [640.0, 880.0, 1_210.0].iter().enumerate() {
             scene.add_source(Box::new(
-                AmBroadcast::new(&format!("AM station {khz:.0} kHz"), Hertz::from_khz(*khz), s(5 + i as u64))
-                    .with_level_dbm(-99.0 - 2.0 * i as f64),
+                AmBroadcast::new(
+                    &format!("AM station {khz:.0} kHz"),
+                    Hertz::from_khz(*khz),
+                    s(5 + i as u64),
+                )
+                .with_level_dbm(-99.0 - 2.0 * i as f64),
             ));
         }
         scene.add_source(Box::new(SpurForest::random(
@@ -311,18 +354,28 @@ impl SimulatedSystem {
         let s = |k: u64| seed.wrapping_mul(0x94D0_49BB_1331_11EB).wrapping_add(k);
         let mut scene = Scene::new(Channel::quiet(s(0)));
         scene.add_source(Box::new(
-            SwitchingRegulator::new("memory regulator", Hertz::from_khz(417.31), Domain::Dram, s(1))
-                .with_fundamental_dbm(-107.0)
-                .with_base_duty(0.13)
-                .with_duty_gain(0.11)
-                .with_linewidth(Hertz(310.0)),
+            SwitchingRegulator::new(
+                "memory regulator",
+                Hertz::from_khz(417.31),
+                Domain::Dram,
+                s(1),
+            )
+            .with_fundamental_dbm(-107.0)
+            .with_base_duty(0.13)
+            .with_duty_gain(0.11)
+            .with_linewidth(Hertz(310.0)),
         ));
         scene.add_source(Box::new(
-            SwitchingRegulator::new("core regulator", Hertz::from_khz(298.77), Domain::Core, s(2))
-                .with_fundamental_dbm(-104.0)
-                .with_base_duty(0.16)
-                .with_duty_gain(0.24)
-                .with_linewidth(Hertz(280.0)),
+            SwitchingRegulator::new(
+                "core regulator",
+                Hertz::from_khz(298.77),
+                Domain::Core,
+                s(2),
+            )
+            .with_fundamental_dbm(-104.0)
+            .with_base_duty(0.16)
+            .with_duty_gain(0.24)
+            .with_linewidth(Hertz(280.0)),
         ));
         scene.add_source(Box::new(
             RefreshSource::new("memory refresh", Hertz(128_000.0), 200e-9)
@@ -341,8 +394,12 @@ impl SimulatedSystem {
         ));
         for (i, khz) in [640.0, 1_010.0].iter().enumerate() {
             scene.add_source(Box::new(
-                AmBroadcast::new(&format!("AM station {khz:.0} kHz"), Hertz::from_khz(*khz), s(4 + i as u64))
-                    .with_level_dbm(-98.0 - 2.0 * i as f64),
+                AmBroadcast::new(
+                    &format!("AM station {khz:.0} kHz"),
+                    Hertz::from_khz(*khz),
+                    s(4 + i as u64),
+                )
+                .with_level_dbm(-98.0 - 2.0 * i as f64),
             ));
         }
         scene.add_source(Box::new(SpurForest::random(
@@ -376,18 +433,28 @@ impl SimulatedSystem {
         let s = |k: u64| seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(k);
         let mut scene = Scene::new(Channel::quiet(s(0)));
         scene.add_source(Box::new(
-            SwitchingRegulator::new("memory regulator", Hertz::from_khz(247.19), Domain::Dram, s(1))
-                .with_fundamental_dbm(-105.0)
-                .with_base_duty(0.17)
-                .with_duty_gain(0.13)
-                .with_linewidth(Hertz(420.0)),
+            SwitchingRegulator::new(
+                "memory regulator",
+                Hertz::from_khz(247.19),
+                Domain::Dram,
+                s(1),
+            )
+            .with_fundamental_dbm(-105.0)
+            .with_base_duty(0.17)
+            .with_duty_gain(0.13)
+            .with_linewidth(Hertz(420.0)),
         ));
         scene.add_source(Box::new(
-            SwitchingRegulator::new("core regulator", Hertz::from_khz(203.93), Domain::Core, s(2))
-                .with_fundamental_dbm(-103.0)
-                .with_base_duty(0.18)
-                .with_duty_gain(0.22)
-                .with_linewidth(Hertz(460.0)),
+            SwitchingRegulator::new(
+                "core regulator",
+                Hertz::from_khz(203.93),
+                Domain::Core,
+                s(2),
+            )
+            .with_fundamental_dbm(-103.0)
+            .with_base_duty(0.18)
+            .with_duty_gain(0.22)
+            .with_linewidth(Hertz(460.0)),
         ));
         scene.add_source(Box::new(
             RefreshSource::new("memory refresh", Hertz(128_000.0), 250e-9)
@@ -395,8 +462,12 @@ impl SimulatedSystem {
         ));
         for (i, khz) in [750.0, 1_340.0].iter().enumerate() {
             scene.add_source(Box::new(
-                AmBroadcast::new(&format!("AM station {khz:.0} kHz"), Hertz::from_khz(*khz), s(3 + i as u64))
-                    .with_level_dbm(-97.0 - 3.0 * i as f64),
+                AmBroadcast::new(
+                    &format!("AM station {khz:.0} kHz"),
+                    Hertz::from_khz(*khz),
+                    s(3 + i as u64),
+                )
+                .with_level_dbm(-97.0 - 3.0 * i as f64),
             ));
         }
         scene.add_source(Box::new(SpurForest::random(
@@ -506,10 +577,9 @@ mod tests {
     #[test]
     fn refresh_policy_schedules() {
         use fase_sysmodel::DomainLoads;
-        use rand::SeedableRng;
         let mut trace = ActivityTrace::new();
         trace.push(1e-3, DomainLoads::IDLE);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let mut rng = fase_dsp::rng::SmallRng::seed_from_u64(4);
         let std = RefreshPolicy::Standard(RefreshConfig::ddr3());
         assert_eq!(std.schedule(&trace, &mut rng).len(), 128);
         let rand_policy = RefreshPolicy::Randomized(RefreshConfig::randomized(0.3));

@@ -2,9 +2,9 @@
 
 use crate::ctx::{CaptureWindow, RenderCtx};
 use fase_dsp::noise::standard_normal;
+use fase_dsp::rng::Rng;
 use fase_dsp::{Complex64, Hertz};
 use fase_sysmodel::Domain;
-use rand::Rng;
 use std::fmt;
 
 /// What kind of physical mechanism a source models (ground truth used by
@@ -95,12 +95,20 @@ impl FreqDrift {
     pub fn new(sigma_hz: f64, tau_seconds: f64) -> FreqDrift {
         assert!(sigma_hz >= 0.0, "sigma must be non-negative");
         assert!(tau_seconds > 0.0, "tau must be positive");
-        FreqDrift { sigma: sigma_hz, tau: tau_seconds, state: 0.0 }
+        FreqDrift {
+            sigma: sigma_hz,
+            tau: tau_seconds,
+            state: 0.0,
+        }
     }
 
     /// A perfectly stable oscillator (crystal-like, zero drift).
     pub fn crystal() -> FreqDrift {
-        FreqDrift { sigma: 0.0, tau: 1.0, state: 0.0 }
+        FreqDrift {
+            sigma: 0.0,
+            tau: 1.0,
+            state: 0.0,
+        }
     }
 
     /// Advances by `dt` seconds and returns the current offset in Hz.
@@ -144,7 +152,9 @@ pub fn harmonics_in_window(
     if fundamental.hz() <= 0.0 {
         return Vec::new();
     }
-    let lo = ((window.low_edge().hz() - guard.hz()) / fundamental.hz()).ceil().max(1.0);
+    let lo = ((window.low_edge().hz() - guard.hz()) / fundamental.hz())
+        .ceil()
+        .max(1.0);
     let hi = ((window.high_edge().hz() + guard.hz()) / fundamental.hz()).floor();
     if hi < lo || lo > max_harmonics as f64 {
         return Vec::new();
@@ -156,15 +166,16 @@ pub fn harmonics_in_window(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fase_dsp::rng::SmallRng;
 
     #[test]
     fn pulse_harmonics_at_half_duty() {
         // 50% duty: odd harmonics 2/(πk), even harmonics zero.
         assert!((pulse_harmonic_amplitude(1, 0.5) - 2.0 / std::f64::consts::PI).abs() < 1e-12);
         assert!(pulse_harmonic_amplitude(2, 0.5) < 1e-12);
-        assert!((pulse_harmonic_amplitude(3, 0.5) - 2.0 / (3.0 * std::f64::consts::PI)).abs() < 1e-12);
+        assert!(
+            (pulse_harmonic_amplitude(3, 0.5) - 2.0 / (3.0 * std::f64::consts::PI)).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -195,7 +206,10 @@ mod tests {
         assert_eq!(ks, (1..=12).collect::<Vec<_>>());
         // Narrow window around the 3rd harmonic only.
         let w2 = CaptureWindow::new(Hertz::from_khz(945.0), 100e3, 64, 0.0);
-        assert_eq!(harmonics_in_window(Hertz::from_khz(315.0), &w2, Hertz::ZERO, 64), vec![3]);
+        assert_eq!(
+            harmonics_in_window(Hertz::from_khz(315.0), &w2, Hertz::ZERO, 64),
+            vec![3]
+        );
         assert!(harmonics_in_window(Hertz::ZERO, &w, Hertz::ZERO, 64).is_empty());
     }
 

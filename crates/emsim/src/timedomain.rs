@@ -127,9 +127,8 @@ mod tests {
         let (a, fsw, duty, fs, n) = (1e-4, 200_000.0, 0.3, 2.0e6, 1 << 15);
         let iq = downconvert_pwm(a, fsw, duty, fsw, fs, n); // centered on k=1
         for k in 1..=3u32 {
-            let expected_mag =
-                a * duty * (std::f64::consts::PI * k as f64 * duty).sin().abs()
-                    / (std::f64::consts::PI * k as f64 * duty);
+            let expected_mag = a * duty * (std::f64::consts::PI * k as f64 * duty).sin().abs()
+                / (std::f64::consts::PI * k as f64 * duty);
             let expected_dbm = 20.0 * expected_mag.log10();
             let got = peak_power_dbm(&iq, fs, (k as f64 - 1.0) * fsw);
             assert!(

@@ -9,8 +9,8 @@ use fase_dsp::fft::{fft, fft_shift};
 use fase_dsp::{Complex64, Hertz, Window};
 use fase_emsim::regulator::SwitchingRegulator;
 use fase_emsim::source::EmSource;
-use fase_emsim::{CaptureWindow, RenderCtx};
 use fase_emsim::timedomain::downconvert_pwm as brute_force_pwm;
+use fase_emsim::{CaptureWindow, RenderCtx};
 use fase_sysmodel::{ActivityTrace, Domain, DomainLoads};
 
 fn harmonic_power_dbm(iq: &[Complex64], fs: f64, offset_hz: f64) -> f64 {

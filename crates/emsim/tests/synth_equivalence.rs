@@ -1,0 +1,125 @@
+//! Fast-vs-exact synthesis equivalence: the phasor-recurrence fast path
+//! must reproduce the per-sample reference path on the scene class the
+//! paper's detections hinge on — a duty-cycle-modulated switching
+//! regulator plus a spread-spectrum clock — to within 0.1 dB of
+//! band-integrated power.
+//!
+//! The two paths draw their oscillator drift at different rates (per
+//! sample vs per run), so individual noise realizations differ; the
+//! envelope — the amplitude modulation FASE detects — is sample-exact in
+//! both, which is what the band-power comparison pins down.
+
+use fase_dsp::{Complex64, Hertz};
+use fase_emsim::clock::ClockSource;
+use fase_emsim::regulator::SwitchingRegulator;
+use fase_emsim::source::EmSource;
+use fase_emsim::{CaptureWindow, RenderCtx, SynthMode};
+use fase_sysmodel::{ActivityTrace, Domain, DomainLoads};
+
+/// A square-wave activity trace alternating between heavy and light load,
+/// like the calibrated LDM/LDL1 micro-benchmark.
+fn alternating_trace(f_alt_hz: f64, total_secs: f64) -> ActivityTrace {
+    let mut trace = ActivityTrace::new();
+    let half = 0.5 / f_alt_hz;
+    let mut t = 0.0;
+    let mut heavy = true;
+    while t < total_secs + half {
+        let load = if heavy { 0.95 } else { 0.15 };
+        trace.push(half, DomainLoads::new(load, load, load));
+        heavy = !heavy;
+        t += half;
+    }
+    trace
+}
+
+fn regulator() -> SwitchingRegulator {
+    SwitchingRegulator::new(
+        "DRAM regulator",
+        Hertz::from_khz(315.66),
+        Domain::Dram,
+        0xFA5E,
+    )
+    .with_fundamental_dbm(-104.0)
+    .with_base_duty(0.12)
+    .with_duty_gain(0.10)
+    .with_linewidth(Hertz(260.0))
+}
+
+fn ss_clock() -> ClockSource {
+    ClockSource::spread_spectrum(
+        "DRAM clock",
+        Hertz::from_khz(1_400.0),
+        Hertz::from_khz(1_430.0),
+        100e-6,
+        0xC10C,
+    )
+    .modulated_by(Domain::Dram, 0.15)
+    .with_level_dbm(-96.0)
+}
+
+/// Renders the regulator + spread-spectrum-clock scene in the given mode
+/// and returns the IQ buffer.
+fn render_scene(mode: SynthMode) -> Vec<Complex64> {
+    let fs = 2.0e6;
+    let n = 1 << 15;
+    let window = CaptureWindow::new(Hertz::from_mhz(1.0), fs, n, 0.0);
+    let trace = alternating_trace(40_000.0, n as f64 / fs);
+    let ctx = RenderCtx::new(&trace, &[], &window).with_mode(mode);
+    let mut iq = vec![Complex64::ZERO; n];
+    regulator().render(&window, &ctx, &mut iq);
+    ss_clock().render(&window, &ctx, &mut iq);
+    iq
+}
+
+fn band_power(iq: &[Complex64]) -> f64 {
+    iq.iter().map(|z| z.norm_sqr()).sum()
+}
+
+#[test]
+fn fast_synthesis_matches_exact_within_tenth_db() {
+    let fast = render_scene(SynthMode::Fast);
+    let exact = render_scene(SynthMode::Exact);
+    let db = 10.0 * (band_power(&fast) / band_power(&exact)).log10();
+    assert!(
+        db.abs() < 0.1,
+        "fast vs exact band power differs by {db:.4} dB"
+    );
+}
+
+#[test]
+fn fast_synthesis_preserves_modulation_contrast() {
+    // The quantity FASE actually measures: how much the rendered power
+    // rises between idle and busy load. Fast and exact must agree on the
+    // contrast, not just on one operating point.
+    let contrast = |mode: SynthMode| -> f64 {
+        let fs = 1.0e6;
+        let n = 1 << 14;
+        let window = CaptureWindow::new(Hertz::from_khz(315.66), fs, n, 0.0);
+        let power_at = |load: f64| -> f64 {
+            let mut trace = ActivityTrace::new();
+            trace.push(n as f64 / fs + 1.0, DomainLoads::new(load, load, load));
+            let ctx = RenderCtx::new(&trace, &[], &window).with_mode(mode);
+            let mut iq = vec![Complex64::ZERO; n];
+            regulator().render(&window, &ctx, &mut iq);
+            band_power(&iq)
+        };
+        power_at(1.0) / power_at(0.0)
+    };
+    let fast = contrast(SynthMode::Fast);
+    let exact = contrast(SynthMode::Exact);
+    let db = 10.0 * (fast / exact).log10();
+    assert!(
+        db.abs() < 0.1,
+        "modulation contrast differs: fast {fast:.4} vs exact {exact:.4} ({db:.4} dB)"
+    );
+}
+
+#[test]
+fn exact_mode_is_selectable_through_ctx() {
+    let window = CaptureWindow::new(Hertz(0.0), 1e5, 16, 0.0);
+    let trace = ActivityTrace::new();
+    let ctx = RenderCtx::new(&trace, &[], &window);
+    assert_eq!(ctx.mode(), SynthMode::Fast);
+    let ctx = ctx.with_mode(SynthMode::Exact);
+    assert_eq!(ctx.mode(), SynthMode::Exact);
+}

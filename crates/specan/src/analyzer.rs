@@ -2,8 +2,8 @@
 //! dBm-calibrated bin powers (our Agilent MXA N9020A stand-in).
 
 use crate::antenna::AntennaResponse;
-use fase_dsp::fft::fft_shift;
-use fase_dsp::{Complex64, FftPlan, Hertz, Spectrum, SpectrumError, Window};
+use fase_dsp::fft::{cached_plan, fft_shift};
+use fase_dsp::{Complex64, Hertz, Spectrum, SpectrumError, Window};
 use fase_emsim::CaptureWindow;
 
 /// A calibrated FFT spectrum analyzer.
@@ -43,7 +43,10 @@ pub struct SpectrumAnalyzer {
 impl SpectrumAnalyzer {
     /// Creates an analyzer using the given FFT window.
     pub fn new(window: Window) -> SpectrumAnalyzer {
-        SpectrumAnalyzer { window, antenna: AntennaResponse::Flat }
+        SpectrumAnalyzer {
+            window,
+            antenna: AntennaResponse::Flat,
+        }
     }
 
     /// Attaches an antenna response; measured spectra are shaped by it.
@@ -84,7 +87,9 @@ impl SpectrumAnalyzer {
         let n = iq.len();
         let mut buf = iq.to_vec();
         self.window.apply_complex(&mut buf);
-        FftPlan::new(n).forward(&mut buf);
+        // Campaigns transform thousands of equal-length captures; the
+        // per-thread plan cache pays the twiddle setup once per worker.
+        cached_plan(n).forward(&mut buf);
         fft_shift(&mut buf);
         let scale = 1.0 / (n as f64 * self.window.coherent_gain(n));
         let power: Vec<f64> = buf.iter().map(|z| (z.norm() * scale).powi(2)).collect();
@@ -107,8 +112,7 @@ impl Default for SpectrumAnalyzer {
 mod tests {
     use super::*;
     use fase_dsp::noise::complex_normal;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fase_dsp::rng::SmallRng;
     use std::f64::consts::TAU;
 
     fn tone(n: usize, fs: f64, f_offset: f64, dbm: f64) -> Vec<Complex64> {
@@ -165,8 +169,7 @@ mod tests {
         let spectrum = analyzer.spectrum(&cw, &iq).unwrap();
         let mean_bin = spectrum.total_power() / n as f64;
         let density = 10f64.powf(-120.0 / 10.0);
-        let expected =
-            density * spectrum.resolution().hz() * Window::BlackmanHarris.enbw_bins(n);
+        let expected = density * spectrum.resolution().hz() * Window::BlackmanHarris.enbw_bins(n);
         let err_db = 10.0 * (mean_bin / expected).log10();
         assert!(err_db.abs() < 0.3, "floor error {err_db} dB");
     }
@@ -180,8 +183,7 @@ mod tests {
         let analyzer = SpectrumAnalyzer::default();
         let captures: Vec<Spectrum> = (0..4)
             .map(|_| {
-                let iq: Vec<Complex64> =
-                    (0..n).map(|_| complex_normal(&mut rng, 1e-6)).collect();
+                let iq: Vec<Complex64> = (0..n).map(|_| complex_normal(&mut rng, 1e-6)).collect();
                 analyzer.spectrum(&cw, &iq).unwrap()
             })
             .collect();

@@ -33,7 +33,10 @@ impl AntennaResponse {
     /// The AOR LA400 style loop used in the paper: resonant mid-band with a
     /// moderate Q (wideband listening loop, not a narrow tuned loop).
     pub fn aor_la400() -> AntennaResponse {
-        AntennaResponse::MagneticLoop { resonance: Hertz::from_mhz(2.0), q: 2.0 }
+        AntennaResponse::MagneticLoop {
+            resonance: Hertz::from_mhz(2.0),
+            q: 2.0,
+        }
     }
 
     /// Power gain (linear) at frequency `f`, normalized to 1.0 at the
@@ -92,7 +95,10 @@ mod tests {
 
     #[test]
     fn loop_peaks_at_resonance() {
-        let a = AntennaResponse::MagneticLoop { resonance: Hertz::from_mhz(2.0), q: 3.0 };
+        let a = AntennaResponse::MagneticLoop {
+            resonance: Hertz::from_mhz(2.0),
+            q: 3.0,
+        };
         let peak = a.power_gain(Hertz::from_mhz(2.0));
         assert!((peak - 1.0).abs() < 1e-12);
         assert!(a.power_gain(Hertz::from_mhz(0.2)) < peak);
@@ -101,7 +107,10 @@ mod tests {
 
     #[test]
     fn loop_slopes_match_physics() {
-        let a = AntennaResponse::MagneticLoop { resonance: Hertz::from_mhz(10.0), q: 2.0 };
+        let a = AntennaResponse::MagneticLoop {
+            resonance: Hertz::from_mhz(10.0),
+            q: 2.0,
+        };
         // Well below resonance: +6 dB per octave (power gain ∝ f²).
         let low = a.gain_db(Hertz::from_khz(100.0));
         let low2 = a.gain_db(Hertz::from_khz(200.0));

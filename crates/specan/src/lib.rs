@@ -27,5 +27,8 @@ pub mod sweep;
 pub use analyzer::SpectrumAnalyzer;
 pub use antenna::AntennaResponse;
 pub use probe::{IqCapture, ProbeConfig};
-pub use runner::{run_campaign_parallel, CampaignRunner, DEFAULT_MAX_FFT};
+pub use runner::{
+    run_campaign_parallel, run_campaign_with_options, CampaignOptions, CampaignRunner,
+    DEFAULT_MAX_FFT,
+};
 pub use sweep::{SegmentSpec, SweepPlan};

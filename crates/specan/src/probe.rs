@@ -86,9 +86,12 @@ mod tests {
     fn dram_regulator_probes_as_am() {
         let system = SimulatedSystem::intel_i7_desktop(42);
         let mut runner = CampaignRunner::new(system, ActivityPair::LdmLdl1, 300);
+        // Probe at 2 kHz: at the default 24 kHz span that leaves 12
+        // samples per modulation period, so the envelope smoothing keeps
+        // the (genuine) amplitude modulation intact.
         let (stats, kind) = runner.probe_modulation(
             Hertz::from_khz(315.66),
-            Hertz::from_khz(5.0),
+            Hertz::from_khz(2.0),
             &ProbeConfig::default(),
         );
         assert_eq!(kind, ModulationKind::Am, "{stats:?}");
@@ -101,7 +104,10 @@ mod tests {
         let mut runner = CampaignRunner::new(system, ActivityPair::Ldl2Ldl1, 301);
         // The constant-on-time regulator deviates ~6% of 281 kHz ≈ 17 kHz:
         // widen the span to keep the swing in-band.
-        let config = ProbeConfig { span: 120_000.0, ..ProbeConfig::default() };
+        let config = ProbeConfig {
+            span: 120_000.0,
+            ..ProbeConfig::default()
+        };
         let (stats, kind) =
             runner.probe_modulation(Hertz::from_khz(280.87), Hertz::from_khz(5.0), &config);
         assert_eq!(kind, ModulationKind::Fm, "{stats:?}");
@@ -118,7 +124,12 @@ mod tests {
         // itself (length, rate, achieved f_alt) here.
         let system = SimulatedSystem::intel_i7_desktop(42);
         let mut runner = CampaignRunner::new(system, ActivityPair::LdmLdl1, 302);
-        let cap = runner.capture_iq(Hertz::from_khz(315.66), 60_000.0, 1 << 12, Hertz::from_khz(5.0));
+        let cap = runner.capture_iq(
+            Hertz::from_khz(315.66),
+            60_000.0,
+            1 << 12,
+            Hertz::from_khz(5.0),
+        );
         assert_eq!(cap.samples.len(), 1 << 12);
         assert_eq!(cap.sample_rate, 60_000.0);
         let err = (cap.f_alt.hz() - 5_000.0).abs() / 5_000.0;

@@ -4,11 +4,13 @@
 use crate::analyzer::SpectrumAnalyzer;
 use crate::sweep::SweepPlan;
 use fase_core::{CampaignConfig, CampaignSpectra, FaseError, LabeledSpectrum};
+use fase_dsp::fir::Fir;
+use fase_dsp::rng::{mix_seed, SmallRng};
 use fase_dsp::{Hertz, Spectrum};
-use fase_emsim::{RenderCtx, SimulatedSystem};
+use fase_emsim::{RenderCtx, SimulatedSystem, SynthMode};
 use fase_sysmodel::{ActivityPair, Alternation};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Default FFT length cap (131072 points covers the paper's 0–4 MHz /
 /// 50 Hz campaign in one segment).
@@ -43,6 +45,7 @@ pub struct CampaignRunner {
     pair: ActivityPair,
     analyzer: SpectrumAnalyzer,
     max_fft: usize,
+    synth_mode: SynthMode,
     rng: SmallRng,
     /// Absolute time cursor so consecutive captures are phase-consistent.
     time: f64,
@@ -56,9 +59,18 @@ impl CampaignRunner {
             pair,
             analyzer: SpectrumAnalyzer::default(),
             max_fft: DEFAULT_MAX_FFT,
+            synth_mode: SynthMode::Fast,
             rng: SmallRng::seed_from_u64(seed),
             time: 0.0,
         }
+    }
+
+    /// Selects the EM synthesis path (default [`SynthMode::Fast`]); the
+    /// exact path is the per-sample reference used for validation and
+    /// benchmarking.
+    pub fn with_synth_mode(mut self, mode: SynthMode) -> CampaignRunner {
+        self.synth_mode = mode;
+        self
     }
 
     /// Overrides the FFT length cap (smaller = less memory, more
@@ -101,7 +113,10 @@ impl CampaignRunner {
                 config.resolution(),
                 config.averages(),
             )?;
-            labeled.push(LabeledSpectrum { f_alt: measured, spectrum });
+            labeled.push(LabeledSpectrum {
+                f_alt: measured,
+                spectrum,
+            });
         }
         CampaignSpectra::new(config.clone(), labeled)
     }
@@ -142,17 +157,16 @@ impl CampaignRunner {
             let mut captures = Vec::with_capacity(averages);
             for _ in 0..averages {
                 let window = segment.window(self.time);
-                let trace = self.system.machine.run_alternation(
-                    &bench,
-                    segment.duration(),
-                    &mut self.rng,
-                );
+                let trace =
+                    self.system
+                        .machine
+                        .run_alternation(&bench, segment.duration(), &mut self.rng);
                 // Track the achieved alternation period.
                 let pairs = (trace.len() / 2).max(1);
                 period_sum += trace.duration() / pairs as f64;
                 period_count += 1;
                 let refreshes = self.system.refresh.schedule(&trace, &mut self.rng);
-                let ctx = RenderCtx::new(&trace, &refreshes, &window);
+                let ctx = RenderCtx::new(&trace, &refreshes, &window).with_mode(self.synth_mode);
                 let iq = self.system.scene.render(&window, &ctx);
                 captures.push(self.analyzer.spectrum(&window, &iq)?);
                 self.time += segment.duration();
@@ -175,6 +189,11 @@ impl CampaignRunner {
     /// Captures raw IQ at `center` while the runner's activity pair
     /// alternates at `f_alt` — the attacker's (and auditor's) tap into
     /// the air interface, used for demodulation and modulation probing.
+    ///
+    /// Mimics a real SDR front-end: the scene is rendered oversampled,
+    /// low-pass filtered to the requested span, and decimated, so sources
+    /// just outside the span (rendered because of the scene's edge guard)
+    /// cannot alias into the capture.
     pub fn capture_iq(
         &mut self,
         center: Hertz,
@@ -182,16 +201,26 @@ impl CampaignRunner {
         samples: usize,
         f_alt: Hertz,
     ) -> crate::probe::IqCapture {
+        const OVERSAMPLE: usize = 4;
         let bench = self.pair.calibrated(&mut self.system.machine, f_alt.hz());
         let duration = samples as f64 / span;
-        let window = fase_emsim::CaptureWindow::new(center, span, samples, self.time);
+        let wide_fs = span * OVERSAMPLE as f64;
+        let window =
+            fase_emsim::CaptureWindow::new(center, wide_fs, samples * OVERSAMPLE, self.time);
         let trace = self
             .system
             .machine
             .run_alternation(&bench, duration, &mut self.rng);
         let refreshes = self.system.refresh.schedule(&trace, &mut self.rng);
-        let ctx = RenderCtx::new(&trace, &refreshes, &window);
-        let iq = self.system.scene.render(&window, &ctx);
+        let ctx = RenderCtx::new(&trace, &refreshes, &window).with_mode(self.synth_mode);
+        let wide = self.system.scene.render(&window, &ctx);
+        // Anti-alias: pass ±0.4·span, stop by the decimated Nyquist.
+        let fir = Fir::lowpass(161, 0.4 * span, wide_fs, fase_dsp::Window::Hann);
+        let iq: Vec<_> = fir
+            .apply_complex(&wide)
+            .into_iter()
+            .step_by(OVERSAMPLE)
+            .collect();
         self.time += duration;
         let pairs = (trace.len() / 2).max(1);
         let achieved = Hertz(pairs as f64 / trace.duration());
@@ -204,20 +233,307 @@ impl CampaignRunner {
     }
 }
 
-/// Runs a campaign with one thread per alternation frequency.
+/// Tuning knobs for the pooled campaign executor
+/// ([`run_campaign_with_options`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignOptions {
+    /// Worker thread count. `None` reads the `FASE_THREADS` environment
+    /// variable and falls back to the machine's available parallelism.
+    pub threads: Option<usize>,
+    /// EM synthesis path used for every capture.
+    pub synth_mode: SynthMode,
+    /// FFT length cap for the sweep plan (see [`DEFAULT_MAX_FFT`]).
+    pub max_fft: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> CampaignOptions {
+        CampaignOptions {
+            threads: None,
+            synth_mode: SynthMode::Fast,
+            max_fft: DEFAULT_MAX_FFT,
+        }
+    }
+}
+
+/// One independent unit of campaign work: a single IQ capture, identified
+/// by its (alternation frequency, sweep segment, average) cell.
+#[derive(Debug, Clone, Copy)]
+struct CaptureTask {
+    /// Position in the flattened campaign order; doubles as the RNG
+    /// stream index and the capture's slot in the time schedule.
+    index: usize,
+    i_alt: usize,
+    i_seg: usize,
+}
+
+/// What a finished capture contributes to the reduction.
+#[derive(Debug)]
+struct CaptureOut {
+    spectrum: Spectrum,
+    /// X/Y pair count of the executed trace, for the achieved-f_alt
+    /// bookkeeping.
+    pairs: usize,
+    trace_duration: f64,
+}
+
+/// Resolves the worker count: explicit request, then `FASE_THREADS`, then
+/// the machine's available parallelism.
+fn effective_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("FASE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Extracts a printable message from a worker panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker thread panicked".to_owned()
+    }
+}
+
+/// Per-alternation-frequency setup shared by that frequency's capture
+/// tasks: the calibrated micro-benchmark and the machine whose profile
+/// cache the calibration warmed. Tasks clone the machine, so every
+/// capture starts from the identical calibrated state — and skips the
+/// expensive op-level profiling pass.
+#[derive(Debug)]
+struct Prepared {
+    machine: fase_sysmodel::Machine,
+    bench: Alternation,
+}
+
+/// Returns the [`Prepared`] state for `i_alt`, building it on first use.
 ///
-/// Each `f_alt` gets its own [`SimulatedSystem`] built by `factory(i)`
-/// (usually the same preset with the same seed — the EM world is the same
-/// machine, while capture noise realizations differ per measurement, just
-/// as the sequential runner's do across time).
+/// The build is deterministic (factory + calibration, no RNG), so it
+/// does not matter which worker gets there first; the per-slot mutex
+/// makes later tasks of the same frequency wait for it rather than
+/// duplicate the profiling work.
+fn prepared_for<F>(
+    slot: &Mutex<Option<std::sync::Arc<Prepared>>>,
+    i_alt: usize,
+    f_alt: Hertz,
+    pair: ActivityPair,
+    factory: &F,
+) -> std::sync::Arc<Prepared>
+where
+    F: Fn(usize) -> SimulatedSystem,
+{
+    let mut guard = slot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(p) = &*guard {
+        return std::sync::Arc::clone(p);
+    }
+    let mut system = factory(i_alt);
+    let bench = pair.calibrated(&mut system.machine, f_alt.hz());
+    let p = std::sync::Arc::new(Prepared {
+        machine: system.machine.clone(),
+        bench,
+    });
+    *guard = Some(std::sync::Arc::clone(&p));
+    p
+}
+
+/// Executes one capture task: build the system, run the calibrated
+/// benchmark on the pre-profiled machine, render the EM scene and
+/// transform the capture.
+///
+/// Everything the task touches — machine, RNG stream, capture start time
+/// — is derived from the task's own coordinates, so the result is
+/// identical no matter which worker runs it or in what order.
+fn execute_capture<F>(
+    task: CaptureTask,
+    prepared: &Prepared,
+    segment: &crate::sweep::SegmentSpec,
+    factory: &F,
+    seed: u64,
+    synth_mode: SynthMode,
+) -> Result<CaptureOut, FaseError>
+where
+    F: Fn(usize) -> SimulatedSystem,
+{
+    let mut system = factory(task.i_alt);
+    system.machine = prepared.machine.clone();
+    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, task.index as u64));
+    let window = segment.window(task.index as f64 * segment.duration());
+    let trace = system
+        .machine
+        .run_alternation(&prepared.bench, segment.duration(), &mut rng);
+    let pairs = (trace.len() / 2).max(1);
+    let trace_duration = trace.duration();
+    let refreshes = system.refresh.schedule(&trace, &mut rng);
+    let ctx = RenderCtx::new(&trace, &refreshes, &window).with_mode(synth_mode);
+    let iq = system.scene.render(&window, &ctx);
+    let spectrum = SpectrumAnalyzer::default().spectrum(&window, &iq)?;
+    Ok(CaptureOut {
+        spectrum,
+        pairs,
+        trace_duration,
+    })
+}
+
+/// Runs a campaign on a work-stealing pool of capture tasks.
+///
+/// The campaign is flattened into independent `(f_alt, sweep segment,
+/// average)` capture tasks. Workers pull tasks from a shared atomic
+/// cursor, so a slow capture never idles the rest of the pool. Each task
+/// seeds its RNG from `mix_seed(seed, task_index)` and derives its capture
+/// start time from its position in the flattened order, which makes the
+/// assembled [`CampaignSpectra`] bit-identical for any worker count —
+/// including one.
+///
+/// `factory(i_alt)` builds the [`SimulatedSystem`] a task measures
+/// (usually the same preset with the same seed: the EM world is one
+/// machine, while capture noise realizations differ per measurement).
+///
+/// # Errors
+///
+/// Propagates the first measurement error encountered; a panicking worker
+/// surfaces as [`FaseError::Worker`] instead of poisoning the process.
+pub fn run_campaign_with_options<F>(
+    config: &CampaignConfig,
+    pair: ActivityPair,
+    factory: F,
+    seed: u64,
+    options: CampaignOptions,
+) -> Result<CampaignSpectra, FaseError>
+where
+    F: Fn(usize) -> SimulatedSystem + Sync,
+{
+    let f_alts = config.alternation_frequencies();
+    let plan = SweepPlan::new(
+        config.band_lo(),
+        config.band_hi(),
+        config.resolution(),
+        options.max_fft,
+    );
+    let segments = plan.segments();
+    let averages = config.averages();
+
+    // Flatten the campaign: alternation-major, then segment, then average
+    // — the same order the sequential runner visits captures in.
+    let mut tasks = Vec::with_capacity(f_alts.len() * segments.len() * averages);
+    for i_alt in 0..f_alts.len() {
+        for i_seg in 0..segments.len() {
+            for _ in 0..averages {
+                tasks.push(CaptureTask {
+                    index: tasks.len(),
+                    i_alt,
+                    i_seg,
+                });
+            }
+        }
+    }
+
+    let threads = effective_threads(options.threads).min(tasks.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let prepared: Vec<Mutex<Option<std::sync::Arc<Prepared>>>> =
+        f_alts.iter().map(|_| Mutex::new(None)).collect();
+    let results: Mutex<Vec<Option<Result<CaptureOut, FaseError>>>> =
+        Mutex::new((0..tasks.len()).map(|_| None).collect());
+
+    let mut worker_panic: Option<String> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let tasks = &tasks;
+                let next = &next;
+                let prepared = &prepared;
+                let results = &results;
+                let factory = &factory;
+                let f_alts = &f_alts;
+                let segments = &segments;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&task) = tasks.get(i) else { break };
+                    let prep = prepared_for(
+                        &prepared[task.i_alt],
+                        task.i_alt,
+                        f_alts[task.i_alt],
+                        pair,
+                        factory,
+                    );
+                    let out = execute_capture(
+                        task,
+                        &prep,
+                        &segments[task.i_seg],
+                        factory,
+                        seed,
+                        options.synth_mode,
+                    );
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(out);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                worker_panic.get_or_insert(panic_message(payload));
+            }
+        }
+    });
+    if let Some(msg) = worker_panic {
+        return Err(FaseError::Worker(msg));
+    }
+
+    // Reduce in task order (worker scheduling cannot reorder this):
+    // average each segment's captures, stitch segments, trim to band.
+    let outputs = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut outputs = outputs.into_iter();
+    let mut labeled = Vec::with_capacity(f_alts.len());
+    for _ in f_alts {
+        let mut segment_spectra = Vec::with_capacity(segments.len());
+        let mut period_sum = 0.0f64;
+        let mut period_count = 0usize;
+        for _ in segments {
+            let mut captures = Vec::with_capacity(averages);
+            for _ in 0..averages {
+                let out = outputs
+                    .next()
+                    .flatten()
+                    .ok_or_else(|| FaseError::Worker("capture task never ran".to_owned()))??;
+                period_sum += out.trace_duration / out.pairs as f64;
+                period_count += 1;
+                captures.push(out.spectrum);
+            }
+            segment_spectra.push(Spectrum::average(captures.iter())?);
+        }
+        let stitched = Spectrum::stitch(segment_spectra.iter())?;
+        let spectrum = stitched.band(config.band_lo(), config.band_hi())?;
+        let measured = Hertz(period_count as f64 / period_sum);
+        labeled.push(LabeledSpectrum {
+            f_alt: measured,
+            spectrum,
+        });
+    }
+    CampaignSpectra::new(config.clone(), labeled)
+}
+
+/// Runs a campaign on the capture-task pool with default options (fast
+/// synthesis, thread count from `FASE_THREADS` or the machine).
+///
+/// See [`run_campaign_with_options`] for the execution model.
 ///
 /// # Errors
 ///
 /// Propagates the first measurement error encountered.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics.
 pub fn run_campaign_parallel<F>(
     config: &CampaignConfig,
     pair: ActivityPair,
@@ -227,36 +543,7 @@ pub fn run_campaign_parallel<F>(
 where
     F: Fn(usize) -> SimulatedSystem + Sync,
 {
-    let f_alts = config.alternation_frequencies();
-    let results: Vec<Result<LabeledSpectrum, FaseError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = f_alts
-            .iter()
-            .enumerate()
-            .map(|(i, &f_alt)| {
-                let factory = &factory;
-                let config = &config;
-                scope.spawn(move || {
-                    let system = factory(i);
-                    let mut runner =
-                        CampaignRunner::new(system, pair, seed.wrapping_add(i as u64 * 7919));
-                    let (spectrum, measured) = runner.measure_at(
-                        f_alt,
-                        config.band_lo(),
-                        config.band_hi(),
-                        config.resolution(),
-                        config.averages(),
-                    )?;
-                    Ok(LabeledSpectrum { f_alt: measured, spectrum })
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("campaign worker thread panicked"))
-            .collect()
-    });
-    let labeled: Result<Vec<LabeledSpectrum>, FaseError> = results.into_iter().collect();
-    CampaignSpectra::new(config.clone(), labeled?)
+    run_campaign_with_options(config, pair, factory, seed, CampaignOptions::default())
 }
 
 #[cfg(test)]
@@ -321,18 +608,26 @@ mod tests {
         // Idle memory (LDL1/LDL1): the refresh comb is clean and strong.
         let mut runner =
             CampaignRunner::new(demo_system(7), ActivityPair::Ldl1Ldl1, 13).with_max_fft(1 << 12);
+        // 125 Hz resolution: the refresh line is narrow, so a finer grid
+        // keeps its bin at full power while the broadband (rolling-noise)
+        // floor drops with the bin width — a sharper contrast measurement.
         let s = runner
             .single_spectrum(
                 Hertz::from_khz(30.0),
                 Hertz::from_khz(100.0),
                 Hertz::from_khz(160.0),
-                Hertz(500.0),
+                Hertz(125.0),
                 2,
             )
             .unwrap();
-        assert_eq!(s.resolution(), Hertz(500.0));
-        assert!(s.len() >= 120);
-        let peak = s.sample(Hertz(128_000.0)).unwrap();
+        assert_eq!(s.resolution(), Hertz(125.0));
+        assert!(s.len() >= 480);
+        // Peak-bin search around the nominal line so scalloping (the line
+        // straddling two 500 Hz bins) does not understate it.
+        let (_, peak) = s
+            .band(Hertz(127_000.0), Hertz(129_000.0))
+            .unwrap()
+            .peak_bin();
         assert!(
             peak > 10.0 * s.median_power(),
             "refresh fundamental missing: {} vs median {}",
@@ -343,8 +638,7 @@ mod tests {
 
     #[test]
     fn runner_accessors_and_calibration() {
-        let mut runner =
-            CampaignRunner::new(demo_system(9), ActivityPair::LdmLdl1, 14);
+        let mut runner = CampaignRunner::new(demo_system(9), ActivityPair::LdmLdl1, 14);
         assert_eq!(runner.pair(), ActivityPair::LdmLdl1);
         assert!(runner.system().scene.source_count() > 5);
         let bench = runner.calibrate(Hertz::from_khz(43.3));
@@ -355,13 +649,9 @@ mod tests {
     #[test]
     fn parallel_campaign_matches_detection() {
         let config = small_config();
-        let spectra = super::run_campaign_parallel(
-            &config,
-            ActivityPair::LdmLdl1,
-            |_| demo_system(6),
-            77,
-        )
-        .unwrap();
+        let spectra =
+            super::run_campaign_parallel(&config, ActivityPair::LdmLdl1, |_| demo_system(6), 77)
+                .unwrap();
         assert_eq!(spectra.len(), 5);
         let report = Fase::default().analyze(&spectra).unwrap();
         assert!(
@@ -373,12 +663,60 @@ mod tests {
     }
 
     #[test]
+    fn pooled_campaign_is_deterministic_across_thread_counts() {
+        // The flattened task schedule derives every capture's RNG stream
+        // and start time from the task index alone, so the reduction must
+        // be bit-for-bit identical no matter how many workers raced over
+        // the queue — and across repeated runs with the same seed.
+        let config = small_config();
+        let run = |threads: usize| {
+            run_campaign_with_options(
+                &config,
+                ActivityPair::LdmLdl1,
+                |_| demo_system(6),
+                77,
+                CampaignOptions {
+                    threads: Some(threads),
+                    ..CampaignOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let sequential = run(1);
+        let pooled = run(4);
+        assert_eq!(sequential, pooled, "threads=1 vs threads=4 diverged");
+        assert_eq!(sequential, run(1), "same seed, same thread count diverged");
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error() {
+        let config = small_config();
+        let err = run_campaign_with_options(
+            &config,
+            ActivityPair::LdmLdl1,
+            |i| {
+                assert!(i < 2, "synthetic factory failure");
+                demo_system(6)
+            },
+            77,
+            CampaignOptions {
+                threads: Some(2),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, FaseError::Worker(msg) if msg.contains("synthetic factory failure")),
+            "expected Worker error, got {err:?}"
+        );
+    }
+
+    #[test]
     fn refresh_comb_weakens_under_load() {
         // §4.2: the refresh carrier is strongest when memory is idle and
         // weakest under continuous memory activity.
         let measure = |pair: ActivityPair, seed: u64| -> f64 {
-            let mut runner =
-                CampaignRunner::new(demo_system(8), pair, seed).with_max_fft(1 << 12);
+            let mut runner = CampaignRunner::new(demo_system(8), pair, seed).with_max_fft(1 << 12);
             let s = runner
                 .single_spectrum(
                     Hertz::from_khz(30.0),

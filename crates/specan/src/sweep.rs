@@ -68,7 +68,9 @@ impl SweepPlan {
         assert!(resolution.hz() > 0.0, "resolution must be positive");
         assert!(max_fft >= 16, "max_fft too small");
         let bins_needed = ((hi - lo) / resolution).ceil() as usize + 1;
-        let n = bins_needed.next_power_of_two().min(max_fft.next_power_of_two());
+        let n = bins_needed
+            .next_power_of_two()
+            .min(max_fft.next_power_of_two());
         let span = n as f64 * resolution.hz();
         let count = (((hi - lo).hz() / span).ceil() as usize).max(1);
         let segments = (0..count)
@@ -78,7 +80,13 @@ impl SweepPlan {
                 len: n,
             })
             .collect();
-        SweepPlan { lo, hi, resolution, fft_len: n, segments }
+        SweepPlan {
+            lo,
+            hi,
+            resolution,
+            fft_len: n,
+            segments,
+        }
     }
 
     /// The lower band edge.

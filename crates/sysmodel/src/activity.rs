@@ -181,7 +181,11 @@ impl PointerChase {
             "offset must be in 1..footprint"
         );
         let mask = footprint_bytes as u64 - 1;
-        PointerChase { ptr: base & !mask, mask, offset: offset_bytes }
+        PointerChase {
+            ptr: base & !mask,
+            mask,
+            offset: offset_bytes,
+        }
     }
 
     /// Advances the pointer (the Figure 6 update) and returns the new

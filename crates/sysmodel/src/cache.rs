@@ -55,7 +55,10 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (zero sizes, capacity not a
     /// multiple of `line·assoc`, or non-power-of-two line size).
     pub fn sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two() && self.line_bytes > 0, "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two() && self.line_bytes > 0,
+            "line size must be a power of two"
+        );
         assert!(self.associativity > 0, "associativity must be non-zero");
         let way_bytes = self.line_bytes * self.associativity;
         assert!(
@@ -144,7 +147,12 @@ pub struct MemoryHierarchy {
 
 impl MemoryHierarchy {
     /// Builds a hierarchy from three level configs and a DRAM latency.
-    pub fn new(l1: CacheConfig, l2: CacheConfig, llc: CacheConfig, dram_latency_cycles: u64) -> MemoryHierarchy {
+    pub fn new(
+        l1: CacheConfig,
+        l2: CacheConfig,
+        llc: CacheConfig,
+        dram_latency_cycles: u64,
+    ) -> MemoryHierarchy {
         MemoryHierarchy {
             l1: CacheLevel::new(l1),
             l2: CacheLevel::new(l2),
@@ -157,9 +165,24 @@ impl MemoryHierarchy {
     /// 32 KiB/8-way L1, 256 KiB/8-way L2, 8 MiB/16-way LLC, 64 B lines.
     pub fn core_i7() -> MemoryHierarchy {
         MemoryHierarchy::new(
-            CacheConfig { size_bytes: 32 << 10, line_bytes: 64, associativity: 8, latency_cycles: 4 },
-            CacheConfig { size_bytes: 256 << 10, line_bytes: 64, associativity: 8, latency_cycles: 12 },
-            CacheConfig { size_bytes: 8 << 20, line_bytes: 64, associativity: 16, latency_cycles: 40 },
+            CacheConfig {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                associativity: 8,
+                latency_cycles: 4,
+            },
+            CacheConfig {
+                size_bytes: 256 << 10,
+                line_bytes: 64,
+                associativity: 8,
+                latency_cycles: 12,
+            },
+            CacheConfig {
+                size_bytes: 8 << 20,
+                line_bytes: 64,
+                associativity: 16,
+                latency_cycles: 40,
+            },
             200,
         )
     }
@@ -167,9 +190,24 @@ impl MemoryHierarchy {
     /// A small laptop-class hierarchy (used by the AMD Turion X2 scene).
     pub fn laptop() -> MemoryHierarchy {
         MemoryHierarchy::new(
-            CacheConfig { size_bytes: 32 << 10, line_bytes: 64, associativity: 4, latency_cycles: 3 },
-            CacheConfig { size_bytes: 512 << 10, line_bytes: 64, associativity: 8, latency_cycles: 14 },
-            CacheConfig { size_bytes: 1 << 20, line_bytes: 64, associativity: 16, latency_cycles: 35 },
+            CacheConfig {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                associativity: 4,
+                latency_cycles: 3,
+            },
+            CacheConfig {
+                size_bytes: 512 << 10,
+                line_bytes: 64,
+                associativity: 8,
+                latency_cycles: 14,
+            },
+            CacheConfig {
+                size_bytes: 1 << 20,
+                line_bytes: 64,
+                associativity: 16,
+                latency_cycles: 35,
+            },
             180,
         )
     }
@@ -177,13 +215,22 @@ impl MemoryHierarchy {
     /// Performs one access, updating all levels (inclusive fill).
     pub fn access(&mut self, addr: u64) -> AccessOutcome {
         if self.l1.access(addr) {
-            return AccessOutcome { level: AccessLevel::L1, latency_cycles: self.l1.config.latency_cycles };
+            return AccessOutcome {
+                level: AccessLevel::L1,
+                latency_cycles: self.l1.config.latency_cycles,
+            };
         }
         if self.l2.access(addr) {
-            return AccessOutcome { level: AccessLevel::L2, latency_cycles: self.l2.config.latency_cycles };
+            return AccessOutcome {
+                level: AccessLevel::L2,
+                latency_cycles: self.l2.config.latency_cycles,
+            };
         }
         if self.llc.access(addr) {
-            return AccessOutcome { level: AccessLevel::Llc, latency_cycles: self.llc.config.latency_cycles };
+            return AccessOutcome {
+                level: AccessLevel::Llc,
+                latency_cycles: self.llc.config.latency_cycles,
+            };
         }
         AccessOutcome {
             level: AccessLevel::Dram,
@@ -201,7 +248,11 @@ impl MemoryHierarchy {
     /// Capacities `(l1, l2, llc)` in bytes — used by kernels to size their
     /// pointer-chase footprints.
     pub fn capacities(&self) -> (usize, usize, usize) {
-        (self.l1.config.size_bytes, self.l2.config.size_bytes, self.llc.config.size_bytes)
+        (
+            self.l1.config.size_bytes,
+            self.l2.config.size_bytes,
+            self.llc.config.size_bytes,
+        )
     }
 
     /// Line size in bytes (uniform across levels).
@@ -216,23 +267,48 @@ mod tests {
 
     fn tiny() -> MemoryHierarchy {
         MemoryHierarchy::new(
-            CacheConfig { size_bytes: 256, line_bytes: 64, associativity: 2, latency_cycles: 1 },
-            CacheConfig { size_bytes: 512, line_bytes: 64, associativity: 2, latency_cycles: 5 },
-            CacheConfig { size_bytes: 1024, line_bytes: 64, associativity: 4, latency_cycles: 20 },
+            CacheConfig {
+                size_bytes: 256,
+                line_bytes: 64,
+                associativity: 2,
+                latency_cycles: 1,
+            },
+            CacheConfig {
+                size_bytes: 512,
+                line_bytes: 64,
+                associativity: 2,
+                latency_cycles: 5,
+            },
+            CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 64,
+                associativity: 4,
+                latency_cycles: 20,
+            },
             100,
         )
     }
 
     #[test]
     fn config_sets() {
-        let c = CacheConfig { size_bytes: 32 << 10, line_bytes: 64, associativity: 8, latency_cycles: 4 };
+        let c = CacheConfig {
+            size_bytes: 32 << 10,
+            line_bytes: 64,
+            associativity: 8,
+            latency_cycles: 4,
+        };
         assert_eq!(c.sets(), 64);
     }
 
     #[test]
     #[should_panic(expected = "multiple of line")]
     fn bad_geometry_panics() {
-        let c = CacheConfig { size_bytes: 100, line_bytes: 64, associativity: 2, latency_cycles: 1 };
+        let c = CacheConfig {
+            size_bytes: 100,
+            line_bytes: 64,
+            associativity: 2,
+            latency_cycles: 1,
+        };
         let _ = c.sets();
     }
 

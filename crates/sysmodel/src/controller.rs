@@ -11,7 +11,7 @@
 
 use crate::domains::Domain;
 use crate::trace::{ActivityTrace, RefreshEvent};
-use rand::Rng;
+use fase_dsp::rng::Rng;
 
 /// Refresh timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +47,10 @@ impl RefreshConfig {
     /// The AMD Turion X2 laptop's 132 kHz refresh rate (§4.4 notes this
     /// system deviates from the usual 128 kHz).
     pub fn turion_132khz() -> RefreshConfig {
-        RefreshConfig { t_refi: 1.0 / 132_000.0, ..RefreshConfig::default() }
+        RefreshConfig {
+            t_refi: 1.0 / 132_000.0,
+            ..RefreshConfig::default()
+        }
     }
 
     /// A mitigated controller that randomizes refresh issue times even when
@@ -55,7 +58,10 @@ impl RefreshConfig {
     /// refresh commands"). `strength` is the uniform jitter half-width as a
     /// fraction of tREFI.
     pub fn randomized(strength: f64) -> RandomizedRefresh {
-        RandomizedRefresh { base: RefreshConfig::default(), strength }
+        RandomizedRefresh {
+            base: RefreshConfig::default(),
+            strength,
+        }
     }
 
     /// Refresh rate in Hz (1/tREFI).
@@ -88,11 +94,10 @@ pub struct RandomizedRefresh {
 /// ```
 /// use fase_sysmodel::{ActivityTrace, DomainLoads};
 /// use fase_sysmodel::controller::{schedule_refreshes, RefreshConfig};
-/// use rand::SeedableRng;
 ///
 /// let mut idle = ActivityTrace::new();
 /// idle.push(1e-3, DomainLoads::IDLE);
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut rng = fase_dsp::rng::SmallRng::seed_from_u64(1);
 /// let events = schedule_refreshes(&idle, &RefreshConfig::ddr3(), &mut rng);
 /// // 1 ms / 7.8125 µs = 128 commands.
 /// assert_eq!(events.len(), 128);
@@ -111,13 +116,16 @@ pub fn schedule_refreshes<R: Rng + ?Sized>(
         let load = trace.loads_at(due)[Domain::Dram];
         let mean_delay = load * config.postpone_scale * config.t_refi;
         let delay = if mean_delay > 0.0 {
-            let u: f64 = 1.0 - rng.gen::<f64>();
+            let u: f64 = 1.0 - rng.gen_f64();
             (-u.ln() * mean_delay).min(config.max_postpone as f64 * config.t_refi)
         } else {
             0.0
         };
         let start = (due + delay).max(prev_end);
-        events.push(RefreshEvent { start, duration: config.t_rfc });
+        events.push(RefreshEvent {
+            start,
+            duration: config.t_rfc,
+        });
         prev_end = start + config.t_rfc;
     }
     events
@@ -145,14 +153,17 @@ pub fn schedule_refreshes_randomized<R: Rng + ?Sized>(
         let load = trace.loads_at(due)[Domain::Dram];
         let mean_delay = load * config.postpone_scale * config.t_refi;
         let postpone = if mean_delay > 0.0 {
-            let u: f64 = 1.0 - rng.gen::<f64>();
+            let u: f64 = 1.0 - rng.gen_f64();
             (-u.ln() * mean_delay).min(config.max_postpone as f64 * config.t_refi)
         } else {
             0.0
         };
-        let jitter = (rng.gen::<f64>() * 2.0 - 1.0) * half_width;
+        let jitter = (rng.gen_f64() * 2.0 - 1.0) * half_width;
         let start = (due + postpone + jitter).max(prev_end).max(0.0);
-        events.push(RefreshEvent { start, duration: config.t_rfc });
+        events.push(RefreshEvent {
+            start,
+            duration: config.t_rfc,
+        });
         prev_end = start + config.t_rfc;
     }
     events
@@ -162,8 +173,7 @@ pub fn schedule_refreshes_randomized<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::domains::DomainLoads;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fase_dsp::rng::SmallRng;
 
     fn trace_with_load(dram: f64, duration: f64) -> ActivityTrace {
         let mut t = ActivityTrace::new();
@@ -174,7 +184,11 @@ mod tests {
     fn interval_std(events: &[RefreshEvent]) -> f64 {
         let intervals: Vec<f64> = events.windows(2).map(|w| w[1].start - w[0].start).collect();
         let mean = intervals.iter().sum::<f64>() / intervals.len() as f64;
-        (intervals.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / intervals.len() as f64)
+        (intervals
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
+            / intervals.len() as f64)
             .sqrt()
     }
 

@@ -60,7 +60,11 @@ pub struct DomainLoads {
 
 impl DomainLoads {
     /// Fully idle system.
-    pub const IDLE: DomainLoads = DomainLoads { core: 0.0, memory_interface: 0.0, dram: 0.0 };
+    pub const IDLE: DomainLoads = DomainLoads {
+        core: 0.0,
+        memory_interface: 0.0,
+        dram: 0.0,
+    };
 
     /// Creates loads from explicit per-domain values.
     ///
@@ -69,10 +73,21 @@ impl DomainLoads {
     /// Panics if any load is negative or non-finite. Loads above 1.0 are
     /// permitted (transient overshoot) but unusual.
     pub fn new(core: f64, memory_interface: f64, dram: f64) -> DomainLoads {
-        for (name, v) in [("core", core), ("memory_interface", memory_interface), ("dram", dram)] {
-            assert!(v >= 0.0 && v.is_finite(), "{name} load must be finite and >= 0, got {v}");
+        for (name, v) in [
+            ("core", core),
+            ("memory_interface", memory_interface),
+            ("dram", dram),
+        ] {
+            assert!(
+                v >= 0.0 && v.is_finite(),
+                "{name} load must be finite and >= 0, got {v}"
+            );
         }
-        DomainLoads { core, memory_interface, dram }
+        DomainLoads {
+            core,
+            memory_interface,
+            dram,
+        }
     }
 
     /// Load of a single domain.

@@ -23,11 +23,10 @@
 //! ```
 //! use fase_sysmodel::{ActivityPair, Machine};
 //! use fase_sysmodel::controller::{schedule_refreshes, RefreshConfig};
-//! use rand::SeedableRng;
 //!
 //! let mut machine = Machine::core_i7();
 //! let bench = ActivityPair::LdmLdl1.calibrated(&mut machine, 43_300.0);
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let mut rng = fase_dsp::rng::SmallRng::seed_from_u64(0);
 //! let trace = machine.run_alternation(&bench, 1e-3, &mut rng);
 //! let refreshes = schedule_refreshes(&trace, &RefreshConfig::ddr3(), &mut rng);
 //! assert!(!refreshes.is_empty());

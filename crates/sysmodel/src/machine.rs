@@ -16,7 +16,7 @@ use crate::cache::MemoryHierarchy;
 use crate::domains::DomainLoads;
 use crate::microbench::Alternation;
 use crate::trace::ActivityTrace;
-use rand::Rng;
+use fase_dsp::rng::Rng;
 
 /// Timing-jitter model for phase execution.
 ///
@@ -36,7 +36,11 @@ pub struct JitterConfig {
 
 impl Default for JitterConfig {
     fn default() -> JitterConfig {
-        JitterConfig { sigma_rel: 0.004, contention_prob: 0.03, contention_stretch: 0.10 }
+        JitterConfig {
+            sigma_rel: 0.004,
+            contention_prob: 0.03,
+            contention_stretch: 0.10,
+        }
     }
 }
 
@@ -62,7 +66,11 @@ pub struct MachineConfig {
 
 impl Default for MachineConfig {
     fn default() -> MachineConfig {
-        MachineConfig { clock_hz: 3.4e9, jitter: JitterConfig::default(), chase_stride: 64 }
+        MachineConfig {
+            clock_hz: 3.4e9,
+            jitter: JitterConfig::default(),
+            chase_stride: 64,
+        }
     }
 }
 
@@ -94,12 +102,25 @@ pub struct KernelProfile {
 pub struct Machine {
     config: MachineConfig,
     hierarchy: MemoryHierarchy,
+    /// Memoized steady-state profiles keyed by `(activity, ops)`.
+    ///
+    /// Profiling runs the full pointer chase through the tag arrays —
+    /// hundreds of thousands of accesses for DRAM-sized footprints — and
+    /// its warmed-cache result is deterministic, so each (activity, ops)
+    /// pair is measured once per machine. Campaigns re-profile the same
+    /// two activities for every capture; the cache turns all but the
+    /// first into lookups.
+    profile_cache: std::collections::HashMap<(Activity, usize), KernelProfile>,
 }
 
 impl Machine {
     /// Creates a machine from explicit parts.
     pub fn new(config: MachineConfig, hierarchy: MemoryHierarchy) -> Machine {
-        Machine { config, hierarchy }
+        Machine {
+            config,
+            hierarchy,
+            profile_cache: std::collections::HashMap::new(),
+        }
     }
 
     /// The paper's Intel Core i7 desktop (3.4 GHz).
@@ -111,7 +132,10 @@ impl Machine {
     /// Turion X2 scene.
     pub fn laptop() -> Machine {
         Machine::new(
-            MachineConfig { clock_hz: 2.2e9, ..MachineConfig::default() },
+            MachineConfig {
+                clock_hz: 2.2e9,
+                ..MachineConfig::default()
+            },
             MemoryHierarchy::laptop(),
         )
     }
@@ -124,10 +148,23 @@ impl Machine {
     /// Measures the steady-state per-op latency and domain loads of an
     /// activity by running `ops` operations with warmed caches.
     ///
+    /// The measurement is deterministic, so repeated calls with the same
+    /// `(activity, ops)` return the memoized first result without
+    /// re-running the pointer chase.
+    ///
     /// # Panics
     ///
     /// Panics if `ops` is zero.
     pub fn profile(&mut self, activity: Activity, ops: usize) -> KernelProfile {
+        if let Some(&cached) = self.profile_cache.get(&(activity, ops)) {
+            return cached;
+        }
+        let profile = self.profile_uncached(activity, ops);
+        self.profile_cache.insert((activity, ops), profile);
+        profile
+    }
+
+    fn profile_uncached(&mut self, activity: Activity, ops: usize) -> KernelProfile {
         assert!(ops > 0, "profiling requires at least one operation");
         let cycle = 1.0 / self.config.clock_hz;
 
@@ -229,27 +266,20 @@ impl Machine {
         if j.sigma_rel > 0.0 {
             d *= 1.0 + j.sigma_rel * fase_gaussian(rng);
         }
-        if j.contention_prob > 0.0 && rng.gen::<f64>() < j.contention_prob {
+        if j.contention_prob > 0.0 && rng.gen_f64() < j.contention_prob {
             d *= 1.0 + j.contention_stretch;
         }
         d.max(nominal * 0.5)
     }
 }
 
-/// Box–Muller standard normal (local copy; `fase-sysmodel` deliberately does
-/// not depend on `fase-dsp`).
-fn fase_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
+use fase_dsp::noise::standard_normal as fase_gaussian;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::microbench::Alternation;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fase_dsp::rng::SmallRng;
 
     #[test]
     fn profiles_order_by_level() {
@@ -289,12 +319,7 @@ mod tests {
     #[test]
     fn alternation_trace_has_two_level_loads() {
         let mut m = Machine::core_i7();
-        let bench = Alternation::calibrated(
-            &mut m,
-            Activity::LoadDram,
-            Activity::LoadL1,
-            43_300.0,
-        );
+        let bench = Alternation::calibrated(&mut m, Activity::LoadDram, Activity::LoadL1, 43_300.0);
         let mut rng = SmallRng::seed_from_u64(2);
         let trace = m.run_alternation(&bench, 2e-3, &mut rng);
         assert!(trace.len() > 100);
@@ -309,8 +334,7 @@ mod tests {
     fn alternation_period_matches_target() {
         let mut m = Machine::core_i7();
         let f_alt = 43_300.0;
-        let bench =
-            Alternation::calibrated(&mut m, Activity::LoadDram, Activity::LoadL1, f_alt);
+        let bench = Alternation::calibrated(&mut m, Activity::LoadDram, Activity::LoadL1, f_alt);
         let mut rng = SmallRng::seed_from_u64(3);
         let trace = m.run_alternation(&bench, 10e-3, &mut rng);
         // Mean alternation period = trace duration / number of X/Y pairs.
@@ -327,8 +351,7 @@ mod tests {
     fn jitter_none_is_deterministic() {
         let mut m = Machine::core_i7();
         m.config.jitter = JitterConfig::NONE;
-        let bench =
-            Alternation::calibrated(&mut m, Activity::LoadL2, Activity::LoadL1, 100_000.0);
+        let bench = Alternation::calibrated(&mut m, Activity::LoadL2, Activity::LoadL1, 100_000.0);
         let mut rng = SmallRng::seed_from_u64(4);
         let trace = m.run_alternation(&bench, 1e-3, &mut rng);
         let d0 = trace.segments()[0].duration;
@@ -341,8 +364,13 @@ mod tests {
         let mut m = Machine::core_i7();
         let bits = [true, false, true, true, false];
         let mut rng = SmallRng::seed_from_u64(6);
-        let trace =
-            m.run_bit_pattern(&bits, 100e-6, Activity::LoadDram, Activity::LoadL1, &mut rng);
+        let trace = m.run_bit_pattern(
+            &bits,
+            100e-6,
+            Activity::LoadDram,
+            Activity::LoadL1,
+            &mut rng,
+        );
         assert_eq!(trace.len(), bits.len());
         for (seg, &bit) in trace.segments().iter().zip(&bits) {
             if bit {
@@ -365,13 +393,20 @@ mod tests {
     #[test]
     fn jitter_produces_duration_spread() {
         let mut m = Machine::core_i7();
-        let bench =
-            Alternation::calibrated(&mut m, Activity::LoadL2, Activity::LoadL1, 100_000.0);
+        let bench = Alternation::calibrated(&mut m, Activity::LoadL2, Activity::LoadL1, 100_000.0);
         let mut rng = SmallRng::seed_from_u64(5);
         let trace = m.run_alternation(&bench, 5e-3, &mut rng);
-        let durations: Vec<f64> = trace.segments().iter().step_by(2).map(|s| s.duration).collect();
+        let durations: Vec<f64> = trace
+            .segments()
+            .iter()
+            .step_by(2)
+            .map(|s| s.duration)
+            .collect();
         let mean = durations.iter().sum::<f64>() / durations.len() as f64;
-        let spread = durations.iter().map(|d| (d - mean).abs()).fold(0.0, f64::max);
+        let spread = durations
+            .iter()
+            .map(|d| (d - mean).abs())
+            .fold(0.0, f64::max);
         assert!(spread > 0.0, "expected jitter to vary phase durations");
     }
 }

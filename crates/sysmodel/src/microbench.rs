@@ -41,8 +41,16 @@ impl Alternation {
     ///
     /// Panics if either count is zero.
     pub fn new(x: Activity, y: Activity, x_count: usize, y_count: usize) -> Alternation {
-        assert!(x_count > 0 && y_count > 0, "instruction counts must be non-zero");
-        Alternation { x, y, x_count, y_count }
+        assert!(
+            x_count > 0 && y_count > 0,
+            "instruction counts must be non-zero"
+        );
+        Alternation {
+            x,
+            y,
+            x_count,
+            y_count,
+        }
     }
 
     /// Calibrates counts on `machine` so the alternation runs at `f_alt`
@@ -61,7 +69,12 @@ impl Alternation {
         let py = machine.profile(y, Self::PROFILE_OPS);
         let x_count = ((half / px.op_seconds).round() as usize).max(1);
         let y_count = ((half / py.op_seconds).round() as usize).max(1);
-        Alternation { x, y, x_count, y_count }
+        Alternation {
+            x,
+            y,
+            x_count,
+            y_count,
+        }
     }
 
     /// Activity X (first half-period).
@@ -203,7 +216,10 @@ mod tests {
 
     #[test]
     fn pair_presets() {
-        assert_eq!(ActivityPair::LdmLdl1.activities(), (Activity::LoadDram, Activity::LoadL1));
+        assert_eq!(
+            ActivityPair::LdmLdl1.activities(),
+            (Activity::LoadDram, Activity::LoadL1)
+        );
         assert_eq!(ActivityPair::LdmLdl1.label(), "LDM/LDL1");
         assert_eq!(format!("{}", ActivityPair::Ldl2Ldl1), "LDL2/LDL1");
     }

@@ -56,8 +56,15 @@ impl ActivityTrace {
     ///
     /// Panics if `duration` is not positive and finite.
     pub fn push(&mut self, duration: f64, loads: DomainLoads) {
-        assert!(duration > 0.0 && duration.is_finite(), "segment duration must be positive");
-        self.segments.push(Segment { start: self.duration, duration, loads });
+        assert!(
+            duration > 0.0 && duration.is_finite(),
+            "segment duration must be positive"
+        );
+        self.segments.push(Segment {
+            start: self.duration,
+            duration,
+            loads,
+        });
         self.duration += duration;
     }
 
@@ -137,10 +144,7 @@ impl ActivityTrace {
             while seg_idx + 1 < self.segments.len() && self.segments[seg_idx].end() <= t {
                 seg_idx += 1;
             }
-            let load = self
-                .segments
-                .get(seg_idx)
-                .map_or(0.0, |s| s.loads[domain]);
+            let load = self.segments.get(seg_idx).map_or(0.0, |s| s.loads[domain]);
             out.push(load);
         }
         out
@@ -279,7 +283,10 @@ mod tests {
 
     #[test]
     fn refresh_event_end() {
-        let r = RefreshEvent { start: 1e-3, duration: 200e-9 };
+        let r = RefreshEvent {
+            start: 1e-3,
+            duration: 200e-9,
+        };
         assert!((r.end() - 0.0010002).abs() < 1e-12);
     }
 }

@@ -13,7 +13,6 @@ use fase::dsp::demod::{envelope, lowpass_iq};
 use fase::prelude::*;
 use fase::sysmodel::Activity;
 use fase_emsim::{CaptureWindow, RenderCtx};
-use rand::SeedableRng;
 
 fn main() {
     // ---- transmitter: the victim machine executes bit-keyed activity ----
@@ -35,7 +34,7 @@ fn main() {
         },
         fase::sysmodel::cache::MemoryHierarchy::core_i7(),
     );
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+    let mut rng = fase_dsp::rng::SmallRng::seed_from_u64(99);
     let trace = system.machine.run_bit_pattern(
         &bits,
         bit_duration,

@@ -18,13 +18,32 @@ use fase::sysmodel::{Domain, Machine, MachineConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- the machine: a small embedded-class part, 1.2 GHz, tiny caches.
     let hierarchy = MemoryHierarchy::new(
-        CacheConfig { size_bytes: 16 << 10, line_bytes: 32, associativity: 4, latency_cycles: 2 },
-        CacheConfig { size_bytes: 128 << 10, line_bytes: 32, associativity: 8, latency_cycles: 10 },
-        CacheConfig { size_bytes: 512 << 10, line_bytes: 32, associativity: 8, latency_cycles: 25 },
+        CacheConfig {
+            size_bytes: 16 << 10,
+            line_bytes: 32,
+            associativity: 4,
+            latency_cycles: 2,
+        },
+        CacheConfig {
+            size_bytes: 128 << 10,
+            line_bytes: 32,
+            associativity: 8,
+            latency_cycles: 10,
+        },
+        CacheConfig {
+            size_bytes: 512 << 10,
+            line_bytes: 32,
+            associativity: 8,
+            latency_cycles: 25,
+        },
         150,
     );
     let machine = Machine::new(
-        MachineConfig { clock_hz: 1.2e9, chase_stride: 32, ..MachineConfig::default() },
+        MachineConfig {
+            clock_hz: 1.2e9,
+            chase_stride: 32,
+            ..MachineConfig::default()
+        },
         hierarchy,
     );
 
@@ -76,8 +95,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{report}");
 
     let reg = report.carrier_near(Hertz::from_mhz(1.1034), Hertz::from_khz(3.0));
-    let refresh_family = (1..=6)
-        .any(|k| report.carrier_near(Hertz(256_000.0 * k as f64), Hertz::from_khz(2.0)).is_some());
+    let refresh_family = (1..=6).any(|k| {
+        report
+            .carrier_near(Hertz(256_000.0 * k as f64), Hertz::from_khz(2.0))
+            .is_some()
+    });
     let station = report.carrier_near(Hertz::from_mhz(1.2), Hertz::from_khz(5.0));
     println!("PoL regulator found: {}", reg.is_some());
     println!("LPDDR refresh family found: {refresh_family}");

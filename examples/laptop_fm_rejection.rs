@@ -37,14 +37,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The refresh family may be detected at any of its harmonics (the
     // paper itself first saw it at 512 kHz = 4 x 128 kHz).
-    let refresh_family_found = (1..=8)
-        .any(|k| report.carrier_near(Hertz(132_000.0 * k as f64), Hertz::from_khz(3.0)).is_some());
+    let refresh_family_found = (1..=8).any(|k| {
+        report
+            .carrier_near(Hertz(132_000.0 * k as f64), Hertz::from_khz(3.0))
+            .is_some()
+    });
 
     let checks: [(&str, Option<Hertz>, bool); 4] = [
         ("memory refresh family (n x 132 kHz)", None, true),
-        ("memory regulator 390 kHz", Some(Hertz::from_khz(390.0)), true),
-        ("unidentified carrier 700 kHz", Some(Hertz::from_khz(700.0)), true),
-        ("FM core regulator 280 kHz", Some(Hertz::from_khz(280.0)), false),
+        (
+            "memory regulator 390 kHz",
+            Some(Hertz::from_khz(390.0)),
+            true,
+        ),
+        (
+            "unidentified carrier 700 kHz",
+            Some(Hertz::from_khz(700.0)),
+            true,
+        ),
+        (
+            "FM core regulator 280 kHz",
+            Some(Hertz::from_khz(280.0)),
+            false,
+        ),
     ];
     let mut all_ok = true;
     for (name, f, expected) in checks {

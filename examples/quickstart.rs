@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The victim machine and its EM scene (antenna at 30 cm, as in the
     //    paper's setup).
     let system = SimulatedSystem::intel_i7_desktop(42);
-    println!("simulated system with {} EM sources", system.scene.source_count());
+    println!(
+        "simulated system with {} EM sources",
+        system.scene.source_count()
+    );
 
     // 2. A measurement campaign: five alternation frequencies around
     //    30 kHz, 200 Hz resolution, 3 averaged captures per spectrum.
@@ -51,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .is_some();
     println!(
         "\nDRAM regulator (315 kHz) detected: {}",
-        if found_dram_regulator { "yes" } else { "NO (unexpected)" }
+        if found_dram_regulator {
+            "yes"
+        } else {
+            "NO (unexpected)"
+        }
     );
     Ok(())
 }

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|s| s.kind == fase::emsim::SourceKind::AmBroadcast)
         .map(|s| s.fundamental)
         .collect();
-    println!("scene contains {} AM broadcast stations", station_freqs.len());
+    println!(
+        "scene contains {} AM broadcast stations",
+        station_freqs.len()
+    );
 
     // Sweep the AM broadcast band.
     let campaign = CampaignConfig::builder()
@@ -46,11 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Score: how many broadcast stations did each method flag?
-    let near_station = |f: Hertz| {
-        station_freqs
-            .iter()
-            .any(|s| (f - *s).hz().abs() < 5_000.0)
-    };
+    let near_station = |f: Hertz| station_freqs.iter().any(|s| (f - *s).hz().abs() < 5_000.0);
     let generic_stations = generic.iter().filter(|d| near_station(d.carrier)).count();
     let fase_stations = report
         .carriers()

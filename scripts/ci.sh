@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate: formatting, lints, release build, full test suite.
+#
+# Everything runs with --offline against the committed Cargo.lock — the
+# workspace has no external dependencies, so no network is ever needed.
+# Usage: scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "CI OK"

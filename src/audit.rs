@@ -44,7 +44,11 @@ impl SystemAudit {
 
 impl fmt::Display for SystemAudit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== system audit: {} carrier(s) ===", self.carrier_count())?;
+        writeln!(
+            f,
+            "=== system audit: {} carrier(s) ===",
+            self.carrier_count()
+        )?;
         for c in &self.classified {
             writeln!(f, "  {} -> {}", c.carrier, c.class)?;
         }
@@ -99,19 +103,30 @@ where
         .build()?;
     let fase = Fase::default();
 
-    let mut memory_runner =
-        CampaignRunner::new(system_factory(), ActivityPair::LdmLdl1, seed.wrapping_add(1));
+    let mut memory_runner = CampaignRunner::new(
+        system_factory(),
+        ActivityPair::LdmLdl1,
+        seed.wrapping_add(1),
+    );
     let memory_spectra = memory_runner.run(&config)?;
     let memory_report = fase.analyze(&memory_spectra)?;
 
-    let mut onchip_runner =
-        CampaignRunner::new(system_factory(), ActivityPair::Ldl2Ldl1, seed.wrapping_add(2));
+    let mut onchip_runner = CampaignRunner::new(
+        system_factory(),
+        ActivityPair::Ldl2Ldl1,
+        seed.wrapping_add(2),
+    );
     let onchip_spectra = onchip_runner.run(&config)?;
     let onchip_report = fase.analyze(&onchip_spectra)?;
 
     let classified = classify_by_pairs(&memory_report, &onchip_report, Hertz::from_khz(2.0));
     let leakage = estimate_all(&memory_spectra, &memory_report, Hertz::from_khz(5.0));
-    Ok(SystemAudit { memory_report, onchip_report, classified, leakage })
+    Ok(SystemAudit {
+        memory_report,
+        onchip_report,
+        classified,
+        leakage,
+    })
 }
 
 #[cfg(test)]

@@ -135,12 +135,16 @@ fn fm_regulator_not_reported_on_laptop() {
     let report = Fase::default().analyze(&spectra).expect("analysis");
     // The AM memory regulator at ~389 kHz is found…
     assert!(
-        report.carrier_near(Hertz::from_khz(389.14), Hertz::from_khz(2.0)).is_some(),
+        report
+            .carrier_near(Hertz::from_khz(389.14), Hertz::from_khz(2.0))
+            .is_some(),
         "{report}"
     );
     // …the FM core regulator at ~281 kHz is not.
     assert!(
-        report.carrier_near(Hertz::from_khz(280.87), Hertz::from_khz(4.0)).is_none(),
+        report
+            .carrier_near(Hertz::from_khz(280.87), Hertz::from_khz(4.0))
+            .is_none(),
         "FM carrier wrongly reported: {report}"
     );
 }
@@ -194,7 +198,8 @@ fn segmented_sweep_matches_single_segment() {
     let config = narrow_campaign();
     let run = |max_fft: usize, seed: u64| {
         let system = SimulatedSystem::intel_i7_desktop(42);
-        let mut runner = CampaignRunner::new(system, ActivityPair::LdmLdl1, seed).with_max_fft(max_fft);
+        let mut runner =
+            CampaignRunner::new(system, ActivityPair::LdmLdl1, seed).with_max_fft(max_fft);
         runner.run(&config).expect("campaign")
     };
     let single = run(1 << 12, 11);
@@ -231,7 +236,11 @@ fn campaign_determinism() {
     assert_eq!(a.spectra().len(), b.spectra().len());
     for (x, y) in a.spectra().iter().zip(b.spectra()) {
         assert_eq!(x.f_alt, y.f_alt);
-        assert_eq!(x.spectrum.powers(), y.spectrum.powers(), "simulation must be deterministic");
+        assert_eq!(
+            x.spectrum.powers(),
+            y.spectrum.powers(),
+            "simulation must be deterministic"
+        );
     }
 }
 
