@@ -1,0 +1,85 @@
+//! Robustness-machinery overhead: what the retrying executor and the
+//! glitch-robust averager cost on a *clean* campaign, and what a lightly
+//! impaired campaign costs end to end. Run with `cargo bench --bench
+//! robustness`.
+//!
+//! Writes `BENCH_robustness.json` at the repo root. The headline number is
+//! `clean_path_overhead`: the fractional slowdown of the default pipeline
+//! (bounded retries armed, per-bin trimmed-mean averaging) over the
+//! pre-robustness pipeline (fail-fast, plain mean) on an identical
+//! fault-free workload. The acceptance budget is < 5%.
+
+use fase_bench::harness::BenchReport;
+use fase_core::CampaignConfig;
+use fase_dsp::Hertz;
+use fase_emsim::{SimulatedSystem, SynthMode};
+use fase_specan::{run_campaign_with_options, Averaging, CampaignOptions, FaultPlan, FaultRates};
+use fase_sysmodel::ActivityPair;
+use std::hint::black_box;
+
+/// The same render-heavy e2e workload as `BENCH_pipeline.json`'s
+/// `campaign_e2e_fast_pool`: upper 1–4 MHz at 125 Hz, two alternation
+/// frequencies, four averages.
+fn campaign_config() -> CampaignConfig {
+    CampaignConfig::builder()
+        .band(Hertz::from_mhz(1.0), Hertz::from_mhz(4.0))
+        .resolution(Hertz(125.0))
+        .alternation(Hertz::from_khz(30.0), Hertz::from_khz(2.0), 2)
+        .averages(4)
+        .build()
+        .unwrap()
+}
+
+fn run_campaign(config: &CampaignConfig, options: CampaignOptions) {
+    let spectra = run_campaign_with_options(
+        config,
+        ActivityPair::LdmLdl1,
+        |_| SimulatedSystem::intel_i7_desktop(1),
+        3,
+        options,
+    )
+    .unwrap();
+    black_box(spectra.len());
+}
+
+fn main() {
+    let mut report = BenchReport::new();
+    let config = campaign_config();
+
+    // Pre-robustness behaviour: fail-fast (single attempt), plain mean.
+    report.run("campaign_e2e_mean_failfast", 1, 5, || {
+        run_campaign(
+            &config,
+            CampaignOptions {
+                max_attempts: 1,
+                averaging: Averaging::Mean,
+                ..CampaignOptions::default()
+            },
+        );
+    });
+    // Default pipeline: retry budget armed (but unused — no faults),
+    // quarantine + per-bin trimmed mean.
+    report.run("campaign_e2e_robust_clean", 1, 5, || {
+        run_campaign(&config, CampaignOptions::default());
+    });
+    // A lightly hostile run: 2% per-class fault rate exercises retries,
+    // waveform impairments and quarantine for scale.
+    report.run("campaign_e2e_robust_faulted", 1, 5, || {
+        run_campaign(
+            &config,
+            CampaignOptions {
+                fault_plan: Some(FaultPlan::new(9).with_rates(FaultRates::uniform(0.02))),
+                synth_mode: SynthMode::Fast,
+                ..CampaignOptions::default()
+            },
+        );
+    });
+
+    let mean = report.get("campaign_e2e_mean_failfast").unwrap().median_ns;
+    let robust = report.get("campaign_e2e_robust_clean").unwrap().median_ns;
+    let overhead = robust / mean - 1.0;
+    println!("clean-path robustness overhead: {:.2}%", overhead * 100.0);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robustness.json");
+    std::fs::write(path, report.to_json(&[("clean_path_overhead", overhead)]))
+        .expect("write BENCH_robustness.json");
+}

@@ -142,6 +142,42 @@ impl ParsedArgs {
             }),
         }
     }
+
+    /// An optional integer option (`None` when absent).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::BadValue`] when present but unparsable.
+    pub fn integer_opt(&self, key: &str) -> Result<Option<u64>, ArgError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ArgError::BadValue {
+                option: key.to_owned(),
+                value: v.to_owned(),
+                expected: "integer",
+            }),
+        }
+    }
+
+    /// A plain floating-point option (e.g. a probability), with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::BadValue`] when present but unparsable or non-finite.
+    pub fn float_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite())
+                .ok_or(ArgError::BadValue {
+                    option: key.to_owned(),
+                    value: v.to_owned(),
+                    expected: "number",
+                }),
+        }
+    }
 }
 
 /// Parses `"43.3k"`, `"2M"`, `"1.2G"`, or plain hertz values.
@@ -222,6 +258,24 @@ mod tests {
         let bad = ParsedArgs::parse(&argv("scan --avg nope")).unwrap();
         assert!(matches!(
             bad.integer_or("avg", 4),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn floats_and_optional_integers() {
+        let p = ParsedArgs::parse(&argv("scan --fault-rate 0.05 --fail-alt 2")).unwrap();
+        assert_eq!(p.float_or("fault-rate", 0.0).unwrap(), 0.05);
+        assert_eq!(p.float_or("other-rate", 0.25).unwrap(), 0.25);
+        assert_eq!(p.integer_opt("fail-alt").unwrap(), Some(2));
+        assert_eq!(p.integer_opt("absent").unwrap(), None);
+        let bad = ParsedArgs::parse(&argv("scan --fault-rate nan --fail-alt x")).unwrap();
+        assert!(matches!(
+            bad.float_or("fault-rate", 0.0),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            bad.integer_opt("fail-alt"),
             Err(ArgError::BadValue { .. })
         ));
     }

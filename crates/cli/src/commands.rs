@@ -4,7 +4,7 @@ use crate::args::{ArgError, ParsedArgs};
 use fase_core::{classify_by_pairs, estimate_all, CampaignConfig, Fase, FaseError, FaseReport};
 use fase_dsp::Hertz;
 use fase_emsim::SimulatedSystem;
-use fase_specan::{CampaignRunner, ProbeConfig};
+use fase_specan::{CampaignRunner, FaultPlan, FaultRates, ProbeConfig};
 use fase_sysmodel::ActivityPair;
 use std::fmt;
 use std::fmt::Write as _;
@@ -17,13 +17,21 @@ usage:
                     [--pair ldm-ldl1|ldl2-ldl1|ldl1-ldl1|ldm-ldm|stm-ldl1|ldm-add]
                     [--falt <freq>] [--fdelta <freq>] [--alts <n>] [--avg <n>]
                     [--seed <n>] [--csv <path>]
+                    [--fault-rate <p>] [--fault-seed <n>] [--retries <n>] [--fail-alt <i>]
   fase-cli classify --system <name> --lo <freq> --hi <freq> [scan options]
   fase-cli probe     --system <name> --carrier <freq> [--falt <freq>] [--span <freq>] [--seed <n>]
   fase-cli leakage   --system <name> --lo <freq> --hi <freq> [scan options]
   fase-cli attribute --system <name> --peak <freq> --lo <freq> --hi <freq> [scan options]
 
 systems: i7 | i3 | turion | p3m | i7-mitigated
-frequencies accept k/M/G suffixes (e.g. 43.3k, 2M).";
+frequencies accept k/M/G suffixes (e.g. 43.3k, 2M).
+
+fault injection (scan/classify/leakage/attribute):
+  --fault-rate <p>   per-class capture impairment probability (default 0)
+  --fault-seed <n>   impairment schedule seed (default derived from --seed)
+  --retries <n>      retries per failed capture before giving up (default 2)
+  --fail-alt <i>     force every capture of alternation index <i> to fail;
+                     the campaign degrades to the surviving frequencies";
 
 /// Errors surfaced to the user.
 #[derive(Debug)]
@@ -134,11 +142,46 @@ fn campaign_from(parsed: &ParsedArgs) -> Result<CampaignConfig, CliError> {
         .build()?)
 }
 
-fn run_campaign(parsed: &ParsedArgs, pair: ActivityPair) -> Result<FaseReport, CliError> {
+/// Builds the fault-injection schedule requested on the command line,
+/// or `None` for a clean run.
+fn fault_plan_from(parsed: &ParsedArgs, seed: u64) -> Result<Option<FaultPlan>, CliError> {
+    let rate = parsed.float_or("fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError::Invalid(format!(
+            "--fault-rate {rate} is not a probability in [0, 1]"
+        )));
+    }
+    let fail_alt = parsed.integer_opt("fail-alt")?;
+    if rate == 0.0 && fail_alt.is_none() {
+        return Ok(None);
+    }
+    let fault_seed = parsed.integer_or("fault-seed", seed.wrapping_mul(0x9E37).wrapping_add(1))?;
+    let mut plan = FaultPlan::new(fault_seed).with_rates(FaultRates::uniform(rate));
+    if let Some(i) = fail_alt {
+        plan = plan.always_fail(i as usize);
+    }
+    Ok(Some(plan))
+}
+
+/// Builds the campaign runner for `pair`, honoring the seed, fault and
+/// retry options.
+fn runner_from(parsed: &ParsedArgs, pair: ActivityPair) -> Result<CampaignRunner, CliError> {
     let seed = parsed.integer_or("seed", 42)?;
     let system = system_by_name(parsed.required("system")?, seed)?;
+    let retries = parsed
+        .integer_or("retries", 2)?
+        .min(u64::from(u32::MAX) - 1) as u32;
+    let mut runner =
+        CampaignRunner::new(system, pair, seed.wrapping_add(1)).with_max_attempts(retries + 1);
+    if let Some(plan) = fault_plan_from(parsed, seed)? {
+        runner = runner.with_fault_plan(plan);
+    }
+    Ok(runner)
+}
+
+fn run_campaign(parsed: &ParsedArgs, pair: ActivityPair) -> Result<FaseReport, CliError> {
     let config = campaign_from(parsed)?;
-    let mut runner = CampaignRunner::new(system, pair, seed.wrapping_add(1));
+    let mut runner = runner_from(parsed, pair)?;
     let spectra = runner.run(&config)?;
     Ok(Fase::default().analyze(&spectra)?)
 }
@@ -197,10 +240,8 @@ fn probe(parsed: &ParsedArgs) -> Result<String, CliError> {
 
 fn leakage(parsed: &ParsedArgs) -> Result<String, CliError> {
     let pair = pair_by_name(parsed.get("pair").unwrap_or("ldm-ldl1"))?;
-    let seed = parsed.integer_or("seed", 42)?;
-    let system = system_by_name(parsed.required("system")?, seed)?;
     let config = campaign_from(parsed)?;
-    let mut runner = CampaignRunner::new(system, pair, seed.wrapping_add(1));
+    let mut runner = runner_from(parsed, pair)?;
     let spectra = runner.run(&config)?;
     let report = Fase::default().analyze(&spectra)?;
     let mut out = String::from("per-carrier leakage upper bounds:\n");
@@ -213,11 +254,9 @@ fn leakage(parsed: &ParsedArgs) -> Result<String, CliError> {
 fn attribute(parsed: &ParsedArgs) -> Result<String, CliError> {
     use fase_core::{attribute_peak, AttributionConfig};
     let pair = pair_by_name(parsed.get("pair").unwrap_or("ldm-ldl1"))?;
-    let seed = parsed.integer_or("seed", 42)?;
-    let system = system_by_name(parsed.required("system")?, seed)?;
     let peak = Hertz(parsed.frequency("peak")?);
     let config = campaign_from(parsed)?;
-    let mut runner = CampaignRunner::new(system, pair, seed.wrapping_add(1));
+    let mut runner = runner_from(parsed, pair)?;
     let spectra = runner.run(&config)?;
     let ranked = attribute_peak(&spectra, peak, &AttributionConfig::default());
     let mut out = format!(
@@ -311,5 +350,36 @@ mod tests {
     fn bad_campaign_parameters_are_reported() {
         let e = run(&argv("scan --system i7 --lo 2M --hi 60k")).unwrap_err();
         assert!(matches!(e, CliError::Fase(_)), "{e}");
+    }
+
+    #[test]
+    fn scan_with_failed_alternation_reports_degraded_health() {
+        let out = run(&argv(
+            "scan --system i7 --lo 250k --hi 400k --res 200 --falt 30k --fdelta 2k --alts 5 --avg 3 --fail-alt 2",
+        ))
+        .unwrap();
+        assert!(out.contains("carrier 315"), "{out}");
+        assert!(out.contains("DEGRADED"), "{out}");
+        assert!(out.contains("4/5"), "{out}");
+    }
+
+    #[test]
+    fn scan_with_fault_rate_reports_impairments() {
+        let out = run(&argv(
+            "scan --system i7 --lo 250k --hi 400k --res 200 --falt 30k --fdelta 2k --alts 5 --avg 3 \
+             --fault-rate 0.05 --fault-seed 9 --retries 4",
+        ))
+        .unwrap();
+        assert!(out.contains("carrier 315"), "{out}");
+        assert!(out.contains("capture health"), "{out}");
+    }
+
+    #[test]
+    fn bad_fault_rate_is_rejected() {
+        let e = run(&argv(
+            "scan --system i7 --lo 250k --hi 400k --fault-rate 1.5",
+        ))
+        .unwrap_err();
+        assert!(matches!(e, CliError::Invalid(_)), "{e}");
     }
 }

@@ -16,6 +16,20 @@ pub enum FaseError {
     /// A campaign worker thread died (panicked) before finishing its
     /// capture tasks; the payload is the panic message.
     Worker(String),
+    /// A capture task exhausted its retry budget. The runner drops the
+    /// affected alternation frequency and degrades to the surviving
+    /// spectra; the error itself surfaces only when fewer than two
+    /// alternation frequencies survive.
+    CaptureFailed {
+        /// Planned alternation frequency of the failed capture.
+        f_alt: fase_dsp::Hertz,
+        /// Sweep-segment index of the failed capture.
+        segment: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Description of the final attempt's failure.
+        cause: String,
+    },
 }
 
 impl fmt::Display for FaseError {
@@ -25,6 +39,15 @@ impl fmt::Display for FaseError {
             FaseError::InvalidSpectra(msg) => write!(f, "invalid campaign spectra: {msg}"),
             FaseError::Spectrum(e) => write!(f, "spectrum error: {e}"),
             FaseError::Worker(msg) => write!(f, "campaign worker failed: {msg}"),
+            FaseError::CaptureFailed {
+                f_alt,
+                segment,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "capture at f_alt {f_alt} (segment {segment}) failed after {attempts} attempt(s): {cause}"
+            ),
         }
     }
 }

@@ -104,7 +104,12 @@ impl Fase {
             .flat_map(|t| detect_in_trace(t, &self.config.detector))
             .collect();
         let carriers = merge_detections(spectra, detections, &self.config.detector);
-        Ok(FaseReport::from_carriers(carriers, self.config.group_rel_tol).with_traces(traces))
+        let mut report =
+            FaseReport::from_carriers(carriers, self.config.group_rel_tol).with_traces(traces);
+        if let Some(health) = spectra.health() {
+            report = report.with_health(health.clone());
+        }
+        Ok(report)
     }
 
     /// Convenience: validates raw per-alternation spectra into a campaign

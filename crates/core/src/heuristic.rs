@@ -332,10 +332,16 @@ fn heuristic_threads() -> usize {
 }
 
 /// Sliding maximum with half-width `w` via a monotonically decreasing
-/// index deque — O(n) regardless of window size.
+/// index deque — O(n) regardless of window size. Non-finite samples
+/// (NaN/±Inf from a poisoned spectrum) are never candidates: a window
+/// containing only non-finite values yields 0.0, so downstream ratios see
+/// "no power" rather than NaN.
 fn windowed_max(xs: &[f64], w: usize) -> Vec<f64> {
     if w == 0 {
-        return xs.to_vec();
+        return xs
+            .iter()
+            .map(|&x| if x.is_finite() { x } else { 0.0 })
+            .collect();
     }
     let n = xs.len();
     let mut out = Vec::with_capacity(n);
@@ -343,7 +349,7 @@ fn windowed_max(xs: &[f64], w: usize) -> Vec<f64> {
     // Emitting out[i] once the window's right edge j = i + w has been
     // pushed keeps the deque front the maximum of xs[i−w ..= i+w].
     for j in 0..n + w {
-        if j < n {
+        if j < n && xs[j].is_finite() {
             while deque.back().is_some_and(|&b| xs[b] <= xs[j]) {
                 deque.pop_back();
             }
@@ -354,7 +360,7 @@ fn windowed_max(xs: &[f64], w: usize) -> Vec<f64> {
             while deque.front().is_some_and(|&f| f + w < i) {
                 deque.pop_front();
             }
-            out.push(xs[deque[0]]);
+            out.push(deque.front().map_or(0.0, |&f| xs[f]));
         }
     }
     out
@@ -550,6 +556,100 @@ mod tests {
                 })
                 .collect();
             assert_eq!(windowed_max(&xs, w), naive, "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn windowed_max_skips_non_finite() {
+        let xs = [1.0, f64::NAN, 3.0];
+        assert_eq!(windowed_max(&xs, 1), vec![1.0, 3.0, 3.0]);
+        assert_eq!(windowed_max(&xs, 0), vec![1.0, 0.0, 3.0]);
+        let inf = [f64::INFINITY, 2.0, f64::NEG_INFINITY];
+        assert_eq!(windowed_max(&inf, 1), vec![2.0, 2.0, 2.0]);
+        // A window with no finite values emits zero power, not NaN.
+        assert_eq!(windowed_max(&[f64::NAN; 3], 1), vec![0.0, 0.0, 0.0]);
+    }
+
+    /// Every 1- and 2-drop subset of a 5-f_alt campaign, in order.
+    fn degraded_subsets() -> Vec<Vec<usize>> {
+        let mut subsets: Vec<Vec<usize>> = Vec::new();
+        for d in 0..5usize {
+            subsets.push((0..5).filter(|&i| i != d).collect());
+        }
+        for a in 0..5usize {
+            for b in a + 1..5 {
+                subsets.push((0..5).filter(|&i| i != a && i != b).collect());
+            }
+        }
+        assert_eq!(subsets.len(), 15);
+        subsets
+    }
+
+    fn degraded(full: &CampaignSpectra, keep: &[usize]) -> CampaignSpectra {
+        let spectra: Vec<crate::spectra::LabeledSpectrum> =
+            keep.iter().map(|&i| full.spectra()[i].clone()).collect();
+        let campaign = CampaignSpectra::new(full.config().clone(), spectra).unwrap();
+        assert!(campaign.is_degraded());
+        campaign
+    }
+
+    /// Degraded-mode property, part 1: in a campaign holding only
+    /// stationary signals (unmodulated carrier + fixed spur), dropping any
+    /// 1 or 2 of the 5 spectra — the Eq. 1 product renormalizing over the
+    /// survivors — must leave every score ≈ 1: degradation must never
+    /// *promote* a stationary interferer.
+    #[test]
+    fn degraded_subsets_never_promote_stationary_signals() {
+        let full = synthetic_campaign(50_000.0, false, Some(30_000.0));
+        let cfg = HeuristicConfig::default();
+        for keep in degraded_subsets() {
+            let campaign = degraded(&full, &keep);
+            for h in [1, -1, 2] {
+                let trace = harmonic_scores(&campaign, h, &cfg);
+                let max = trace.scores().iter().cloned().fold(0.0, f64::max);
+                assert!(max < 10.0, "keep {keep:?} h={h}: score {max}");
+            }
+        }
+    }
+
+    /// Degraded-mode property, part 2: with a genuinely modulated carrier
+    /// planted, every 1- and 2-drop subset must still flag it — the carrier
+    /// stays the trace's top score by a wide margin, and the stationary
+    /// spur's own frequency never scores as a carrier.
+    #[test]
+    fn degraded_subsets_still_flag_planted_carrier() {
+        let fc = 50_000.0;
+        let full = synthetic_campaign(fc, true, Some(30_000.0));
+        let cfg = HeuristicConfig::default();
+        for keep in degraded_subsets() {
+            let campaign = degraded(&full, &keep);
+            let trace = harmonic_scores(&campaign, 1, &cfg);
+            let carrier = trace.score_at(Hertz(fc)).unwrap();
+            assert!(carrier > 100.0, "keep {keep:?}: carrier score {carrier}");
+            // The trace's top score must sit at the carrier — within the
+            // windowed-max plateau (search half-width of bins) around it.
+            let top = fase_dsp::stats::argmax(trace.scores()).unwrap();
+            let top_f = trace.frequency_at(top);
+            assert!(
+                (top_f - Hertz(fc)).hz().abs() <= 300.0,
+                "keep {keep:?}: top score at {top_f}, not the carrier"
+            );
+            // The product over survivors must still dominate any
+            // side-band self-alias ghost (which gets only one factor).
+            let peak = trace.scores()[top];
+            let second = trace
+                .scores()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i.abs_diff(top) > 5)
+                .map(|(_, &s)| s)
+                .fold(0.0, f64::max);
+            assert!(
+                peak > 10.0 * second,
+                "keep {keep:?}: carrier {peak} vs runner-up {second}"
+            );
+            let at_spur = trace.score_at(Hertz(30_000.0)).unwrap();
+            assert!(at_spur < 10.0, "keep {keep:?}: spur promoted: {at_spur}");
         }
     }
 

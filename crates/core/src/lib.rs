@@ -40,6 +40,7 @@ pub mod detector;
 pub mod error;
 pub mod fase;
 pub mod grouping;
+pub mod health;
 pub mod heuristic;
 pub mod leakage;
 pub mod mitigation;
@@ -53,6 +54,7 @@ pub use config::{CampaignConfig, CampaignConfigBuilder};
 pub use error::FaseError;
 pub use fase::{Fase, FaseConfig};
 pub use grouping::HarmonicSet;
+pub use health::{CampaignHealth, DroppedAlternation, FaultRecord};
 pub use heuristic::{HeuristicConfig, ScoreTrace};
 pub use leakage::{estimate_all, estimate_leakage, LeakageEstimate};
 pub use mitigation::{evaluate_mitigation, CarrierFate, MitigationOutcome};

@@ -2,6 +2,7 @@
 
 use crate::carrier::Carrier;
 use crate::grouping::{group_harmonic_sets, HarmonicSet};
+use crate::health::CampaignHealth;
 use crate::heuristic::ScoreTrace;
 use fase_dsp::Hertz;
 use std::fmt;
@@ -32,6 +33,7 @@ pub struct FaseReport {
     carriers: Vec<Carrier>,
     sets: Vec<HarmonicSet>,
     traces: Vec<ScoreTrace>,
+    health: Option<CampaignHealth>,
 }
 
 impl FaseReport {
@@ -43,6 +45,7 @@ impl FaseReport {
             carriers,
             sets,
             traces: Vec::new(),
+            health: None,
         }
     }
 
@@ -50,6 +53,23 @@ impl FaseReport {
     pub fn with_traces(mut self, traces: Vec<ScoreTrace>) -> FaseReport {
         self.traces = traces;
         self
+    }
+
+    /// Attaches the campaign's capture-health record.
+    pub fn with_health(mut self, health: CampaignHealth) -> FaseReport {
+        self.health = Some(health);
+        self
+    }
+
+    /// The campaign's capture health, if the producer recorded one.
+    pub fn health(&self) -> Option<&CampaignHealth> {
+        self.health.as_ref()
+    }
+
+    /// True if the underlying campaign lost alternation frequencies and
+    /// the Eq. 1 product was renormalized over the survivors.
+    pub fn is_degraded(&self) -> bool {
+        self.health.as_ref().is_some_and(CampaignHealth::degraded)
     }
 
     /// Detected carriers, strongest combined evidence first.
@@ -107,6 +127,11 @@ impl fmt::Display for FaseReport {
             writeln!(f, "  set @ fundamental {}:", set.fundamental())?;
             for c in set.members() {
                 writeln!(f, "    {c}")?;
+            }
+        }
+        if let Some(health) = &self.health {
+            if !health.is_clean() {
+                writeln!(f, "{health}")?;
             }
         }
         Ok(())

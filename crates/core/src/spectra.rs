@@ -2,6 +2,7 @@
 
 use crate::config::CampaignConfig;
 use crate::error::FaseError;
+use crate::health::CampaignHealth;
 use fase_dsp::{Hertz, Spectrum};
 
 /// A spectrum labeled with the alternation frequency that was active while
@@ -47,23 +48,37 @@ pub struct LabeledSpectrum {
 pub struct CampaignSpectra {
     config: CampaignConfig,
     spectra: Vec<LabeledSpectrum>,
+    health: Option<CampaignHealth>,
 }
 
 impl CampaignSpectra {
     /// Validates and assembles campaign spectra.
     ///
+    /// A *degraded* campaign — any `k ≥ 2` of the planned alternation
+    /// frequencies, in order — is accepted: the paper's heuristic needs at
+    /// least one "other" spectrum to normalize against (Eq. 2), so two
+    /// surviving spectra are the methodological minimum. The Eq. 1 product
+    /// simply renormalizes over the survivors.
+    ///
     /// # Errors
     ///
-    /// Returns [`FaseError::InvalidSpectra`] if the number of spectra does
-    /// not match the configured alternation count, labels do not match the
-    /// configured family, or the spectra are not on a shared grid.
+    /// Returns [`FaseError::InvalidSpectra`] if fewer than two spectra are
+    /// supplied, more than the configured alternation count, labels do not
+    /// match (an ordered subset of) the configured family, any label or
+    /// bin power is non-finite, or the spectra are not on a shared grid.
     pub fn new(
         config: CampaignConfig,
         spectra: Vec<LabeledSpectrum>,
     ) -> Result<CampaignSpectra, FaseError> {
-        if spectra.len() != config.alternation_count() {
+        if spectra.len() < 2 {
             return Err(FaseError::InvalidSpectra(format!(
-                "expected {} spectra, got {}",
+                "at least 2 spectra are required (the Eq. 2 minimum), got {}",
+                spectra.len()
+            )));
+        }
+        if spectra.len() > config.alternation_count() {
+            return Err(FaseError::InvalidSpectra(format!(
+                "expected at most {} spectra, got {}",
                 config.alternation_count(),
                 spectra.len()
             )));
@@ -71,12 +86,39 @@ impl CampaignSpectra {
         // Labels may deviate slightly from the configured family: the
         // micro-benchmark's instruction counts are integers, so the
         // *achieved* alternation frequency differs by up to a few percent,
-        // and the achieved value is what the heuristic must use.
-        for (expected, got) in config.alternation_frequencies().iter().zip(&spectra) {
-            if ((*expected - got.f_alt).hz()).abs() > 0.05 * expected.hz() {
+        // and the achieved value is what the heuristic must use. Each label
+        // must match a distinct planned frequency, in ascending order —
+        // a degraded campaign is an ordered subset of the plan.
+        let planned = config.alternation_frequencies();
+        let mut next = 0usize;
+        for got in &spectra {
+            if !got.f_alt.hz().is_finite() || got.f_alt.hz() <= 0.0 {
                 return Err(FaseError::InvalidSpectra(format!(
-                    "alternation label mismatch: expected {expected}, got {}",
-                    got.f_alt
+                    "non-finite or non-positive alternation label {}",
+                    got.f_alt.hz()
+                )));
+            }
+            let matched = planned[next..]
+                .iter()
+                .position(|e| ((*e - got.f_alt).hz()).abs() <= 0.05 * e.hz());
+            match matched {
+                Some(k) => next += k + 1,
+                None => {
+                    return Err(FaseError::InvalidSpectra(format!(
+                        "alternation label {} matches no remaining planned frequency",
+                        got.f_alt
+                    )))
+                }
+            }
+        }
+        // NaN/Inf boundary check: `Spectrum` construction already rejects
+        // non-finite powers, but campaigns may be assembled from external
+        // (SDR / file) data paths — re-validate here so poison cannot reach
+        // the heuristic's ratios.
+        for (i, s) in spectra.iter().enumerate() {
+            if let Some(bin) = s.spectrum.powers().iter().position(|p| !p.is_finite()) {
+                return Err(FaseError::InvalidSpectra(format!(
+                    "spectrum {i} holds a non-finite power at bin {bin}"
                 )));
             }
         }
@@ -86,7 +128,28 @@ impl CampaignSpectra {
                 "spectra are not on a shared frequency grid".to_owned(),
             ));
         }
-        Ok(CampaignSpectra { config, spectra })
+        Ok(CampaignSpectra {
+            config,
+            spectra,
+            health: None,
+        })
+    }
+
+    /// Attaches a capture-health report (set by the campaign runner; flows
+    /// into [`crate::FaseReport`]).
+    pub fn with_health(mut self, health: CampaignHealth) -> CampaignSpectra {
+        self.health = Some(health);
+        self
+    }
+
+    /// The capture-health report, if the producer recorded one.
+    pub fn health(&self) -> Option<&CampaignHealth> {
+        self.health.as_ref()
+    }
+
+    /// True if fewer spectra survived than the campaign planned.
+    pub fn is_degraded(&self) -> bool {
+        self.spectra.len() < self.config.alternation_count()
     }
 
     /// The campaign configuration.
@@ -203,6 +266,91 @@ mod tests {
             },
         ];
         assert!(CampaignSpectra::new(cfg, spectra).is_err());
+    }
+
+    #[test]
+    fn degraded_subset_accepted_in_order() {
+        let cfg = config(5);
+        let planned = cfg.alternation_frequencies();
+        // Keep planned indices 0, 2, 4 — a 3-of-5 degraded campaign.
+        let spectra: Vec<LabeledSpectrum> = [0usize, 2, 4]
+            .iter()
+            .map(|&i| LabeledSpectrum {
+                f_alt: planned[i],
+                spectrum: flat(1.0),
+            })
+            .collect();
+        let c = CampaignSpectra::new(cfg, spectra).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.is_degraded());
+        assert!(c.health().is_none());
+    }
+
+    #[test]
+    fn out_of_order_subset_rejected() {
+        let cfg = config(5);
+        let planned = cfg.alternation_frequencies();
+        let spectra: Vec<LabeledSpectrum> = [2usize, 0]
+            .iter()
+            .map(|&i| LabeledSpectrum {
+                f_alt: planned[i],
+                spectrum: flat(1.0),
+            })
+            .collect();
+        assert!(CampaignSpectra::new(cfg, spectra).is_err());
+    }
+
+    #[test]
+    fn too_many_spectra_rejected() {
+        let cfg = config(2);
+        let spectra: Vec<LabeledSpectrum> = vec![
+            LabeledSpectrum {
+                f_alt: Hertz(200.0),
+                spectrum: flat(1.0),
+            };
+            3
+        ];
+        assert!(CampaignSpectra::new(cfg, spectra).is_err());
+    }
+
+    #[test]
+    fn non_finite_label_rejected() {
+        let cfg = config(2);
+        let spectra = vec![
+            LabeledSpectrum {
+                f_alt: Hertz(f64::NAN),
+                spectrum: flat(1.0),
+            },
+            LabeledSpectrum {
+                f_alt: Hertz(210.0),
+                spectrum: flat(1.0),
+            },
+        ];
+        assert!(matches!(
+            CampaignSpectra::new(cfg, spectra),
+            Err(FaseError::InvalidSpectra(_))
+        ));
+    }
+
+    #[test]
+    fn health_attaches_and_reads_back() {
+        use crate::health::CampaignHealth;
+        let cfg = config(2);
+        let spectra: Vec<LabeledSpectrum> = cfg
+            .alternation_frequencies()
+            .into_iter()
+            .map(|f_alt| LabeledSpectrum {
+                f_alt,
+                spectrum: flat(1.0),
+            })
+            .collect();
+        let mut health = CampaignHealth::new(2);
+        health.total_retries = 1;
+        let c = CampaignSpectra::new(cfg, spectra)
+            .unwrap()
+            .with_health(health);
+        assert_eq!(c.health().unwrap().total_retries, 1);
+        assert!(!c.is_degraded());
     }
 
     #[test]

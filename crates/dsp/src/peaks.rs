@@ -68,23 +68,30 @@ pub fn find_peaks(values: &[f64], config: &PeakConfig) -> Vec<Peak> {
         return Vec::new();
     }
 
+    // Neighborhood mean over the finite samples only, so one poisoned bin
+    // (NaN/Inf from a glitched capture) cannot mask every peak near it.
+    let finite_mean = |xs: &[f64]| {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &x in xs {
+            if x.is_finite() {
+                sum += x;
+                count += 1;
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    };
+
     // Palshikar S1 score: mean of (x[i] - mean(left w)) and (x[i] - mean(right w)).
     let mut scores = vec![0.0f64; n];
     for i in 0..n {
+        if !values[i].is_finite() {
+            continue; // a non-finite sample can never be a peak
+        }
         let lo = i.saturating_sub(w);
         let hi = (i + w).min(n - 1);
-        let left = &values[lo..i];
-        let right = &values[i + 1..=hi];
-        let rise_left = if left.is_empty() {
-            0.0
-        } else {
-            values[i] - stats::mean(left)
-        };
-        let rise_right = if right.is_empty() {
-            0.0
-        } else {
-            values[i] - stats::mean(right)
-        };
+        let rise_left = finite_mean(&values[lo..i]).map_or(0.0, |m| values[i] - m);
+        let rise_right = finite_mean(&values[i + 1..=hi]).map_or(0.0, |m| values[i] - m);
         scores[i] = 0.5 * (rise_left + rise_right);
     }
 
@@ -96,10 +103,20 @@ pub fn find_peaks(values: &[f64], config: &PeakConfig) -> Vec<Peak> {
     let spread = stats::mad(&scores);
     let threshold = (med + config.threshold_mads * spread).max(config.min_rise);
 
-    // Candidate peaks: strict local maxima whose score clears the threshold.
+    // Candidate peaks: strict local maxima whose score clears the
+    // threshold. Non-finite neighbors compare as -inf so a legitimate peak
+    // beside a poisoned bin is still reported; non-finite samples
+    // themselves were given zero scores above and cannot qualify.
+    let v = |i: usize| {
+        if values[i].is_finite() {
+            values[i]
+        } else {
+            f64::NEG_INFINITY
+        }
+    };
     let mut candidates: Vec<Peak> = (1..n - 1)
         .filter(|&i| {
-            values[i] >= values[i - 1] && values[i] > values[i + 1] && scores[i] >= threshold
+            values[i].is_finite() && v(i) >= v(i - 1) && v(i) > v(i + 1) && scores[i] >= threshold
         })
         .map(|i| Peak {
             index: i,
@@ -109,7 +126,11 @@ pub fn find_peaks(values: &[f64], config: &PeakConfig) -> Vec<Peak> {
         .collect();
 
     // Non-maximum suppression: strongest first, knock out close neighbors.
-    candidates.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("non-NaN values"));
+    candidates.sort_by(|a, b| {
+        b.value
+            .partial_cmp(&a.value)
+            .expect("finite by construction")
+    });
     let mut kept: Vec<Peak> = Vec::new();
     for c in candidates {
         if kept
@@ -223,6 +244,24 @@ mod tests {
         assert!((off - 0.3).abs() < 1e-9, "offset {off}");
         assert_eq!(parabolic_offset(&x, 0), 0.0);
         assert_eq!(parabolic_offset(&x, 20), 0.0);
+    }
+
+    #[test]
+    fn poisoned_bins_do_not_mask_peaks() {
+        let mut x = flat_with_spikes(200, &[(77, 25.0)]);
+        x[40] = f64::NAN;
+        x[120] = f64::INFINITY;
+        x[78] = f64::NAN; // right next to the real peak
+        let peaks = find_peaks(&x, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1, "peaks: {peaks:?}");
+        assert_eq!(peaks[0].index, 77);
+        assert!(peaks[0].value.is_finite() && peaks[0].score.is_finite());
+    }
+
+    #[test]
+    fn all_nan_input_has_no_peaks() {
+        let x = vec![f64::NAN; 100];
+        assert!(find_peaks(&x, &PeakConfig::default()).is_empty());
     }
 
     #[test]

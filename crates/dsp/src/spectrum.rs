@@ -314,6 +314,46 @@ impl Spectrum {
         Spectrum::new(first.start, first.resolution, acc)
     }
 
+    /// Robust power-average: a per-bin trimmed mean over spectra measured
+    /// on the same grid. With `k` captures, the `max(1, k/4)` smallest and
+    /// largest values of each bin are discarded (capped so at least one
+    /// value survives) before averaging — so a single glitched capture
+    /// (ADC clip, interference burst, gain error) cannot drag a bin the
+    /// way the plain mean of [`Spectrum::average`] can. For `k = 3` this
+    /// reduces to the per-bin median; fewer than three captures fall back
+    /// to the plain mean (there is nothing to trim against).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::Empty`] for an empty input and
+    /// [`SpectrumError::GridMismatch`] if grids differ.
+    pub fn robust_average<'a, I>(spectra: I) -> Result<Spectrum, SpectrumError>
+    where
+        I: IntoIterator<Item = &'a Spectrum>,
+    {
+        let all: Vec<&Spectrum> = spectra.into_iter().collect();
+        let first = *all.first().ok_or(SpectrumError::Empty)?;
+        if !all.iter().all(|s| first.same_grid(s)) {
+            return Err(SpectrumError::GridMismatch);
+        }
+        let k = all.len();
+        if k < 3 {
+            return Spectrum::average(all);
+        }
+        let trim = (k / 4).max(1).min((k - 1) / 2);
+        let mut out = Vec::with_capacity(first.len());
+        let mut column = vec![0.0f64; k];
+        for bin in 0..first.len() {
+            for (j, s) in all.iter().enumerate() {
+                column[j] = s.power_mw[bin];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).expect("powers are finite"));
+            let kept = &column[trim..k - trim];
+            out.push(kept.iter().sum::<f64>() / kept.len() as f64);
+        }
+        Spectrum::new(first.start, first.resolution, out)
+    }
+
     /// Concatenates adjacent sweep segments into one spectrum. Segments
     /// must have the same resolution and be supplied in ascending order,
     /// each starting one bin after the previous segment ends.
@@ -471,6 +511,43 @@ mod tests {
         let b = Spectrum::new(Hertz(5.0), Hertz(1.0), vec![3.0, 5.0]).unwrap();
         assert_eq!(
             Spectrum::average([&a, &b]).unwrap_err(),
+            SpectrumError::GridMismatch
+        );
+    }
+
+    #[test]
+    fn robust_average_rejects_outlier_captures() {
+        let clean = || Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1.0, 2.0]).unwrap();
+        let glitched = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1e6, 2.0]).unwrap();
+        // Four captures, one with a clipped bin: the trimmed mean discards
+        // the extreme and the clean value is recovered exactly.
+        let avg = Spectrum::robust_average([&clean(), &clean(), &clean(), &glitched]).unwrap();
+        assert_eq!(avg.powers(), &[1.0, 2.0]);
+        // Three captures reduce to the per-bin median.
+        let avg3 = Spectrum::robust_average([&clean(), &glitched, &clean()]).unwrap();
+        assert_eq!(avg3.powers(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn robust_average_small_cohorts_fall_back_to_mean() {
+        let a = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1.0, 3.0]).unwrap();
+        let b = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![3.0, 5.0]).unwrap();
+        let avg = Spectrum::robust_average([&a, &b]).unwrap();
+        assert_eq!(avg.powers(), &[2.0, 4.0]);
+        let one = Spectrum::robust_average([&a]).unwrap();
+        assert_eq!(one.powers(), &[1.0, 3.0]);
+        assert_eq!(
+            Spectrum::robust_average(std::iter::empty()).unwrap_err(),
+            SpectrumError::Empty
+        );
+    }
+
+    #[test]
+    fn robust_average_rejects_grid_mismatch() {
+        let a = Spectrum::new(Hertz(0.0), Hertz(1.0), vec![1.0, 3.0]).unwrap();
+        let b = Spectrum::new(Hertz(5.0), Hertz(1.0), vec![3.0, 5.0]).unwrap();
+        assert_eq!(
+            Spectrum::robust_average([&a, &b, &a]).unwrap_err(),
             SpectrumError::GridMismatch
         );
     }

@@ -27,19 +27,21 @@ pub fn median(xs: &[f64]) -> f64 {
     percentile(xs, 50.0)
 }
 
-/// Linear-interpolated percentile `p` in `[0, 100]`.
-/// Returns 0.0 for an empty slice.
+/// Linear-interpolated percentile `p` in `[0, 100]`, computed over the
+/// finite elements only (NaN/±Inf bins — e.g. from a glitched capture —
+/// are ignored rather than poisoning the estimate).
+/// Returns 0.0 if no finite elements remain.
 ///
 /// # Panics
 ///
 /// Panics if `p` is outside `[0, 100]` or NaN.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
-    if xs.is_empty() {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("statistics require non-NaN data"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -62,10 +64,13 @@ pub fn mad(xs: &[f64]) -> f64 {
     median(&deviations)
 }
 
-/// Index of the maximum element; `None` for an empty slice.
+/// Index of the maximum *finite* element; `None` for an empty slice or
+/// one with no finite elements. NaN/±Inf entries never win (a NaN bin in
+/// a poisoned spectrum must not become "the peak").
 pub fn argmax(xs: &[f64]) -> Option<usize> {
     xs.iter()
         .enumerate()
+        .filter(|(_, x)| x.is_finite())
         .fold(None, |best: Option<(usize, f64)>, (i, &x)| match best {
             Some((_, bx)) if bx >= x => best,
             _ => Some((i, x)),
@@ -135,6 +140,28 @@ mod tests {
         assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
         assert_eq!(argmax(&[2.0, 2.0]), Some(0));
         assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_skips_non_finite() {
+        assert_eq!(argmax(&[1.0, f64::NAN, 3.0]), Some(2));
+        assert_eq!(argmax(&[1.0, f64::INFINITY, 3.0]), Some(2));
+        assert_eq!(argmax(&[f64::NAN, f64::NEG_INFINITY]), None);
+    }
+
+    #[test]
+    fn percentile_ignores_non_finite() {
+        let xs = [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, f64::NEG_INFINITY];
+        assert_eq!(median(&xs), 2.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 3.0);
+        assert_eq!(median(&[f64::NAN; 4]), 0.0);
+    }
+
+    #[test]
+    fn mad_survives_poisoned_bins() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, f64::NAN];
+        assert_eq!(mad(&xs), 1.0);
     }
 
     #[test]

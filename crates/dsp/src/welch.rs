@@ -41,7 +41,9 @@ impl Default for WelchConfig {
 /// # Errors
 ///
 /// Returns [`SpectrumError::Empty`] if the capture is shorter than one
-/// segment.
+/// segment, or if every segment contains non-finite samples (segments
+/// holding NaN/±Inf — e.g. receiver dropouts — are skipped rather than
+/// allowed to poison the average).
 ///
 /// # Panics
 ///
@@ -87,7 +89,15 @@ pub fn welch_psd(
     let mut count = 0usize;
     let mut start = 0usize;
     while start + seg <= iq.len() {
-        let mut buf: Vec<Complex64> = iq[start..start + seg]
+        let chunk = &iq[start..start + seg];
+        // Skip segments holding non-finite samples (dropouts, saturated
+        // front-end glitches): one poisoned sample would otherwise spread
+        // NaN across every bin of the whole estimate via the FFT.
+        if chunk.iter().any(|z| !z.re.is_finite() || !z.im.is_finite()) {
+            start += hop;
+            continue;
+        }
+        let mut buf: Vec<Complex64> = chunk
             .iter()
             .zip(&coeffs)
             .map(|(z, &c)| z.scale(c))
@@ -99,6 +109,9 @@ pub fn welch_psd(
         }
         count += 1;
         start += hop;
+    }
+    if count == 0 {
+        return Err(SpectrumError::Empty);
     }
     let inv = 1.0 / count as f64;
     for a in acc.iter_mut() {
@@ -191,6 +204,41 @@ mod tests {
         assert_eq!(psd.len(), 256);
         assert_eq!(psd.start(), Hertz(1_000_000.0 - 4_096.0));
         assert_eq!(psd.resolution(), Hertz(32.0));
+    }
+
+    #[test]
+    fn poisoned_segments_are_skipped() {
+        let fs = 100_000.0;
+        let amp = 10f64.powf(-85.0 / 20.0);
+        let f = 20.0 * fs / 1024.0;
+        let mut iq: Vec<Complex64> = (0..16_384)
+            .map(|n| Complex64::from_polar(amp, TAU * f * n as f64 / fs))
+            .collect();
+        // Poison a stretch in the middle: those segments must be dropped,
+        // the rest must still yield a finite, calibrated estimate.
+        for z in iq.iter_mut().take(6_000).skip(4_000) {
+            z.re = f64::NAN;
+        }
+        let psd = welch_psd(&iq, Hertz(0.0), fs, &WelchConfig::default()).unwrap();
+        assert!(psd.powers().iter().all(|p| p.is_finite()));
+        let (b, p) = psd.peak_bin();
+        assert!((psd.frequency_at(b).hz() - f).abs() < 1.0);
+        assert!((10.0 * p.log10() - -85.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn all_poisoned_capture_errors() {
+        let iq = vec![
+            Complex64 {
+                re: f64::NAN,
+                im: 0.0
+            };
+            4096
+        ];
+        assert!(matches!(
+            welch_psd(&iq, Hertz(0.0), 1e3, &WelchConfig::default()),
+            Err(SpectrumError::Empty)
+        ));
     }
 
     #[test]

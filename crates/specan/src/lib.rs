@@ -20,15 +20,17 @@
 
 pub mod analyzer;
 pub mod antenna;
+pub mod fault;
 pub mod probe;
 pub mod runner;
 pub mod sweep;
 
 pub use analyzer::SpectrumAnalyzer;
 pub use antenna::AntennaResponse;
+pub use fault::{FaultKind, FaultPlan, FaultRates};
 pub use probe::{IqCapture, ProbeConfig};
 pub use runner::{
-    run_campaign_parallel, run_campaign_with_options, CampaignOptions, CampaignRunner,
-    DEFAULT_MAX_FFT,
+    run_campaign_parallel, run_campaign_with_options, Averaging, CampaignOptions, CampaignRunner,
+    DEFAULT_MAX_ATTEMPTS, DEFAULT_MAX_FFT,
 };
 pub use sweep::{SegmentSpec, SweepPlan};

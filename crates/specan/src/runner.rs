@@ -2,8 +2,12 @@
 //! rendering, capture, averaging and stitching for a full FASE campaign.
 
 use crate::analyzer::SpectrumAnalyzer;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::sweep::SweepPlan;
-use fase_core::{CampaignConfig, CampaignSpectra, FaseError, LabeledSpectrum};
+use fase_core::{
+    CampaignConfig, CampaignHealth, CampaignSpectra, DroppedAlternation, FaseError, FaultRecord,
+    LabeledSpectrum,
+};
 use fase_dsp::fir::Fir;
 use fase_dsp::rng::{mix_seed, SmallRng};
 use fase_dsp::{Hertz, Spectrum};
@@ -15,6 +19,86 @@ use std::sync::Mutex;
 /// Default FFT length cap (131072 points covers the paper's 0–4 MHz /
 /// 50 Hz campaign in one segment).
 pub const DEFAULT_MAX_FFT: usize = 1 << 17;
+
+/// Default per-capture attempt budget: one regular try plus two retries.
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// Captures whose total power deviates from the cohort median by more
+/// than this factor (either way) are quarantined by the robust averager.
+const QUARANTINE_FACTOR: f64 = 8.0;
+
+/// How a sweep segment's capture cohort is combined into one spectrum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Averaging {
+    /// Plain power mean — the paper's analyzer behaviour ("average 4
+    /// captures"), fastest, but one glitched capture drags every bin.
+    Mean,
+    /// Glitch-robust: captures whose total power is a gross outlier
+    /// against the cohort median are quarantined, then the survivors are
+    /// combined with a per-bin trimmed mean
+    /// ([`Spectrum::robust_average`]). Quarantine counts surface in
+    /// [`CampaignHealth`].
+    #[default]
+    Robust,
+}
+
+/// Combines one segment's captures per the configured averaging policy,
+/// bumping `quarantined` for every capture the robust path excluded.
+fn average_cohort(
+    captures: &[Spectrum],
+    averaging: Averaging,
+    quarantined: &mut usize,
+) -> Result<Spectrum, FaseError> {
+    match averaging {
+        Averaging::Mean => Ok(Spectrum::average(captures.iter())?),
+        Averaging::Robust => {
+            let survivors = quarantine(captures);
+            *quarantined += captures.len() - survivors.len();
+            Ok(Spectrum::robust_average(survivors.iter().copied())?)
+        }
+    }
+}
+
+/// Drops gross power outliers from a capture cohort. Quarantine needs a
+/// majority to define "normal": cohorts smaller than three captures, a
+/// non-positive median, or fewer than two survivors keep everything (the
+/// per-bin trimmed mean still limits the damage).
+fn quarantine(captures: &[Spectrum]) -> Vec<&Spectrum> {
+    if captures.len() < 3 {
+        return captures.iter().collect();
+    }
+    let totals: Vec<f64> = captures.iter().map(Spectrum::total_power).collect();
+    let med = fase_dsp::stats::median(&totals);
+    if !med.is_finite() || med <= 0.0 {
+        return captures.iter().collect();
+    }
+    let keep: Vec<&Spectrum> = captures
+        .iter()
+        .zip(&totals)
+        .filter(|(_, &t)| {
+            t.is_finite() && t <= QUARANTINE_FACTOR * med && t >= med / QUARANTINE_FACTOR
+        })
+        .map(|(s, _)| s)
+        .collect();
+    if keep.len() >= 2 {
+        keep
+    } else {
+        captures.iter().collect()
+    }
+}
+
+/// RNG stream for `(campaign seed, task index, attempt)`. Attempt 0 uses
+/// the same derivation as the pre-retry runner (`mix_seed(seed, index)`),
+/// so fault-free campaigns reproduce historical results bit-for-bit;
+/// each retry re-derives a fresh, equally well-mixed stream.
+fn attempt_seed(seed: u64, index: usize, attempt: u32) -> u64 {
+    let base = mix_seed(seed, index as u64);
+    if attempt == 0 {
+        base
+    } else {
+        mix_seed(base, attempt as u64)
+    }
+}
 
 /// Runs FASE measurement campaigns against a [`SimulatedSystem`].
 ///
@@ -49,6 +133,9 @@ pub struct CampaignRunner {
     rng: SmallRng,
     /// Absolute time cursor so consecutive captures are phase-consistent.
     time: f64,
+    fault_plan: Option<FaultPlan>,
+    max_attempts: u32,
+    averaging: Averaging,
 }
 
 impl CampaignRunner {
@@ -62,7 +149,32 @@ impl CampaignRunner {
             synth_mode: SynthMode::Fast,
             rng: SmallRng::seed_from_u64(seed),
             time: 0.0,
+            fault_plan: None,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            averaging: Averaging::default(),
         }
+    }
+
+    /// Injects a deterministic impairment schedule into every capture (see
+    /// [`FaultPlan`]); faults are recorded in the campaign's
+    /// [`CampaignHealth`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> CampaignRunner {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the per-capture attempt budget (minimum 1; default
+    /// [`DEFAULT_MAX_ATTEMPTS`]).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> CampaignRunner {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Selects the capture-averaging policy (default
+    /// [`Averaging::Robust`]).
+    pub fn with_averaging(mut self, averaging: Averaging) -> CampaignRunner {
+        self.averaging = averaging;
+        self
     }
 
     /// Selects the EM synthesis path (default [`SynthMode::Fast`]); the
@@ -98,27 +210,54 @@ impl CampaignRunner {
 
     /// Runs a full campaign: one averaged, stitched spectrum per
     /// alternation frequency, labeled with the *achieved* alternation
-    /// frequency.
+    /// frequency, with a [`CampaignHealth`] record attached.
+    ///
+    /// An alternation frequency whose capture retry budget is exhausted is
+    /// *dropped* and the campaign degrades to the survivors (the heuristic
+    /// needs only two spectra); the terminal
+    /// [`FaseError::CaptureFailed`] surfaces only when fewer than two
+    /// alternation frequencies survive.
     ///
     /// # Errors
     ///
-    /// Propagates spectrum assembly failures.
+    /// Propagates spectrum assembly failures, and capture failures when
+    /// the campaign cannot degrade any further.
     pub fn run(&mut self, config: &CampaignConfig) -> Result<CampaignSpectra, FaseError> {
-        let mut labeled = Vec::with_capacity(config.alternation_count());
-        for f_alt in config.alternation_frequencies() {
-            let (spectrum, measured) = self.measure_at(
+        let f_alts = config.alternation_frequencies();
+        let mut health = CampaignHealth::new(f_alts.len());
+        let mut labeled = Vec::with_capacity(f_alts.len());
+        let mut first_failure: Option<FaseError> = None;
+        for (i_alt, &f_alt) in f_alts.iter().enumerate() {
+            let measured = self.measure_at(
+                i_alt,
                 f_alt,
                 config.band_lo(),
                 config.band_hi(),
                 config.resolution(),
                 config.averages(),
-            )?;
-            labeled.push(LabeledSpectrum {
-                f_alt: measured,
-                spectrum,
-            });
+                &mut health,
+            );
+            match measured {
+                Ok((spectrum, measured)) => labeled.push(LabeledSpectrum {
+                    f_alt: measured,
+                    spectrum,
+                }),
+                Err(e @ FaseError::CaptureFailed { .. }) => {
+                    first_failure.get_or_insert_with(|| e.clone());
+                    health.dropped.push(DroppedAlternation { f_alt, error: e });
+                }
+                Err(e) => return Err(e),
+            }
         }
-        CampaignSpectra::new(config.clone(), labeled)
+        health.surviving = labeled.len();
+        if labeled.len() < 2 {
+            return Err(first_failure.unwrap_or_else(|| {
+                FaseError::InvalidSpectra(
+                    "fewer than two alternation frequencies survived".to_owned(),
+                )
+            }));
+        }
+        Ok(CampaignSpectra::new(config.clone(), labeled)?.with_health(health))
     }
 
     /// Measures a single averaged spectrum with the benchmark alternating
@@ -135,49 +274,123 @@ impl CampaignRunner {
         resolution: Hertz,
         averages: usize,
     ) -> Result<Spectrum, FaseError> {
-        Ok(self.measure_at(f_alt, lo, hi, resolution, averages)?.0)
+        let mut health = CampaignHealth::new(1);
+        Ok(self
+            .measure_at(0, f_alt, lo, hi, resolution, averages, &mut health)?
+            .0)
     }
 
     /// Measures one averaged, stitched, band-trimmed spectrum; returns it
-    /// with the achieved alternation frequency.
+    /// with the achieved alternation frequency. Each capture gets up to
+    /// `max_attempts` tries; injected impairments and retries are recorded
+    /// in `health`.
+    #[allow(clippy::too_many_arguments)]
     fn measure_at(
         &mut self,
+        i_alt: usize,
         f_alt: Hertz,
         lo: Hertz,
         hi: Hertz,
         resolution: Hertz,
         averages: usize,
+        health: &mut CampaignHealth,
     ) -> Result<(Spectrum, Hertz), FaseError> {
         let bench = self.pair.calibrated(&mut self.system.machine, f_alt.hz());
         let plan = SweepPlan::new(lo, hi, resolution, self.max_fft);
         let mut segment_spectra = Vec::with_capacity(plan.segments().len());
         let mut period_sum = 0.0f64;
         let mut period_count = 0usize;
-        for segment in plan.segments() {
+        for (i_seg, segment) in plan.segments().iter().enumerate() {
             let mut captures = Vec::with_capacity(averages);
-            for _ in 0..averages {
-                let window = segment.window(self.time);
-                let trace =
-                    self.system
-                        .machine
-                        .run_alternation(&bench, segment.duration(), &mut self.rng);
-                // Track the achieved alternation period.
-                let pairs = (trace.len() / 2).max(1);
-                period_sum += trace.duration() / pairs as f64;
+            for i_avg in 0..averages {
+                let max_attempts = self.max_attempts.max(1);
+                let mut attempt = 0u32;
+                let (spectrum, pairs, duration) = loop {
+                    let fault = self
+                        .fault_plan
+                        .as_ref()
+                        .and_then(|p| p.draw(i_alt, i_seg, i_avg, attempt));
+                    if let Some(kind) = fault {
+                        health.faults.push(FaultRecord {
+                            f_alt,
+                            segment: i_seg,
+                            average: i_avg,
+                            attempt,
+                            tag: kind.tag().to_owned(),
+                        });
+                    }
+                    match self.capture_once(&bench, segment, fault) {
+                        Ok(out) => {
+                            if attempt > 0 {
+                                health.retried_tasks += 1;
+                                health.total_retries += attempt as usize;
+                            }
+                            break out;
+                        }
+                        Err(e) => {
+                            attempt += 1;
+                            if attempt >= max_attempts {
+                                if attempt > 1 {
+                                    health.retried_tasks += 1;
+                                    health.total_retries += (attempt - 1) as usize;
+                                }
+                                return Err(FaseError::CaptureFailed {
+                                    f_alt,
+                                    segment: i_seg,
+                                    attempts: attempt,
+                                    cause: e.to_string(),
+                                });
+                            }
+                        }
+                    }
+                };
+                period_sum += duration / pairs as f64;
                 period_count += 1;
-                let refreshes = self.system.refresh.schedule(&trace, &mut self.rng);
-                let ctx = RenderCtx::new(&trace, &refreshes, &window).with_mode(self.synth_mode);
-                let iq = self.system.scene.render(&window, &ctx);
-                captures.push(self.analyzer.spectrum(&window, &iq)?);
-                self.time += segment.duration();
+                captures.push(spectrum);
             }
-            segment_spectra.push(Spectrum::average(captures.iter())?);
+            segment_spectra.push(average_cohort(
+                &captures,
+                self.averaging,
+                &mut health.quarantined,
+            )?);
         }
         let stitched = Spectrum::stitch(segment_spectra.iter())?;
         let trimmed = stitched.band(lo, hi)?;
         let mean_period = period_sum / period_count as f64;
         let measured = Hertz(1.0 / mean_period);
         Ok((trimmed, measured))
+    }
+
+    /// One capture attempt: run the benchmark, render, apply any injected
+    /// impairment, transform. [`FaultKind::TaskFailure`] fails before any
+    /// simulation work (the model is an analyzer-side abort, not a
+    /// rendered glitch).
+    fn capture_once(
+        &mut self,
+        bench: &Alternation,
+        segment: &crate::sweep::SegmentSpec,
+        fault: Option<FaultKind>,
+    ) -> Result<(Spectrum, usize, f64), FaseError> {
+        if fault == Some(FaultKind::TaskFailure) {
+            return Err(FaseError::Worker("injected task failure".to_owned()));
+        }
+        let window = segment.window(self.time);
+        let trace = self
+            .system
+            .machine
+            .run_alternation(bench, segment.duration(), &mut self.rng);
+        let pairs = (trace.len() / 2).max(1);
+        let duration = trace.duration();
+        let refreshes = self.system.refresh.schedule(&trace, &mut self.rng);
+        let ctx = RenderCtx::new(&trace, &refreshes, &window).with_mode(self.synth_mode);
+        let mut iq = self.system.scene.render(&window, &ctx);
+        if let Some(kind) = fault {
+            let mut fault_rng = self.rng.fork(0xFAB1_7FAB);
+            kind.apply(&mut iq, &mut fault_rng);
+        }
+        let spectrum = self.analyzer.spectrum(&window, &iq)?;
+        self.time += segment.duration();
+        Ok((spectrum, pairs, duration))
     }
 
     /// Calibrates and returns the alternation the runner would use at
@@ -235,7 +448,7 @@ impl CampaignRunner {
 
 /// Tuning knobs for the pooled campaign executor
 /// ([`run_campaign_with_options`]).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CampaignOptions {
     /// Worker thread count. `None` reads the `FASE_THREADS` environment
     /// variable and falls back to the machine's available parallelism.
@@ -244,6 +457,14 @@ pub struct CampaignOptions {
     pub synth_mode: SynthMode,
     /// FFT length cap for the sweep plan (see [`DEFAULT_MAX_FFT`]).
     pub max_fft: usize,
+    /// Deterministic impairment schedule injected into captures; `None`
+    /// runs clean.
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-capture attempt budget (minimum 1; a failed capture is retried
+    /// on a fresh derived RNG stream until the budget is exhausted).
+    pub max_attempts: u32,
+    /// Capture-averaging policy for each sweep segment's cohort.
+    pub averaging: Averaging,
 }
 
 impl Default for CampaignOptions {
@@ -252,6 +473,9 @@ impl Default for CampaignOptions {
             threads: None,
             synth_mode: SynthMode::Fast,
             max_fft: DEFAULT_MAX_FFT,
+            fault_plan: None,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            averaging: Averaging::default(),
         }
     }
 }
@@ -265,6 +489,9 @@ struct CaptureTask {
     index: usize,
     i_alt: usize,
     i_seg: usize,
+    /// Position within the segment's averaging cohort (a fault-plan
+    /// coordinate).
+    i_avg: usize,
 }
 
 /// What a finished capture contributes to the reduction.
@@ -275,6 +502,15 @@ struct CaptureOut {
     /// bookkeeping.
     pairs: usize,
     trace_duration: f64,
+}
+
+/// Everything a capture task reports back: the capture (or the terminal
+/// error after retry exhaustion), attempts spent, impairments suffered.
+#[derive(Debug)]
+struct TaskResult {
+    out: Result<CaptureOut, FaseError>,
+    attempts: u32,
+    faults: Vec<FaultRecord>,
 }
 
 /// Resolves the worker count: explicit request, then `FASE_THREADS`, then
@@ -348,15 +584,19 @@ where
     p
 }
 
-/// Executes one capture task: build the system, run the calibrated
-/// benchmark on the pre-profiled machine, render the EM scene and
-/// transform the capture.
+/// Executes one capture attempt: build the system, run the calibrated
+/// benchmark on the pre-profiled machine, render the EM scene, apply any
+/// injected impairment and transform the capture.
 ///
-/// Everything the task touches — machine, RNG stream, capture start time
-/// — is derived from the task's own coordinates, so the result is
-/// identical no matter which worker runs it or in what order.
+/// Everything the attempt touches — machine, RNG stream, capture start
+/// time, fault realization — is derived from the task's own coordinates
+/// (and the attempt number), so the result is identical no matter which
+/// worker runs it or in what order.
+#[allow(clippy::too_many_arguments)]
 fn execute_capture<F>(
     task: CaptureTask,
+    attempt: u32,
+    fault: Option<FaultKind>,
     prepared: &Prepared,
     segment: &crate::sweep::SegmentSpec,
     factory: &F,
@@ -366,9 +606,13 @@ fn execute_capture<F>(
 where
     F: Fn(usize) -> SimulatedSystem,
 {
+    if fault == Some(FaultKind::TaskFailure) {
+        return Err(FaseError::Worker("injected task failure".to_owned()));
+    }
     let mut system = factory(task.i_alt);
     system.machine = prepared.machine.clone();
-    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, task.index as u64));
+    let stream = attempt_seed(seed, task.index, attempt);
+    let mut rng = SmallRng::seed_from_u64(stream);
     let window = segment.window(task.index as f64 * segment.duration());
     let trace = system
         .machine
@@ -377,7 +621,11 @@ where
     let trace_duration = trace.duration();
     let refreshes = system.refresh.schedule(&trace, &mut rng);
     let ctx = RenderCtx::new(&trace, &refreshes, &window).with_mode(synth_mode);
-    let iq = system.scene.render(&window, &ctx);
+    let mut iq = system.scene.render(&window, &ctx);
+    if let Some(kind) = fault {
+        let mut fault_rng = SmallRng::seed_from_u64(mix_seed(stream, 0xFAB1_7FAB));
+        kind.apply(&mut iq, &mut fault_rng);
+    }
     let spectrum = SpectrumAnalyzer::default().spectrum(&window, &iq)?;
     Ok(CaptureOut {
         spectrum,
@@ -429,21 +677,26 @@ where
     let mut tasks = Vec::with_capacity(f_alts.len() * segments.len() * averages);
     for i_alt in 0..f_alts.len() {
         for i_seg in 0..segments.len() {
-            for _ in 0..averages {
+            for i_avg in 0..averages {
                 tasks.push(CaptureTask {
                     index: tasks.len(),
                     i_alt,
                     i_seg,
+                    i_avg,
                 });
             }
         }
     }
 
     let threads = effective_threads(options.threads).min(tasks.len()).max(1);
+    let synth_mode = options.synth_mode;
+    let max_attempts = options.max_attempts.max(1);
+    let averaging = options.averaging;
+    let fault_plan = options.fault_plan.as_ref();
     let next = AtomicUsize::new(0);
     let prepared: Vec<Mutex<Option<std::sync::Arc<Prepared>>>> =
         f_alts.iter().map(|_| Mutex::new(None)).collect();
-    let results: Mutex<Vec<Option<Result<CaptureOut, FaseError>>>> =
+    let results: Mutex<Vec<Option<TaskResult>>> =
         Mutex::new((0..tasks.len()).map(|_| None).collect());
 
     let mut worker_panic: Option<String> = None;
@@ -467,17 +720,61 @@ where
                         pair,
                         factory,
                     );
-                    let out = execute_capture(
-                        task,
-                        &prep,
-                        &segments[task.i_seg],
-                        factory,
-                        seed,
-                        options.synth_mode,
-                    );
+                    // Bounded retry: each attempt draws its own fault and
+                    // RNG stream from the task coordinates, so the retry
+                    // history is identical for any worker count.
+                    let mut faults = Vec::new();
+                    let mut attempt = 0u32;
+                    let result = loop {
+                        let fault = fault_plan
+                            .and_then(|p| p.draw(task.i_alt, task.i_seg, task.i_avg, attempt));
+                        if let Some(kind) = fault {
+                            faults.push(FaultRecord {
+                                f_alt: f_alts[task.i_alt],
+                                segment: task.i_seg,
+                                average: task.i_avg,
+                                attempt,
+                                tag: kind.tag().to_owned(),
+                            });
+                        }
+                        let out = execute_capture(
+                            task,
+                            attempt,
+                            fault,
+                            &prep,
+                            &segments[task.i_seg],
+                            factory,
+                            seed,
+                            synth_mode,
+                        );
+                        attempt += 1;
+                        match out {
+                            Ok(out) => {
+                                break TaskResult {
+                                    out: Ok(out),
+                                    attempts: attempt,
+                                    faults,
+                                }
+                            }
+                            Err(e) => {
+                                if attempt >= max_attempts {
+                                    break TaskResult {
+                                        out: Err(FaseError::CaptureFailed {
+                                            f_alt: f_alts[task.i_alt],
+                                            segment: task.i_seg,
+                                            attempts: attempt,
+                                            cause: e.to_string(),
+                                        }),
+                                        attempts: attempt,
+                                        faults,
+                                    };
+                                }
+                            }
+                        }
+                    };
                     results
                         .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(out);
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(result);
                 })
             })
             .collect();
@@ -492,28 +789,58 @@ where
     }
 
     // Reduce in task order (worker scheduling cannot reorder this):
-    // average each segment's captures, stitch segments, trim to band.
+    // average each segment's captures, stitch segments, trim to band. An
+    // alternation frequency with an exhausted capture is dropped and the
+    // campaign degrades to the survivors; the error surfaces only when
+    // fewer than two survive.
     let outputs = results
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut outputs = outputs.into_iter();
+    let mut health = CampaignHealth::new(f_alts.len());
     let mut labeled = Vec::with_capacity(f_alts.len());
-    for _ in f_alts {
+    let mut first_failure: Option<FaseError> = None;
+    for &f_alt in &f_alts {
         let mut segment_spectra = Vec::with_capacity(segments.len());
         let mut period_sum = 0.0f64;
         let mut period_count = 0usize;
+        let mut alt_failure: Option<FaseError> = None;
         for _ in segments {
             let mut captures = Vec::with_capacity(averages);
             for _ in 0..averages {
-                let out = outputs
+                let result = outputs
                     .next()
                     .flatten()
-                    .ok_or_else(|| FaseError::Worker("capture task never ran".to_owned()))??;
-                period_sum += out.trace_duration / out.pairs as f64;
-                period_count += 1;
-                captures.push(out.spectrum);
+                    .ok_or_else(|| FaseError::Worker("capture task never ran".to_owned()))?;
+                if result.attempts > 1 {
+                    health.retried_tasks += 1;
+                    health.total_retries += (result.attempts - 1) as usize;
+                }
+                health.faults.extend(result.faults);
+                match result.out {
+                    Ok(out) => {
+                        period_sum += out.trace_duration / out.pairs as f64;
+                        period_count += 1;
+                        captures.push(out.spectrum);
+                    }
+                    Err(e @ FaseError::CaptureFailed { .. }) => {
+                        alt_failure.get_or_insert(e);
+                    }
+                    Err(e) => return Err(e),
+                }
             }
-            segment_spectra.push(Spectrum::average(captures.iter())?);
+            if alt_failure.is_none() {
+                segment_spectra.push(average_cohort(
+                    &captures,
+                    averaging,
+                    &mut health.quarantined,
+                )?);
+            }
+        }
+        if let Some(e) = alt_failure {
+            first_failure.get_or_insert_with(|| e.clone());
+            health.dropped.push(DroppedAlternation { f_alt, error: e });
+            continue;
         }
         let stitched = Spectrum::stitch(segment_spectra.iter())?;
         let spectrum = stitched.band(config.band_lo(), config.band_hi())?;
@@ -523,7 +850,13 @@ where
             spectrum,
         });
     }
-    CampaignSpectra::new(config.clone(), labeled)
+    health.surviving = labeled.len();
+    if labeled.len() < 2 {
+        return Err(first_failure.unwrap_or_else(|| {
+            FaseError::InvalidSpectra("fewer than two alternation frequencies survived".to_owned())
+        }));
+    }
+    Ok(CampaignSpectra::new(config.clone(), labeled)?.with_health(health))
 }
 
 /// Runs a campaign on the capture-task pool with default options (fast

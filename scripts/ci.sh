@@ -20,4 +20,12 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+# Extended fault matrix: every impairment class at every alternation
+# index, across worker thread counts (~1 min). Opt in because it dwarfs
+# the rest of the suite; CI's fault-matrix job sets it.
+if [[ "${FASE_FAULT_MATRIX:-}" == "full" ]]; then
+  echo "==> fault matrix (FASE_FAULT_MATRIX=full)"
+  cargo test --offline -q -p fase-specan --test fault_matrix
+fi
+
 echo "CI OK"
