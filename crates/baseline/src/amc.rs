@@ -120,11 +120,7 @@ pub fn classify_am(spectrum: &Spectrum, config: &AmcConfig) -> Vec<AmDetection> 
             });
         }
     }
-    detections.sort_by(|a, b| {
-        b.carrier_dbm
-            .partial_cmp(&a.carrier_dbm)
-            .expect("finite dBm values")
-    });
+    detections.sort_by(|a, b| b.carrier_dbm.total_cmp(&a.carrier_dbm));
     detections
 }
 

@@ -115,11 +115,7 @@ pub fn find_pairs(
             });
         }
     }
-    detections.sort_by(|a, b| {
-        b.sideband_dbm
-            .partial_cmp(&a.sideband_dbm)
-            .expect("finite dBm values")
-    });
+    detections.sort_by(|a, b| b.sideband_dbm.total_cmp(&a.sideband_dbm));
     detections
 }
 

@@ -76,8 +76,7 @@ pub fn classify_by_pairs(
         a.carrier
             .frequency()
             .hz()
-            .partial_cmp(&b.carrier.frequency().hz())
-            .expect("finite frequencies")
+            .total_cmp(&b.carrier.frequency().hz())
     });
     out
 }

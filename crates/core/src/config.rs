@@ -51,7 +51,7 @@ impl CampaignConfig {
             .alternation(Hertz::from_khz(43.3), Hertz(500.0), 5)
             .averages(4)
             .build()
-            .expect("paper campaign 1 parameters are valid")
+            .expect("paper campaign 1 parameters are valid") // fase-lint: allow(P-expect) -- fixed Figure 10 constants, exercised by the preset unit tests
     }
 
     /// The paper's second campaign (Figure 10, row 2): 0–120 MHz,
@@ -63,7 +63,7 @@ impl CampaignConfig {
             .alternation(Hertz::from_khz(43.3), Hertz::from_khz(5.0), 5)
             .averages(4)
             .build()
-            .expect("paper campaign 2 parameters are valid")
+            .expect("paper campaign 2 parameters are valid") // fase-lint: allow(P-expect) -- fixed Figure 10 constants, exercised by the preset unit tests
     }
 
     /// The paper's third campaign (Figure 10, row 3): 0–1200 MHz,
@@ -75,7 +75,7 @@ impl CampaignConfig {
             .alternation(Hertz::from_mhz(1.8), Hertz::from_khz(100.0), 5)
             .averages(4)
             .build()
-            .expect("paper campaign 3 parameters are valid")
+            .expect("paper campaign 3 parameters are valid") // fase-lint: allow(P-expect) -- fixed Figure 10 constants, exercised by the preset unit tests
     }
 
     /// Lower edge of the measured band.
@@ -192,7 +192,7 @@ impl CampaignConfigBuilder {
     /// zero averages, or an alternation frequency not well above the
     /// resolution.
     pub fn build(self) -> Result<CampaignConfig, FaseError> {
-        let invalid = |m: &str| Err(FaseError::InvalidConfig(m.to_owned()));
+        let invalid = |m: &str| Err(FaseError::invalid_config(m));
         let Some((lo, hi)) = self.band else {
             return invalid("band not set");
         };

@@ -127,7 +127,7 @@ pub fn merge_detections(
     let mut clusters: Vec<Vec<Detection>> = Vec::new();
     for d in detections {
         match clusters.last_mut() {
-            Some(cluster) if d.bin - cluster.last().expect("non-empty cluster").bin <= tol => {
+            Some(cluster) if cluster.last().is_some_and(|prev| d.bin - prev.bin <= tol) => {
                 cluster.push(d);
             }
             _ => clusters.push(vec![d]),
@@ -179,11 +179,7 @@ pub fn merge_detections(
             Some(Carrier::new(freq, magnitude, sideband, harmonics))
         })
         .collect();
-    carriers.sort_by(|a, b| {
-        b.total_log_score()
-            .partial_cmp(&a.total_log_score())
-            .expect("scores are finite")
-    });
+    carriers.sort_by(|a, b| b.total_log_score().total_cmp(&a.total_log_score()));
     carriers
 }
 
@@ -223,7 +219,7 @@ fn sideband_dbm(spectra: &CampaignSpectra, f: Hertz, harmonics: &[Harmonic], tol
         .iter()
         .map(|x| x.h)
         .min_by_key(|x| x.unsigned_abs())
-        .expect("non-empty harmonics");
+        .expect("non-empty harmonics"); // fase-lint: allow(P-expect) -- every cluster starts non-empty, so its harmonic evidence is too
     let mut acc = 0.0;
     let mut count = 0usize;
     for labeled in spectra.spectra() {

@@ -32,6 +32,44 @@ pub enum FaseError {
     },
 }
 
+impl FaseError {
+    /// Builds an [`FaseError::InvalidConfig`] error.
+    ///
+    /// This module is the designated construction site for `FaseError`
+    /// variants (fase-lint rule `S-errctor`); the rest of the workspace
+    /// goes through these helpers so the error vocabulary stays auditable
+    /// in one place.
+    pub fn invalid_config(msg: impl Into<String>) -> FaseError {
+        FaseError::InvalidConfig(msg.into())
+    }
+
+    /// Builds an [`FaseError::InvalidSpectra`] error.
+    pub fn invalid_spectra(msg: impl Into<String>) -> FaseError {
+        FaseError::InvalidSpectra(msg.into())
+    }
+
+    /// Builds an [`FaseError::Worker`] error from a panic or abort message.
+    pub fn worker(msg: impl Into<String>) -> FaseError {
+        FaseError::Worker(msg.into())
+    }
+
+    /// Builds an [`FaseError::CaptureFailed`] error for the capture at
+    /// `f_alt`/`segment` that gave up after `attempts` tries.
+    pub fn capture_failed(
+        f_alt: fase_dsp::Hertz,
+        segment: usize,
+        attempts: u32,
+        cause: impl Into<String>,
+    ) -> FaseError {
+        FaseError::CaptureFailed {
+            f_alt,
+            segment,
+            attempts,
+            cause: cause.into(),
+        }
+    }
+}
+
 impl fmt::Display for FaseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

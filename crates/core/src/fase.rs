@@ -94,9 +94,7 @@ impl Fase {
     /// Returns [`FaseError::InvalidConfig`] if `max_harmonic` is zero.
     pub fn analyze(&self, spectra: &CampaignSpectra) -> Result<FaseReport, FaseError> {
         if self.config.max_harmonic == 0 {
-            return Err(FaseError::InvalidConfig(
-                "max_harmonic must be at least 1".to_owned(),
-            ));
+            return Err(FaseError::invalid_config("max_harmonic must be at least 1"));
         }
         let traces = all_harmonic_scores(spectra, self.config.max_harmonic, &self.config.heuristic);
         let detections: Vec<Detection> = traces

@@ -105,12 +105,7 @@ impl fmt::Display for HarmonicSet {
 /// deviation of a member from an exact multiple (e.g. 0.002).
 pub fn group_harmonic_sets(carriers: &[Carrier], rel_tol: f64) -> Vec<HarmonicSet> {
     let mut sorted: Vec<Carrier> = carriers.to_vec();
-    sorted.sort_by(|a, b| {
-        a.frequency()
-            .hz()
-            .partial_cmp(&b.frequency().hz())
-            .expect("frequencies are finite")
-    });
+    sorted.sort_by(|a, b| a.frequency().hz().total_cmp(&b.frequency().hz()));
 
     let mut sets: Vec<HarmonicSet> = Vec::new();
     for carrier in sorted {
@@ -215,12 +210,9 @@ fn merge_by_gcd(mut sets: Vec<HarmonicSet>, rel_tol: f64) -> Vec<HarmonicSet> {
                 }
                 let absorbed = sets.remove(j);
                 sets[i].members.extend(absorbed.members);
-                sets[i].members.sort_by(|a, b| {
-                    a.frequency()
-                        .hz()
-                        .partial_cmp(&b.frequency().hz())
-                        .expect("finite frequencies")
-                });
+                sets[i]
+                    .members
+                    .sort_by(|a, b| a.frequency().hz().total_cmp(&b.frequency().hz()));
                 sets[i].fundamental = Hertz(g);
                 merged = true;
                 break 'outer;

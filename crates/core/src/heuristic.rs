@@ -312,7 +312,7 @@ pub fn all_harmonic_scores(
         .map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("harmonic worker completed")
+                .expect("harmonic worker completed") // fase-lint: allow(P-expect) -- the scope join guarantees every slot was written exactly once
         })
         .collect()
 }
@@ -320,12 +320,14 @@ pub fn all_harmonic_scores(
 /// Worker count for the harmonic sweep: `FASE_THREADS` if set, else the
 /// machine's available parallelism.
 fn heuristic_threads() -> usize {
+    // fase-lint: allow(D-env) -- FASE_THREADS selects the worker count only; sweep results are bit-identical for any value (see the parallel-vs-sequential property tests)
     if let Some(n) = std::env::var("FASE_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
     {
         return n.max(1);
     }
+    // fase-lint: allow(D-thread) -- the machine's parallelism affects scheduling, not results; per-harmonic scores are thread-count-invariant
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)

@@ -53,7 +53,13 @@ pub fn estimate_leakage(
     carrier: &Carrier,
     floor_window: Hertz,
 ) -> LeakageEstimate {
-    let f_alt1 = spectra.spectra()[0].f_alt;
+    // CampaignSpectra::new guarantees at least two spectra, so the
+    // fallback is unreachable; `.first()` keeps the lookup panic-free.
+    let f_alt1 = spectra
+        .spectra()
+        .first()
+        .map(|s| s.f_alt)
+        .unwrap_or(Hertz::ZERO);
     let mean = spectra.mean_spectrum();
     let sideband_freq = Hertz(carrier.frequency().hz() + f_alt1.hz());
     let lo = Hertz(sideband_freq.hz() - floor_window.hz());
@@ -90,11 +96,7 @@ pub fn estimate_all(
         .iter()
         .map(|c| estimate_leakage(spectra, c, floor_window))
         .collect();
-    out.sort_by(|a, b| {
-        b.capacity_bps
-            .partial_cmp(&a.capacity_bps)
-            .expect("finite capacities")
-    });
+    out.sort_by(|a, b| b.capacity_bps.total_cmp(&a.capacity_bps));
     out
 }
 

@@ -100,7 +100,7 @@ impl FaseReport {
             .min_by(|a, b| {
                 let da = (a.frequency() - f).hz().abs();
                 let db = (b.frequency() - f).hz().abs();
-                da.partial_cmp(&db).expect("finite frequencies")
+                da.total_cmp(&db)
             })
     }
 

@@ -78,12 +78,17 @@ pub fn attribute_peak(
     config: &AttributionConfig,
 ) -> Vec<Attribution> {
     let f_alts: Vec<f64> = spectra.spectra().iter().map(|s| s.f_alt.hz()).collect();
+    // CampaignSpectra::new guarantees at least two spectra; the guard keeps
+    // the lookups below panic-free.
+    let Some(&f_alt1) = f_alts.first() else {
+        return Vec::new();
+    };
     let n = spectra.len();
     let first = spectra.spectrum(0);
     let res = first.resolution().hz();
     let mut out = Vec::new();
     for h in (1..=config.max_harmonic as i32).flat_map(|k| [k, -k]) {
-        let carrier = Hertz(f_peak.hz() - h as f64 * f_alts[0]);
+        let carrier = Hertz(f_peak.hz() - h as f64 * f_alt1);
         if carrier.hz() < first.start().hz() || carrier.hz() > first.stop().hz() {
             continue;
         }
@@ -113,11 +118,9 @@ pub fn attribute_peak(
         });
     }
     out.sort_by(|a, b| {
-        b.consistent_spectra.cmp(&a.consistent_spectra).then(
-            b.mean_ratio
-                .partial_cmp(&a.mean_ratio)
-                .expect("finite ratios"),
-        )
+        b.consistent_spectra
+            .cmp(&a.consistent_spectra)
+            .then(b.mean_ratio.total_cmp(&a.mean_ratio))
     });
     out
 }

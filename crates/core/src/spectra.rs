@@ -71,13 +71,13 @@ impl CampaignSpectra {
         spectra: Vec<LabeledSpectrum>,
     ) -> Result<CampaignSpectra, FaseError> {
         if spectra.len() < 2 {
-            return Err(FaseError::InvalidSpectra(format!(
+            return Err(FaseError::invalid_spectra(format!(
                 "at least 2 spectra are required (the Eq. 2 minimum), got {}",
                 spectra.len()
             )));
         }
         if spectra.len() > config.alternation_count() {
-            return Err(FaseError::InvalidSpectra(format!(
+            return Err(FaseError::invalid_spectra(format!(
                 "expected at most {} spectra, got {}",
                 config.alternation_count(),
                 spectra.len()
@@ -93,7 +93,7 @@ impl CampaignSpectra {
         let mut next = 0usize;
         for got in &spectra {
             if !got.f_alt.hz().is_finite() || got.f_alt.hz() <= 0.0 {
-                return Err(FaseError::InvalidSpectra(format!(
+                return Err(FaseError::invalid_spectra(format!(
                     "non-finite or non-positive alternation label {}",
                     got.f_alt.hz()
                 )));
@@ -104,7 +104,7 @@ impl CampaignSpectra {
             match matched {
                 Some(k) => next += k + 1,
                 None => {
-                    return Err(FaseError::InvalidSpectra(format!(
+                    return Err(FaseError::invalid_spectra(format!(
                         "alternation label {} matches no remaining planned frequency",
                         got.f_alt
                     )))
@@ -117,16 +117,20 @@ impl CampaignSpectra {
         // the heuristic's ratios.
         for (i, s) in spectra.iter().enumerate() {
             if let Some(bin) = s.spectrum.powers().iter().position(|p| !p.is_finite()) {
-                return Err(FaseError::InvalidSpectra(format!(
+                return Err(FaseError::invalid_spectra(format!(
                     "spectrum {i} holds a non-finite power at bin {bin}"
                 )));
             }
         }
-        let first = &spectra[0].spectrum;
-        if !spectra.iter().all(|s| first.same_grid(&s.spectrum)) {
-            return Err(FaseError::InvalidSpectra(
-                "spectra are not on a shared frequency grid".to_owned(),
-            ));
+        if let Some(first) = spectra.first() {
+            if !spectra
+                .iter()
+                .all(|s| first.spectrum.same_grid(&s.spectrum))
+            {
+                return Err(FaseError::invalid_spectra(
+                    "spectra are not on a shared frequency grid",
+                ));
+            }
         }
         Ok(CampaignSpectra {
             config,
@@ -185,7 +189,7 @@ impl CampaignSpectra {
     /// carrier magnitude readouts and figure backgrounds.
     pub fn mean_spectrum(&self) -> Spectrum {
         Spectrum::average(self.spectra.iter().map(|s| &s.spectrum))
-            .expect("validated spectra share a grid")
+            .expect("validated spectra share a grid") // fase-lint: allow(P-expect) -- new() rejects mismatched grids, so averaging cannot fail
     }
 }
 

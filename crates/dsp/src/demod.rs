@@ -9,6 +9,7 @@
 //! (§4.4). This module provides both demodulators plus the spectrogram.
 
 use crate::complex::Complex64;
+use crate::stats::safe_sqrt;
 use crate::window::Window;
 
 /// AM (envelope) demodulation: the magnitude of the complex baseband
@@ -55,12 +56,17 @@ pub fn instantaneous_frequency(iq: &[Complex64], sample_rate: f64) -> Vec<f64> {
         return vec![0.0; iq.len()];
     }
     let scale = sample_rate / std::f64::consts::TAU;
+    let deltas: Vec<f64> = iq
+        .iter()
+        .zip(iq.iter().skip(1))
+        .map(|(prev, next)| (*next * prev.conj()).arg() * scale)
+        .collect();
+    // The first sample has no predecessor; repeat the first measured value
+    // so the output length matches the input.
+    let first = deltas.first().copied().unwrap_or(0.0);
     let mut out = Vec::with_capacity(iq.len());
-    out.push(0.0); // placeholder, fixed below
-    for pair in iq.windows(2) {
-        out.push((pair[1] * pair[0].conj()).arg() * scale);
-    }
-    out[0] = out[1];
+    out.push(first);
+    out.extend(deltas);
     out
 }
 
@@ -223,12 +229,12 @@ pub fn ridge_track_in_band(
         .map(|(k, frame)| {
             let peak = *allowed
                 .iter()
-                .max_by(|&&a, &&b| frame[a].partial_cmp(&frame[b]).expect("finite powers"))
-                .expect("non-empty allowed set");
+                .max_by(|&&a, &&b| frame[a].total_cmp(&frame[b]))
+                .expect("non-empty allowed set"); // fase-lint: allow(P-expect) -- `allowed` is non-empty (asserted above), so max_by yields Some
             RidgePoint {
                 time: k as f64 * hop as f64 / sample_rate,
                 frequency_offset: bin_offset(peak),
-                amplitude: frame[peak].sqrt() / (frame_len as f64 * cg),
+                amplitude: safe_sqrt(frame[peak]) / (frame_len as f64 * cg),
             }
         })
         .collect()

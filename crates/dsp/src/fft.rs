@@ -16,7 +16,7 @@
 
 use crate::complex::Complex64;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::f64::consts::PI;
 use std::rc::Rc;
 
@@ -55,7 +55,7 @@ enum PlanKind {
         /// Twiddles `e^{-jπk/m}` for each stage, flattened.
         twiddles: Vec<Complex64>,
         /// Bit-reversal permutation.
-        rev: Vec<u32>,
+        rev: Vec<usize>,
     },
     Bluestein {
         /// Inner power-of-two convolution plan of length `m >= 2n-1`.
@@ -96,9 +96,9 @@ impl FftPlan {
 
     fn plan_radix2(n: usize) -> PlanKind {
         let bits = n.trailing_zeros();
-        let mut rev = vec![0u32; n];
+        let mut rev = vec![0usize; n];
         for (i, r) in rev.iter_mut().enumerate() {
-            *r = (i as u32).reverse_bits() >> (32 - bits);
+            *r = i.reverse_bits() >> (usize::BITS - bits);
         }
         // Stage `s` (half-size m = 2^s) needs m twiddles; total n-1.
         let mut twiddles = Vec::with_capacity(n - 1);
@@ -119,12 +119,15 @@ impl FftPlan {
         // angle argument small and precise for large n.
         let chirp: Vec<Complex64> = (0..n)
             .map(|k| {
+                // fase-lint: allow(U-cast) -- usize→u128 widening is lossless; 128-bit modular arithmetic keeps k² exact for any transform length
                 let k2 = (k as u128 * k as u128) % (2 * n as u128);
                 Complex64::cis(-PI * k2 as f64 / n as f64)
             })
             .collect();
         let mut filter = vec![Complex64::ZERO; m];
-        filter[0] = chirp[0].conj();
+        if let (Some(f0), Some(c0)) = (filter.first_mut(), chirp.first()) {
+            *f0 = c0.conj();
+        }
         for k in 1..n {
             let c = chirp[k].conj();
             filter[k] = c;
@@ -282,7 +285,8 @@ impl FftScratch {
 }
 
 thread_local! {
-    static PLAN_CACHE: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
+    static PLAN_CACHE: RefCell<BTreeMap<usize, Rc<FftPlan>>> =
+        const { RefCell::new(BTreeMap::new()) };
 }
 
 /// Fetches (or creates and caches) the current thread's plan of length `n`.
@@ -324,10 +328,9 @@ fn conjugate(data: &mut [Complex64]) {
     }
 }
 
-fn radix2_in_place(data: &mut [Complex64], twiddles: &[Complex64], rev: &[u32]) {
+fn radix2_in_place(data: &mut [Complex64], twiddles: &[Complex64], rev: &[usize]) {
     let n = data.len();
-    for (i, &r) in rev.iter().enumerate() {
-        let j = r as usize;
+    for (i, &j) in rev.iter().enumerate() {
         if i < j {
             data.swap(i, j);
         }

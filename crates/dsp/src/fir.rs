@@ -115,19 +115,15 @@ impl Fir {
     /// Filters a real signal (same-length output, zero-padded edges,
     /// delay-compensated so features stay aligned with the input).
     pub fn apply(&self, xs: &[f64]) -> Vec<f64> {
-        let d = self.group_delay() as isize;
+        let d = self.group_delay();
         (0..xs.len())
             .map(|i| {
                 self.taps
                     .iter()
                     .enumerate()
-                    .map(|(k, &t)| {
-                        let j = i as isize + d - k as isize;
-                        if j >= 0 && (j as usize) < xs.len() {
-                            t * xs[j as usize]
-                        } else {
-                            0.0
-                        }
+                    .map(|(k, &t)| match (i + d).checked_sub(k) {
+                        Some(j) if j < xs.len() => t * xs[j],
+                        _ => 0.0,
                     })
                     .sum()
             })
@@ -136,14 +132,15 @@ impl Fir {
 
     /// Filters a complex signal (delay-compensated, like [`Fir::apply`]).
     pub fn apply_complex(&self, xs: &[Complex64]) -> Vec<Complex64> {
-        let d = self.group_delay() as isize;
+        let d = self.group_delay();
         (0..xs.len())
             .map(|i| {
                 let mut acc = Complex64::ZERO;
                 for (k, &t) in self.taps.iter().enumerate() {
-                    let j = i as isize + d - k as isize;
-                    if j >= 0 && (j as usize) < xs.len() {
-                        acc += xs[j as usize].scale(t);
+                    if let Some(j) = (i + d).checked_sub(k) {
+                        if j < xs.len() {
+                            acc += xs[j].scale(t);
+                        }
                     }
                 }
                 acc

@@ -7,6 +7,7 @@
 
 use crate::complex::Complex64;
 use crate::rng::Rng;
+use crate::stats::{safe_ln, safe_sqrt};
 
 /// Draws one standard-normal variate via the Box–Muller transform.
 ///
@@ -22,7 +23,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // Avoid ln(0) by sampling u1 from the half-open (0, 1].
     let u1 = 1.0 - rng.gen_f64();
     let u2 = rng.gen_f64();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    safe_sqrt(-2.0 * safe_ln(u1)) * (std::f64::consts::TAU * u2).cos()
 }
 
 /// Draws a complex sample with independent N(0, σ²/2) components — circular
@@ -35,7 +36,7 @@ pub fn complex_normal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> Complex64 {
     let u1 = 1.0 - rng.gen_f64();
     let u2 = rng.gen_f64();
     // (σ/√2)·√(−2·ln u1) = σ·√(−ln u1).
-    let r = sigma * (-u1.ln()).sqrt();
+    let r = sigma * safe_sqrt(-safe_ln(u1));
     let (sin, cos) = (std::f64::consts::TAU * u2).sin_cos();
     Complex64::new(r * cos, r * sin)
 }
@@ -72,7 +73,7 @@ impl GaussMarkov {
         assert!(sigma >= 0.0, "sigma must be non-negative");
         assert!(tau_steps > 0.0, "correlation time must be positive");
         let alpha = (-1.0 / tau_steps).exp();
-        let innovation = sigma * (1.0 - alpha * alpha).sqrt();
+        let innovation = sigma * safe_sqrt(1.0 - alpha * alpha);
         GaussMarkov {
             state: 0.0,
             alpha,
@@ -139,14 +140,12 @@ impl PhaseWalk {
 /// Panics if `octaves` is zero or greater than 62.
 pub fn pink_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64, octaves: u32, n: usize) -> Vec<f64> {
     assert!((1..=62).contains(&octaves), "octaves must be in 1..=62");
-    let mut rows = vec![0.0f64; octaves as usize];
-    for r in rows.iter_mut() {
-        *r = standard_normal(rng);
-    }
-    let norm = sigma / (octaves as f64).sqrt();
+    let mut rows: Vec<f64> = (0..octaves).map(|_| standard_normal(rng)).collect();
+    let norm = sigma / safe_sqrt(f64::from(octaves));
     (0..n)
         .map(|i| {
             // Row k updates every 2^k samples (trailing-zeros trick).
+            // fase-lint: allow(U-cast) -- u32→usize row index, bounded by octaves ≤ 62
             let k = (i + 1).trailing_zeros().min(octaves - 1) as usize;
             rows[k] = standard_normal(rng);
             rows.iter().sum::<f64>() * norm

@@ -126,11 +126,7 @@ pub fn find_peaks(values: &[f64], config: &PeakConfig) -> Vec<Peak> {
         .collect();
 
     // Non-maximum suppression: strongest first, knock out close neighbors.
-    candidates.sort_by(|a, b| {
-        b.value
-            .partial_cmp(&a.value)
-            .expect("finite by construction")
-    });
+    candidates.sort_by(|a, b| b.value.total_cmp(&a.value));
     let mut kept: Vec<Peak> = Vec::new();
     for c in candidates {
         if kept

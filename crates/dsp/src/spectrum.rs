@@ -182,13 +182,7 @@ impl Spectrum {
     /// The bin whose center is nearest to `f`, or `None` if `f` lies outside
     /// the spectrum (beyond half a bin past either edge).
     pub fn bin_of(&self, f: Hertz) -> Option<usize> {
-        let idx = (f - self.start) / self.resolution;
-        let rounded = idx.round();
-        if rounded < -0.5 || rounded > self.len() as f64 - 0.5 {
-            return None;
-        }
-        let i = rounded.max(0.0) as usize;
-        (i < self.len()).then_some(i)
+        crate::units::bin_round((f - self.start) / self.resolution, self.len())
     }
 
     /// Linearly interpolated power (milliwatts) at an arbitrary frequency.
@@ -198,10 +192,10 @@ impl Spectrum {
     /// measured span.
     pub fn sample(&self, f: Hertz) -> Option<f64> {
         let x = (f - self.start) / self.resolution;
-        if x < 0.0 || x > (self.len() - 1) as f64 {
+        if x > (self.len() - 1) as f64 {
             return None;
         }
-        let i = x.floor() as usize;
+        let i = crate::units::bin_floor(x, self.len())?;
         if i + 1 >= self.len() {
             return Some(self.power_mw[self.len() - 1]);
         }
@@ -259,12 +253,13 @@ impl Spectrum {
     ///
     /// Returns [`SpectrumError::Empty`] if no bin centers fall inside.
     pub fn band(&self, lo: Hertz, hi: Hertz) -> Result<Spectrum, SpectrumError> {
-        let first = ((lo - self.start) / self.resolution).ceil().max(0.0) as usize;
+        let first = crate::units::bin_ceil((lo - self.start) / self.resolution, self.len())
+            .ok_or(SpectrumError::Empty)?;
         let last_f = ((hi - self.start) / self.resolution).floor();
         if last_f < first as f64 {
             return Err(SpectrumError::Empty);
         }
-        let last = (last_f as usize).min(self.len() - 1);
+        let last = crate::units::bin_floor(last_f, self.len()).unwrap_or(self.len() - 1);
         if first > last {
             return Err(SpectrumError::Empty);
         }
@@ -347,7 +342,7 @@ impl Spectrum {
             for (j, s) in all.iter().enumerate() {
                 column[j] = s.power_mw[bin];
             }
-            column.sort_by(|a, b| a.partial_cmp(b).expect("powers are finite"));
+            column.sort_by(f64::total_cmp);
             let kept = &column[trim..k - trim];
             out.push(kept.iter().sum::<f64>() / kept.len() as f64);
         }

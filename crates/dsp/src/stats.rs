@@ -41,7 +41,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -103,9 +103,61 @@ pub fn real_gcd(a: f64, b: f64, rel_tol: f64) -> Option<f64> {
     None
 }
 
+// ---------------------------------------------------------------------------
+// Guarded NaN-able operations.
+//
+// The DSP hot paths (fase-lint rule `U-nan`) route square roots and
+// logarithms through these helpers so an argument that drifts infinitesimally
+// out of domain — a power that rounds to -1e-17, a uniform variate that
+// lands exactly on 0 — clamps instead of poisoning a pipeline with NaN.
+
+/// Square root clamped against negative arguments: `sqrt(max(x, 0))`.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::stats::safe_sqrt;
+/// assert_eq!(safe_sqrt(4.0), 2.0);
+/// assert_eq!(safe_sqrt(-1e-17), 0.0);
+/// ```
+pub fn safe_sqrt(x: f64) -> f64 {
+    x.max(0.0).sqrt()
+}
+
+/// Natural logarithm clamped away from the non-positive domain:
+/// `ln(max(x, f64::MIN_POSITIVE))`.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::stats::safe_ln;
+/// assert_eq!(safe_ln(1.0), 0.0);
+/// assert!(safe_ln(0.0).is_finite());
+/// ```
+pub fn safe_ln(x: f64) -> f64 {
+    x.max(f64::MIN_POSITIVE).ln()
+}
+
+/// Base-10 logarithm clamped away from the non-positive domain; the
+/// building block behind the dB conversions in [`crate::units`].
+pub fn safe_log10(x: f64) -> f64 {
+    x.max(f64::MIN_POSITIVE).log10()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn safe_ops_clamp_out_of_domain_arguments() {
+        assert_eq!(safe_sqrt(9.0), 3.0);
+        assert_eq!(safe_sqrt(-4.0), 0.0);
+        assert_eq!(safe_sqrt(f64::NAN), 0.0);
+        assert_eq!(safe_ln(std::f64::consts::E), 1.0);
+        assert!(safe_ln(-1.0).is_finite());
+        assert_eq!(safe_log10(1000.0), 3.0);
+        assert!(safe_log10(0.0).is_finite());
+    }
 
     #[test]
     fn mean_var_std() {

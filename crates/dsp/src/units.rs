@@ -414,9 +414,90 @@ impl Sub for Dbm {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Guarded fractional-bin → index conversions.
+//
+// These are the only sanctioned float→usize conversions in the DSP hot
+// paths (fase-lint rule `U-cast`): they make the rounding mode explicit and
+// return `None` instead of silently truncating an out-of-range position.
+
+/// Largest bin index not above the fractional position `x`, or `None` if
+/// `x` is negative or the floor falls at or beyond `len`.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::units::bin_floor;
+/// assert_eq!(bin_floor(2.9, 4), Some(2));
+/// assert_eq!(bin_floor(-0.1, 4), None);
+/// assert_eq!(bin_floor(4.0, 4), None);
+/// ```
+pub fn bin_floor(x: f64, len: usize) -> Option<usize> {
+    if x.is_nan() || x < 0.0 {
+        return None;
+    }
+    let i = x.floor() as usize;
+    (i < len).then_some(i)
+}
+
+/// Nearest bin index to the fractional position `x` (clamped at zero), or
+/// `None` if `x` lies more than half a bin outside `[0, len)`.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::units::bin_round;
+/// assert_eq!(bin_round(2.4, 4), Some(2));
+/// assert_eq!(bin_round(-0.4, 4), Some(0));
+/// assert_eq!(bin_round(3.6, 4), None);
+/// ```
+pub fn bin_round(x: f64, len: usize) -> Option<usize> {
+    let rounded = x.round();
+    if !rounded.is_finite() || rounded < -0.5 || rounded > len as f64 - 0.5 {
+        return None;
+    }
+    let i = rounded.max(0.0) as usize;
+    (i < len).then_some(i)
+}
+
+/// Smallest bin index not below the fractional position `x` (clamped at
+/// zero), or `None` if the ceiling falls at or beyond `len`.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::units::bin_ceil;
+/// assert_eq!(bin_ceil(1.2, 4), Some(2));
+/// assert_eq!(bin_ceil(-3.0, 4), Some(0));
+/// assert_eq!(bin_ceil(3.5, 4), None);
+/// ```
+pub fn bin_ceil(x: f64, len: usize) -> Option<usize> {
+    if x.is_nan() || len == 0 {
+        return None;
+    }
+    let c = x.ceil().max(0.0);
+    (c < len as f64).then_some(c as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bin_conversions_guard_their_domains() {
+        assert_eq!(bin_floor(0.0, 4), Some(0));
+        assert_eq!(bin_floor(3.999, 4), Some(3));
+        assert_eq!(bin_floor(f64::NAN, 4), None);
+        assert_eq!(bin_floor(1e300, 4), None);
+        assert_eq!(bin_round(3.49, 4), Some(3));
+        assert_eq!(bin_round(-0.51, 4), None);
+        assert_eq!(bin_round(f64::INFINITY, 4), None);
+        assert_eq!(bin_ceil(0.0, 4), Some(0));
+        assert_eq!(bin_ceil(2.0001, 4), Some(3));
+        assert_eq!(bin_ceil(f64::NAN, 4), None);
+        assert_eq!(bin_round(0.2, 0), None);
+        assert_eq!(bin_ceil(-1.0, 0), None);
+    }
 
     #[test]
     fn hertz_conversions_round_trip() {

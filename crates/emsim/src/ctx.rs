@@ -172,10 +172,11 @@ impl<'a> RenderCtx<'a> {
 
     /// Pre-rasterized load waveform for `domain`, one value per IQ sample.
     pub fn load_waveform(&self, domain: Domain) -> &[f64] {
+        let [core, memory, dram] = &self.loads;
         match domain {
-            Domain::Core => &self.loads[0],
-            Domain::MemoryInterface => &self.loads[1],
-            Domain::Dram => &self.loads[2],
+            Domain::Core => core,
+            Domain::MemoryInterface => memory,
+            Domain::Dram => dram,
         }
     }
 }

@@ -1,0 +1,514 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! `fase-lint` runs in an offline workspace, so it cannot lean on `syn` or
+//! `proc-macro2`; instead this module tokenizes Rust source well enough for
+//! line-oriented rule matching. It understands everything that would
+//! otherwise produce false matches inside non-code text: line and (nested)
+//! block comments, string/char/byte literals, raw strings with arbitrary
+//! hash fences, lifetimes vs. char literals, and numeric literals with
+//! suffixes. Doc comments — and therefore doctest bodies — are comments and
+//! never become tokens, which is exactly the exemption the rules want.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Result`, …).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `[`, `!`, …).
+    Punct,
+    /// Integer literal (`0`, `42`, `0xFA5E`, `1_000u64`).
+    Int,
+    /// Floating-point literal (`1.0`, `1e-3`, `2.5f64`).
+    Float,
+    /// String, raw-string, or byte-string literal.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// 1-based column (in bytes) the token starts at.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True if this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A comment with its source line, used for pragma scanning and doc lookup.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub standalone: bool,
+}
+
+impl Comment {
+    /// True for `///` and `//!` doc comments (also `/**`/`/*!` blocks).
+    pub fn is_doc(&self) -> bool {
+        self.text.starts_with("///")
+            || self.text.starts_with("//!")
+            || self.text.starts_with("/**")
+            || self.text.starts_with("/*!")
+    }
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `source`, returning tokens and comments.
+///
+/// The lexer is intentionally forgiving: malformed input (an unterminated
+/// string, say) terminates the current token at end of input rather than
+/// failing, because a file that does not lex will fail `cargo build` anyway
+/// and the lint should still report what it can.
+pub fn lex(source: &str) -> Lexed {
+    let b = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    // Tracks whether only whitespace has appeared since the line started,
+    // so comments can be classified as standalone.
+    let mut line_blank = true;
+
+    macro_rules! advance {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < b.len() {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                        line_blank = true;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+        let tok_line = line;
+        let tok_col = col;
+        let standalone = line_blank;
+        line_blank = false;
+
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                advance!(1);
+            }
+            out.comments.push(Comment {
+                line: tok_line,
+                text: source[start..i].to_owned(),
+                standalone,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    advance!(2);
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    advance!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    advance!(1);
+                }
+            }
+            out.comments.push(Comment {
+                line: tok_line,
+                text: source[start..i].to_owned(),
+                standalone,
+            });
+            continue;
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, br#"…"#, b"…".
+        if c == b'r' || c == b'b' {
+            let mut j = i;
+            let mut is_raw = false;
+            if b[j] == b'b' && j + 1 < b.len() && (b[j + 1] == b'r' || b[j + 1] == b'"') {
+                j += 1;
+            }
+            if j < b.len()
+                && b[j] == b'r'
+                && j + 1 < b.len()
+                && (b[j + 1] == b'"' || b[j + 1] == b'#')
+            {
+                is_raw = true;
+                j += 1;
+            }
+            if is_raw {
+                // Count hash fence.
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    let start = i;
+                    let skip = j + 1 - i;
+                    advance!(skip);
+                    // Scan for closing quote + hashes.
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut k = i + 1;
+                            let mut h = 0usize;
+                            while k < b.len() && b[k] == b'#' && h < hashes {
+                                k += 1;
+                                h += 1;
+                            }
+                            if h == hashes {
+                                let adv = k - i;
+                                advance!(adv);
+                                break 'raw;
+                            }
+                        }
+                        advance!(1);
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Str,
+                        text: source[start..i].to_owned(),
+                        line: tok_line,
+                        col: tok_col,
+                    });
+                    continue;
+                }
+            } else if b[j] == b'"' {
+                // b"…" byte string: fall through to normal string scan below
+                // by consuming the `b` prefix here.
+                let start = i;
+                advance!(j - i);
+                lex_string(source, b, &mut i, &mut line, &mut col);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: source[start..i].to_owned(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+                continue;
+            }
+            // Not a raw/byte string: fall through to identifier handling.
+        }
+        // Plain string literal.
+        if c == b'"' {
+            let start = i;
+            lex_string(source, b, &mut i, &mut line, &mut col);
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text: source[start..i].to_owned(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let start = i;
+            // A lifetime is 'ident NOT followed by a closing quote.
+            let mut j = i + 1;
+            if j < b.len() && (b[j].is_ascii_alphabetic() || b[j] == b'_') {
+                let mut k = j;
+                while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'\'' {
+                    // 'a' — a char literal.
+                    let adv = k + 1 - i;
+                    advance!(adv);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Char,
+                        text: source[start..i].to_owned(),
+                        line: tok_line,
+                        col: tok_col,
+                    });
+                } else {
+                    // 'static — a lifetime.
+                    let adv = k - i;
+                    advance!(adv);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: source[start..i].to_owned(),
+                        line: tok_line,
+                        col: tok_col,
+                    });
+                }
+                continue;
+            }
+            // Escaped or punctuation char literal: '\n', '\'', '\u{1F600}'.
+            let mut esc = false;
+            j = i + 1;
+            while j < b.len() {
+                if esc {
+                    esc = false;
+                } else if b[j] == b'\\' {
+                    esc = true;
+                } else if b[j] == b'\'' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            let adv = j - i;
+            advance!(adv);
+            out.tokens.push(Tok {
+                kind: TokKind::Char,
+                text: source[start..i].to_owned(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            // Hex/octal/binary literals never contain '.', exponents, or
+            // sign characters — consume alphanumerics and underscores.
+            if c == b'0' && i + 1 < b.len() && matches!(b[i + 1], b'x' | b'o' | b'b') {
+                advance!(2);
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    advance!(1);
+                }
+            } else {
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_digit() || d == b'_' {
+                        advance!(1);
+                    } else if d == b'.' {
+                        // `1..n` is a range, not a float; `1.max(2)` is a
+                        // method call on an integer.
+                        if i + 1 < b.len() && (b[i + 1] == b'.' || b[i + 1].is_ascii_alphabetic()) {
+                            break;
+                        }
+                        is_float = true;
+                        advance!(1);
+                    } else if d == b'e' || d == b'E' {
+                        // Exponent only if followed by digit or sign+digit.
+                        let sign = i + 1 < b.len() && (b[i + 1] == b'+' || b[i + 1] == b'-');
+                        let digit_at = if sign { i + 2 } else { i + 1 };
+                        if digit_at < b.len() && b[digit_at].is_ascii_digit() {
+                            is_float = true;
+                            advance!(if sign { 2 } else { 1 });
+                        } else {
+                            break;
+                        }
+                    } else if d.is_ascii_alphabetic() {
+                        // Suffix: u64, f64, usize…
+                        if d == b'f' {
+                            is_float = true;
+                        }
+                        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                            advance!(1);
+                        }
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            out.tokens.push(Tok {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: source[start..i].to_owned(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+        // Identifier or keyword.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                advance!(1);
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: source[start..i].to_owned(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+        // Everything else: single punctuation character.
+        let ch_len = source[i..].chars().next().map_or(1, char::len_utf8);
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: source[i..i + ch_len].to_owned(),
+            line: tok_line,
+            col: tok_col,
+        });
+        advance!(ch_len);
+    }
+    out
+}
+
+/// Consumes a `"…"` string starting at `*i` (which must point at the
+/// opening quote), honoring backslash escapes.
+fn lex_string(_source: &str, b: &[u8], i: &mut usize, line: &mut u32, col: &mut u32) {
+    let mut esc = false;
+    let mut first = true;
+    while *i < b.len() {
+        let c = b[*i];
+        if c == b'\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+        if first {
+            first = false;
+            continue; // opening quote
+        }
+        if esc {
+            esc = false;
+        } else if c == b'\\' {
+            esc = true;
+        } else if c == b'"' {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("// unwrap()\nlet x = 1; /* panic! */\n/// doc unwrap()\n");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "panic"));
+        assert_eq!(l.comments.len(), 3);
+        assert!(l.comments[0].standalone);
+        assert!(!l.comments[1].standalone);
+        assert!(l.comments[2].is_doc());
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = "let s = \"call .unwrap() here\"; let r = r#\"panic!\"#; done()";
+        let l = lex(src);
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| !t.is_ident("unwrap") && !t.is_ident("panic")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("done")));
+        assert!(!idents("let s = \"x unwrap y\";").contains(&"unwrap".to_owned()));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_string_fences() {
+        let src = "let s = r##\"has \"# inside\"##; next()";
+        let l = lex(src);
+        assert!(l.tokens.iter().any(|t| t.is_ident("next")));
+        let s = l.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert!(s.text.starts_with("r##\""));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let l = lex("let a = 1.5e-3; let b = 0xFA5E; for i in 0..10 { a.max(2.0); } 1_000u64");
+        let floats: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .collect();
+        assert_eq!(floats.len(), 2, "{floats:?}");
+        let ints: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Int).collect();
+        assert_eq!(ints.len(), 4, "{ints:?}");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("a\n  bc");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(l.tokens.len(), 1);
+        assert!(l.tokens[0].is_ident("code"));
+    }
+}

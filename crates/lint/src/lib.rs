@@ -1,0 +1,43 @@
+//! # fase-lint — workspace-aware static analysis for the FASE repo
+//!
+//! A dependency-free lint pass that enforces project invariants the
+//! standard toolchain cannot: determinism of library code (group **D**),
+//! panic-freedom (group **P**), units/float hygiene in DSP hot paths
+//! (group **U**), and structural error-handling discipline (group **S**).
+//! See [`rules`] for the rule catalog, [`walk`] for the scope map, and
+//! DESIGN.md §9 for the rationale behind each group.
+//!
+//! The crate is a library plus a small `fase-lint` binary; CI runs
+//! `cargo run -p fase-lint --offline -- --strict` and archives the JSON
+//! findings. Violations are waived — on the record — with
+//! `// fase-lint: allow(<rule>) -- <justification>` pragmas ([`pragma`]).
+
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use report::Finding;
+use rules::RuleSet;
+use std::io;
+use std::path::Path;
+
+/// Lints one in-memory source file under the given rule scope.
+pub fn lint_source(rel_path: &str, source: &str, rules: RuleSet) -> Vec<Finding> {
+    rules::check_file(rel_path, source, rules)
+}
+
+/// Lints every in-scope file of the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns any I/O error from traversal or file reads.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (rel, rules) in walk::workspace_files(root)? {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        findings.extend(rules::check_file(&rel, &source, rules));
+    }
+    Ok(findings)
+}

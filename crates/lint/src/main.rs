@@ -1,0 +1,131 @@
+//! The `fase-lint` binary.
+//!
+//! ```text
+//! fase-lint [--root DIR] [--strict] [--json PATH] [--format human|json]
+//!           [--quiet] [FILE …]
+//! ```
+//!
+//! Without file arguments the whole workspace is walked with the scope map
+//! of [`fase_lint::walk`]; explicit files are linted with *every* rule
+//! enabled (used by the fixture tests). Exit codes: `0` clean (or findings
+//! in advisory mode), `1` findings under `--strict`, `2` usage or I/O
+//! error.
+
+use fase_lint::report::{to_json, Finding};
+use fase_lint::rules::RuleSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    strict: bool,
+    json_path: Option<PathBuf>,
+    format_json: bool,
+    quiet: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        strict: false,
+        json_path: None,
+        format_json: false,
+        quiet: false,
+        files: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--strict" => opts.strict = true,
+            "--quiet" => opts.quiet = true,
+            "--root" => {
+                opts.root = PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| "--root needs a directory".to_owned())?,
+                );
+            }
+            "--json" => {
+                opts.json_path = Some(PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| "--json needs a path".to_owned())?,
+                ));
+            }
+            "--format" => match iter.next().map(String::as_str) {
+                Some("human") => opts.format_json = false,
+                Some("json") => opts.format_json = true,
+                _ => return Err("--format needs `human` or `json`".to_owned()),
+            },
+            "--help" | "-h" => {
+                return Err("usage: fase-lint [--root DIR] [--strict] [--json PATH] \
+                     [--format human|json] [--quiet] [FILE …]"
+                    .to_owned())
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<Vec<Finding>, String> {
+    if opts.files.is_empty() {
+        fase_lint::lint_workspace(&opts.root)
+            .map_err(|e| format!("cannot walk {}: {e}", opts.root.display()))
+    } else {
+        let mut findings = Vec::new();
+        for f in &opts.files {
+            let source = std::fs::read_to_string(f)
+                .map_err(|e| format!("cannot read {}: {e}", f.display()))?;
+            let rel = f.to_string_lossy().replace('\\', "/");
+            findings.extend(fase_lint::lint_source(&rel, &source, RuleSet::all()));
+        }
+        Ok(findings)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("fase-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match run(&opts) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("fase-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.json_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, to_json(&findings)) {
+            eprintln!("fase-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.format_json {
+        print!("{}", to_json(&findings));
+    } else if !opts.quiet {
+        for f in &findings {
+            println!("{}", f.human());
+        }
+        if findings.is_empty() {
+            println!("fase-lint: clean");
+        } else {
+            println!("fase-lint: {} finding(s)", findings.len());
+        }
+    }
+
+    if findings.is_empty() || !opts.strict {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

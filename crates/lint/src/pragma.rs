@@ -1,0 +1,136 @@
+//! `// fase-lint: allow(<rule>, …) -- justification` pragma handling.
+//!
+//! A pragma suppresses findings of the named rules on its own line, or — for
+//! a standalone comment — on the next source line. The justification after
+//! `--` is mandatory: an invariant is only allowed to be waived on the
+//! record, so a bare `allow(...)` is itself reported as a finding, as is a
+//! pragma that suppresses nothing (it would otherwise rot silently when the
+//! code it excused is rewritten).
+
+use crate::lexer::Comment;
+
+/// One parsed pragma comment.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// Line whose findings this pragma suppresses (same line for trailing
+    /// pragmas, the following line for standalone ones).
+    pub target_line: u32,
+    /// Rule names listed inside `allow(...)` (`P-unwrap`, or a bare group
+    /// letter like `P` to allow the whole group).
+    pub rules: Vec<String>,
+    /// The justification text after `--`, empty when missing.
+    pub justification: String,
+    /// Set by the rule engine when the pragma suppresses at least one
+    /// finding; unset pragmas are reported as stale.
+    pub used: bool,
+}
+
+/// The marker that introduces a pragma inside a `//` comment.
+pub const MARKER: &str = "fase-lint:";
+
+/// Extracts pragmas from a file's comments.
+///
+/// Malformed pragmas (marker present but no parsable `allow(...)`) are
+/// returned with an empty rule list so the caller can report them instead
+/// of silently ignoring a typo'd suppression.
+pub fn collect(comments: &[Comment]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Only plain `//` comments carry pragmas; doc comments are prose.
+        if !c.text.starts_with("//") || c.is_doc() {
+            continue;
+        }
+        let body = c.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (spec, justification) = match rest.split_once("--") {
+            Some((s, j)) => (s.trim(), j.trim().to_owned()),
+            None => (rest, String::new()),
+        };
+        let rules = spec
+            .strip_prefix("allow(")
+            .and_then(|s| s.strip_suffix(')'))
+            .map(|inner| {
+                inner
+                    .split(',')
+                    .map(|r| r.trim().to_owned())
+                    .filter(|r| !r.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.push(Pragma {
+            line: c.line,
+            target_line: if c.standalone { c.line + 1 } else { c.line },
+            rules,
+            justification,
+            used: false,
+        });
+    }
+    out
+}
+
+/// True if `pragma` covers findings of `rule` (exact name or group letter).
+pub fn covers(pragma: &Pragma, rule: &str) -> bool {
+    pragma
+        .rules
+        .iter()
+        .any(|r| r == rule || rule.split('-').next().is_some_and(|group| r == group))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_and_standalone_targets() {
+        let src = "\
+let a = x.unwrap(); // fase-lint: allow(P-unwrap) -- infallible by construction
+// fase-lint: allow(D) -- thread count does not affect results
+let b = env();
+";
+        let pragmas = collect(&lex(src).comments);
+        assert_eq!(pragmas.len(), 2);
+        assert_eq!(pragmas[0].target_line, 1);
+        assert_eq!(pragmas[0].rules, vec!["P-unwrap"]);
+        assert!(!pragmas[0].justification.is_empty());
+        assert_eq!(pragmas[1].target_line, 3);
+        assert!(covers(&pragmas[1], "D-env"));
+        assert!(!covers(&pragmas[1], "P-unwrap"));
+    }
+
+    #[test]
+    fn missing_justification_is_detected() {
+        let pragmas = collect(&lex("let a = 1; // fase-lint: allow(U-cast)\n").comments);
+        assert_eq!(pragmas.len(), 1);
+        assert!(pragmas[0].justification.is_empty());
+    }
+
+    #[test]
+    fn group_and_multi_rule_lists() {
+        let pragmas = collect(
+            &lex("// fase-lint: allow(P-expect, U) -- both fine here\nlet x = 1;\n").comments,
+        );
+        assert!(covers(&pragmas[0], "P-expect"));
+        assert!(covers(&pragmas[0], "U-cast"));
+        assert!(covers(&pragmas[0], "U-nan"));
+        assert!(!covers(&pragmas[0], "P-unwrap"));
+    }
+
+    #[test]
+    fn malformed_pragma_has_no_rules() {
+        let pragmas = collect(&lex("// fase-lint: alow(P) -- typo\nlet x = 1;\n").comments);
+        assert_eq!(pragmas.len(), 1);
+        assert!(pragmas[0].rules.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_carry_pragmas() {
+        let pragmas = collect(&lex("/// fase-lint: allow(P) -- prose\nfn f() {}\n").comments);
+        assert!(pragmas.is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Findings, human-readable diagnostics, and machine-readable JSON output.
+
+use std::fmt::Write as _;
+
+/// One lint finding with a file:line span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`P-unwrap`, `D-env`, `S-errdoc`, `L-pragma`, …).
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the workspace root.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// 1-based column of the finding.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the finding as a compiler-style diagnostic line.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Serializes findings as a JSON document.
+///
+/// The format is stable so CI can archive it as an artifact:
+/// `{"version":1,"findings":[…],"counts":{"<rule>":n,…},"total":n}`.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"column\": {}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(&f.message)
+        );
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"counts\": {");
+    let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let n = findings.iter().filter(|f| f.rule == *rule).count();
+        let _ = write!(out, "{}: {}", json_str(rule), n);
+    }
+    let _ = write!(out, "}},\n  \"total\": {}\n}}\n", findings.len());
+    out
+}
+
+/// Escapes a string for embedding in JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: "P-unwrap",
+                file: "crates/dsp/src/a.rs".into(),
+                line: 3,
+                col: 9,
+                message: "`.unwrap()` in library code".into(),
+            },
+            Finding {
+                rule: "P-unwrap",
+                file: "crates/dsp/src/b.rs".into(),
+                line: 7,
+                col: 1,
+                message: "quote \" and backslash \\".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn human_is_compiler_style() {
+        assert_eq!(
+            sample()[0].human(),
+            "crates/dsp/src/a.rs:3:9: [P-unwrap] `.unwrap()` in library code"
+        );
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let json = to_json(&sample());
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"total\": 2"));
+        assert!(json.contains("\"P-unwrap\": 2"));
+        assert!(json.contains("quote \\\" and backslash \\\\"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let json = to_json(&[]);
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"total\": 0"));
+    }
+}

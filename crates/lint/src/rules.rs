@@ -1,0 +1,906 @@
+//! The rule engine: project-specific invariants clippy cannot express.
+//!
+//! Four rule groups, each guarding a promise an earlier PR made:
+//!
+//! * **D — determinism** (PR 1: bit-identical campaigns for any
+//!   `FASE_THREADS`): no wall-clock types, no default-hashed collections,
+//!   no environment or thread-identity reads in library code of the
+//!   deterministic crates.
+//! * **P — panic-freedom** (PR 2: degraded operation instead of aborts):
+//!   no `unwrap`/`expect`/panic-family macros/literal-subscript indexing in
+//!   non-test library code.
+//! * **U — units/float hygiene**: truncating `as` casts and NaN-able math
+//!   in DSP hot paths must go through the guarded helpers in
+//!   `fase_dsp::units` / `fase_dsp::stats`.
+//! * **S — structural**: `pub fn`s returning `Result` document `# Errors`,
+//!   and `FaseError` variants are built only via their designated
+//!   constructors in `core::error`.
+//!
+//! Findings are suppressed by `// fase-lint: allow(<rule>) -- why` pragmas
+//! ([`crate::pragma`]); test code (`#[cfg(test)]` modules, `#[test]` fns)
+//! is exempt from every group.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::pragma::{self, Pragma};
+use crate::report::Finding;
+use std::collections::BTreeMap;
+
+/// Every rule identifier the engine can emit, plus its group letter.
+pub const RULES: &[&str] = &[
+    "D-time",
+    "D-hash",
+    "D-env",
+    "D-thread",
+    "P-unwrap",
+    "P-expect",
+    "P-panic",
+    "P-index",
+    "U-cast",
+    "U-nan",
+    "S-errdoc",
+    "S-errctor",
+    "L-pragma",
+];
+
+/// Which rule groups apply to a given file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Determinism rules (`D-*`).
+    pub determinism: bool,
+    /// Panic-freedom rules (`P-*`).
+    pub panic_freedom: bool,
+    /// Units/float hygiene rules (`U-*`), i.e. the file is a DSP hot path.
+    pub units: bool,
+    /// `# Errors` documentation rule (`S-errdoc`).
+    pub errdoc: bool,
+    /// `FaseError` designated-constructor rule (`S-errctor`).
+    pub errctor: bool,
+}
+
+impl RuleSet {
+    /// All rules on — used when linting explicitly listed files (fixtures).
+    pub fn all() -> RuleSet {
+        RuleSet {
+            determinism: true,
+            panic_freedom: true,
+            units: true,
+            errdoc: true,
+            errctor: true,
+        }
+    }
+
+    /// True if no rule applies (the file is skipped entirely).
+    pub fn is_empty(&self) -> bool {
+        *self == RuleSet::default()
+    }
+}
+
+/// Integer types a raw `as` cast may truncate into.
+const INT_TYPES: &[&str] = &[
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// NaN-able math methods that must go through guarded helpers in hot paths.
+const NAN_METHODS: &[&str] = &["sqrt", "log10", "log2", "ln"];
+
+/// Panic-family macro names (`debug_assert*` are deliberately absent:
+/// they vanish in release builds, and `assert!` documents a contract).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Lints one file's source, returning findings sorted by line.
+pub fn check_file(rel_path: &str, source: &str, rules: RuleSet) -> Vec<Finding> {
+    let lexed = lex(source);
+    let tokens = &lexed.tokens;
+    let mut pragmas = pragma::collect(&lexed.comments);
+    let test_tok = test_regions(tokens);
+    let test_lines = region_lines(tokens, &test_tok);
+    let in_test = |i: usize| test_tok.iter().any(|&(a, b)| i >= a && i <= b);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |rule: &'static str, tok: &Tok, message: String| {
+        raw.push(Finding {
+            rule,
+            file: rel_path.to_owned(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    };
+
+    let pattern_ranges = pattern_token_ranges(tokens);
+    let in_pattern = |i: usize| pattern_ranges.iter().any(|&(a, b)| i >= a && i <= b);
+
+    for i in 0..tokens.len() {
+        if in_test(i) {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &tokens[j]);
+        let next = tokens.get(i + 1);
+
+        if rules.determinism {
+            match t.text.as_str() {
+                "Instant" | "SystemTime" => push(
+                    "D-time",
+                    t,
+                    format!(
+                        "wall-clock type `{}` in deterministic library code; derive timing from \
+                         the simulation clock instead",
+                        t.text
+                    ),
+                ),
+                "HashMap" | "HashSet" | "RandomState" | "DefaultHasher" => push(
+                    "D-hash",
+                    t,
+                    format!(
+                        "`{}` uses a randomly seeded hasher (nondeterministic iteration order); \
+                         use BTreeMap/BTreeSet or a fixed-seed hasher",
+                        t.text
+                    ),
+                ),
+                "var" | "var_os" | "vars" if path_prefix_is(tokens, i, "env") => {
+                    push(
+                        "D-env",
+                        t,
+                        "environment read in deterministic library code; results must not \
+                         depend on ambient process state"
+                            .to_owned(),
+                    );
+                }
+                "current" if path_prefix_is(tokens, i, "thread") => push(
+                    "D-thread",
+                    t,
+                    "thread-identity read in deterministic library code".to_owned(),
+                ),
+                "available_parallelism" => push(
+                    "D-thread",
+                    t,
+                    "machine-dependent parallelism read in deterministic library code".to_owned(),
+                ),
+                _ => {}
+            }
+        }
+
+        if rules.panic_freedom {
+            let is_method =
+                prev.is_some_and(|p| p.is_punct('.')) && next.is_some_and(|n| n.is_punct('('));
+            match t.text.as_str() {
+                "unwrap" | "unwrap_unchecked" if is_method => push(
+                    "P-unwrap",
+                    t,
+                    format!(
+                        "`.{}()` in non-test library code; return a Result or handle the None/Err \
+                         arm (PR 2's panic-freedom promise)",
+                        t.text
+                    ),
+                ),
+                "expect" if is_method => push(
+                    "P-expect",
+                    t,
+                    "`.expect(..)` in non-test library code; return a Result, or carry a \
+                     `fase-lint: allow(P-expect)` pragma proving the invariant"
+                        .to_owned(),
+                ),
+                name if PANIC_MACROS.contains(&name) && next.is_some_and(|n| n.is_punct('!')) => {
+                    push(
+                        "P-panic",
+                        t,
+                        format!("`{name}!` in non-test library code aborts instead of degrading"),
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        if rules.units {
+            if t.text == "as"
+                && next.is_some_and(|n| {
+                    n.kind == TokKind::Ident && INT_TYPES.contains(&n.text.as_str())
+                })
+            {
+                push(
+                    "U-cast",
+                    t,
+                    format!(
+                        "raw truncating `as {}` cast in a DSP hot path; use the guarded \
+                         `fase_dsp::units::bin_floor/bin_round/bin_ceil` helpers",
+                        next.map(|n| n.text.as_str()).unwrap_or_default()
+                    ),
+                );
+            }
+            if NAN_METHODS.contains(&t.text.as_str())
+                && prev.is_some_and(|p| p.is_punct('.'))
+                && next.is_some_and(|n| n.is_punct('('))
+            {
+                push(
+                    "U-nan",
+                    t,
+                    format!(
+                        "NaN-able `.{}()` in a DSP hot path; use `fase_dsp::stats::safe_{}` \
+                         or the Decibels/Dbm conversions",
+                        t.text, t.text
+                    ),
+                );
+            }
+        }
+
+        if rules.errctor
+            && t.text == "FaseError"
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            if let Some(variant) = tokens.get(i + 3) {
+                let is_variant = variant.kind == TokKind::Ident
+                    && variant.text.starts_with(|c: char| c.is_ascii_uppercase());
+                let constructed = tokens
+                    .get(i + 4)
+                    .is_some_and(|n| n.is_punct('(') || n.is_punct('{'));
+                if is_variant
+                    && constructed
+                    && !in_pattern(i)
+                    && !prev.is_some_and(|p| p.is_punct('@'))
+                    && !brace_body_is_pattern(tokens, i + 4)
+                    && !payload_is_match_arm(tokens, i + 4)
+                {
+                    push(
+                        "S-errctor",
+                        t,
+                        format!(
+                            "`FaseError::{}` constructed outside its designated site; use the \
+                             lowercase constructor helpers in `fase_core::error`",
+                            variant.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // P-index: literal-subscript indexing (`xs[0]`).
+    if rules.panic_freedom {
+        for i in 0..tokens.len() {
+            if in_test(i) || !tokens[i].is_punct('[') {
+                continue;
+            }
+            let indexable_prev = i
+                .checked_sub(1)
+                .map(|j| &tokens[j])
+                .is_some_and(|p| p.kind == TokKind::Ident || p.is_punct(']') || p.is_punct(')'));
+            let lit = tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Int);
+            let closed = tokens.get(i + 2).is_some_and(|n| n.is_punct(']'));
+            if indexable_prev && lit && closed {
+                push(
+                    "P-index",
+                    &tokens[i],
+                    format!(
+                        "unchecked literal-subscript indexing `[{}]` in non-test library code; \
+                         use `.first()`/`.get({})` and handle the None arm",
+                        tokens[i + 1].text,
+                        tokens[i + 1].text
+                    ),
+                );
+            }
+        }
+    }
+
+    if rules.errdoc {
+        check_errdoc(rel_path, tokens, &lexed.comments, &in_test, &mut raw);
+    }
+
+    // Apply pragmas: a finding is suppressed when a pragma on its line (or
+    // the standalone pragma on the line above) covers its rule.
+    let mut findings: Vec<Finding> = Vec::new();
+    'findings: for f in raw {
+        for p in pragmas.iter_mut() {
+            if p.target_line == f.line && pragma::covers(p, f.rule) {
+                p.used = true;
+                if p.justification.is_empty() {
+                    // Suppression without a written justification does not
+                    // count; the finding stands alongside the L-pragma one.
+                    break;
+                }
+                continue 'findings;
+            }
+        }
+        findings.push(f);
+    }
+    pragma_hygiene(rel_path, &pragmas, &test_lines, &mut findings);
+
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+/// True when the path segment immediately before token `i` (skipping the
+/// `::` separator) is the identifier `seg` — e.g. `env::var`.
+fn path_prefix_is(tokens: &[Tok], i: usize, seg: &str) -> bool {
+    i >= 3
+        && tokens[i - 1].is_punct(':')
+        && tokens[i - 2].is_punct(':')
+        && tokens[i - 3].is_ident(seg)
+}
+
+/// True when the `{ … }` starting at `open` reads as a *pattern* body:
+/// it ends with a bare `..` rest marker (`CaptureFailed { .. }` or
+/// `CaptureFailed { f_alt, .. }`).
+fn brace_body_is_pattern(tokens: &[Tok], open: usize) -> bool {
+    if !tokens.get(open).is_some_and(|t| t.is_punct('{')) {
+        return false;
+    }
+    let mut depth = 0usize;
+    for j in open..tokens.len() {
+        if tokens[j].is_punct('{') {
+            depth += 1;
+        } else if tokens[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j >= 2 && tokens[j - 1].is_punct('.') && tokens[j - 2].is_punct('.');
+            }
+        }
+    }
+    false
+}
+
+/// True when the payload delimiters opening at `open` are followed by a
+/// match-arm marker — `=>`, an or-pattern `|`, or a guard `if` — meaning
+/// the variant path is a match pattern, not a construction.
+fn payload_is_match_arm(tokens: &[Tok], open: usize) -> bool {
+    let Some(t) = tokens.get(open) else {
+        return false;
+    };
+    let (o, c) = if t.is_punct('(') {
+        ('(', ')')
+    } else if t.is_punct('{') {
+        ('{', '}')
+    } else {
+        return false;
+    };
+    let mut depth = 0usize;
+    for j in open..tokens.len() {
+        if tokens[j].is_punct(o) {
+            depth += 1;
+        } else if tokens[j].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                let next = tokens.get(j + 1);
+                let arrow = next.is_some_and(|n| n.is_punct('='))
+                    && tokens.get(j + 2).is_some_and(|n| n.is_punct('>'));
+                return arrow
+                    || next.is_some_and(|n| n.is_punct('|'))
+                    || next.is_some_and(|n| n.is_ident("if"));
+            }
+        }
+    }
+    false
+}
+
+/// Token ranges that are syntactically *patterns*: the scrutinee patterns
+/// of `matches!(…)` second arguments and `let … =` bindings. Variant paths
+/// inside them are matches, not constructions.
+fn pattern_token_ranges(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // matches!(expr, PATTERN …): everything from the comma after the
+        // first argument to the macro's closing paren is pattern territory.
+        if tokens[i].is_ident("matches") && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            if let Some(open) = (i + 2..tokens.len()).find(|&j| tokens[j].is_punct('(')) {
+                let mut depth = 0usize;
+                let mut comma = None;
+                for (j, t) in tokens.iter().enumerate().skip(open) {
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            if let Some(c) = comma {
+                                ranges.push((c, j));
+                            }
+                            i = j;
+                            break;
+                        }
+                    } else if depth == 1 && t.is_punct(',') && comma.is_none() {
+                        comma = Some(j);
+                    }
+                }
+            }
+        }
+        // `let PATTERN = …` / `if let PATTERN = …`: pattern until the `=`.
+        if tokens[i].is_ident("let") {
+            let start = i + 1;
+            let mut depth = 0usize;
+            for (j, t) in tokens.iter().enumerate().skip(start) {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    if depth == 0 {
+                        break; // malformed / end of enclosing scope
+                    }
+                    depth -= 1;
+                } else if depth == 0 && (t.is_punct('=') || t.is_punct(';')) {
+                    if j > start {
+                        ranges.push((start, j - 1));
+                    }
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Finds `#[cfg(test)]` / `#[test]`-attributed items and returns their
+/// token-index ranges (attribute through closing brace or semicolon).
+fn test_regions(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // Collect the attribute's tokens.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident {
+                idents.push(&t.text);
+            }
+            j += 1;
+        }
+        let is_test_attr =
+            (idents.contains(&"test") || idents.contains(&"bench")) && !idents.contains(&"not");
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then span the item itself.
+        let mut k = j + 1;
+        while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[') {
+            let mut d = 0usize;
+            k += 1;
+            while k < tokens.len() {
+                if tokens[k].is_punct('[') {
+                    d += 1;
+                } else if tokens[k].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // The item ends at the matching `}` of its first brace, or at a
+        // top-level `;` (e.g. `#[cfg(test)] use …;`).
+        let mut brace = 0usize;
+        let mut end = k;
+        while end < tokens.len() {
+            let t = &tokens[end];
+            if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && brace == 0 {
+                break;
+            }
+            end += 1;
+        }
+        regions.push((attr_start, end.min(tokens.len().saturating_sub(1))));
+        i = end + 1;
+    }
+    regions
+}
+
+/// Converts token-index regions to inclusive line ranges.
+fn region_lines(tokens: &[Tok], regions: &[(usize, usize)]) -> Vec<(u32, u32)> {
+    regions
+        .iter()
+        .filter_map(|&(a, b)| Some((tokens.get(a)?.line, tokens.get(b)?.line)))
+        .collect()
+}
+
+/// S-errdoc: every non-test `pub fn` returning `Result` must carry a doc
+/// comment with an `# Errors` section.
+fn check_errdoc(
+    rel_path: &str,
+    tokens: &[Tok],
+    comments: &[Comment],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    // Doc text per starting line, and the set of lines holding tokens whose
+    // first token is `#` (attribute lines sit between docs and the fn).
+    let mut doc_lines: BTreeMap<u32, &str> = BTreeMap::new();
+    for c in comments {
+        if c.is_doc() {
+            doc_lines.insert(c.line, &c.text);
+        }
+    }
+    let mut first_tok_on_line: BTreeMap<u32, &Tok> = BTreeMap::new();
+    for t in tokens {
+        first_tok_on_line.entry(t.line).or_insert(t);
+    }
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("pub") || in_test(i) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // `pub(crate)` and friends are not public API: skip the restriction
+        // and exempt the item.
+        let mut restricted = false;
+        if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            restricted = true;
+            let mut d = 0usize;
+            while j < tokens.len() {
+                if tokens[j].is_punct('(') {
+                    d += 1;
+                } else if tokens[j].is_punct(')') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        // Qualifiers before `fn`.
+        while tokens.get(j).is_some_and(|t| {
+            t.is_ident("const")
+                || t.is_ident("async")
+                || t.is_ident("unsafe")
+                || t.is_ident("extern")
+                || t.kind == TokKind::Str
+        }) {
+            j += 1;
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_ident("fn")) || restricted {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(j + 1) else {
+            break;
+        };
+        // Find the parameter list's opening paren at angle-depth 0.
+        let mut angle = 0i32;
+        let mut p = j + 2;
+        while p < tokens.len() {
+            let t = &tokens[p];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if t.is_punct('(') && angle <= 0 {
+                break;
+            }
+            p += 1;
+        }
+        // Match the parens.
+        let mut d = 0usize;
+        while p < tokens.len() {
+            if tokens[p].is_punct('(') {
+                d += 1;
+            } else if tokens[p].is_punct(')') {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+            p += 1;
+        }
+        // Return type: tokens between `)` and `{`/`;`/`where`.
+        let mut returns_result = false;
+        let mut q = p + 1;
+        while q < tokens.len() {
+            let t = &tokens[q];
+            if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+                break;
+            }
+            if t.is_ident("Result") {
+                returns_result = true;
+            }
+            q += 1;
+        }
+        if returns_result {
+            // Walk the doc block upward from the first attribute/doc line
+            // above the `pub` token.
+            let mut line = tokens[i].line.saturating_sub(1);
+            let mut documented = false;
+            while line > 0 {
+                if let Some(text) = doc_lines.get(&line) {
+                    if text.contains("# Errors") {
+                        documented = true;
+                    }
+                    line -= 1;
+                } else if first_tok_on_line
+                    .get(&line)
+                    .is_some_and(|t| t.is_punct('#'))
+                {
+                    line -= 1;
+                } else {
+                    break;
+                }
+            }
+            if !documented {
+                out.push(Finding {
+                    rule: "S-errdoc",
+                    file: rel_path.to_owned(),
+                    line: tokens[i].line,
+                    col: tokens[i].col,
+                    message: format!(
+                        "`pub fn {}` returns Result but its doc comment has no `# Errors` section",
+                        name.text
+                    ),
+                });
+            }
+        }
+        i = p.max(i + 1);
+    }
+}
+
+/// Pragma hygiene: malformed pragmas, missing justifications, unknown rule
+/// names, and stale (unused) pragmas are findings themselves.
+fn pragma_hygiene(
+    rel_path: &str,
+    pragmas: &[Pragma],
+    test_lines: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    let in_test_line = |l: u32| test_lines.iter().any(|&(a, b)| l >= a && l <= b);
+    for p in pragmas {
+        if in_test_line(p.line) {
+            continue;
+        }
+        let mut push = |message: String| {
+            out.push(Finding {
+                rule: "L-pragma",
+                file: rel_path.to_owned(),
+                line: p.line,
+                col: 1,
+                message,
+            });
+        };
+        if p.rules.is_empty() {
+            push(
+                "malformed pragma: expected `fase-lint: allow(<rule>, …) -- <justification>`"
+                    .to_owned(),
+            );
+            continue;
+        }
+        for r in &p.rules {
+            let known =
+                RULES.contains(&r.as_str()) || matches!(r.as_str(), "D" | "P" | "U" | "S" | "L");
+            if !known {
+                push(format!("pragma names unknown rule `{r}`"));
+            }
+        }
+        if p.justification.is_empty() {
+            push(
+                "pragma missing justification: write `-- <why this invariant holds here>`"
+                    .to_owned(),
+            );
+        }
+        if !p.used {
+            push("stale pragma: it suppresses no finding on its target line".to_owned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str, rules: RuleSet) -> Vec<(&'static str, u32)> {
+        check_file("test.rs", src, rules)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged_outside_tests() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+#[cfg(test)]
+mod tests {
+    fn g(x: Option<u32>) -> u32 { x.unwrap() }
+}
+";
+        let found = rules_of(src, RuleSet::all());
+        assert_eq!(found, vec![("P-unwrap", 2)]);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n";
+        assert!(rules_of(src, RuleSet::all()).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_with_justification() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // fase-lint: allow(P-unwrap) -- x was checked Some above
+}
+";
+        assert!(rules_of(src, RuleSet::all()).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_justification_does_not_suppress() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // fase-lint: allow(P-unwrap)
+}
+";
+        let found = rules_of(src, RuleSet::all());
+        assert!(found.contains(&("P-unwrap", 2)), "{found:?}");
+        assert!(found.contains(&("L-pragma", 2)), "{found:?}");
+    }
+
+    #[test]
+    fn stale_pragma_is_reported() {
+        let src = "// fase-lint: allow(P-unwrap) -- nothing here\nfn f() {}\n";
+        let found = rules_of(src, RuleSet::all());
+        assert_eq!(found, vec![("L-pragma", 1)]);
+    }
+
+    #[test]
+    fn determinism_rules_fire() {
+        let src = "\
+use std::time::Instant;
+use std::collections::HashMap;
+fn f() -> Option<usize> {
+    let _ = std::env::var(\"FASE_THREADS\");
+    std::thread::available_parallelism().ok().map(|n| n.get())
+}
+";
+        let found = rules_of(src, RuleSet::all());
+        let rules: Vec<&str> = found.iter().map(|(r, _)| *r).collect();
+        assert!(rules.contains(&"D-time"));
+        assert!(rules.contains(&"D-hash"));
+        assert!(rules.contains(&"D-env"));
+        assert!(rules.contains(&"D-thread"));
+    }
+
+    #[test]
+    fn units_rules_fire_only_when_enabled() {
+        let src = "fn f(x: f64) -> usize { (x.sqrt() + 1.0) as usize }\n";
+        let with = rules_of(src, RuleSet::all());
+        assert!(with.contains(&("U-cast", 1)), "{with:?}");
+        assert!(with.contains(&("U-nan", 1)), "{with:?}");
+        let without = rules_of(
+            src,
+            RuleSet {
+                units: false,
+                ..RuleSet::all()
+            },
+        );
+        assert!(
+            without.iter().all(|(r, _)| !r.starts_with("U-")),
+            "{without:?}"
+        );
+    }
+
+    #[test]
+    fn literal_index_flagged_variable_index_not() {
+        let src = "\
+fn f(xs: &[f64], i: usize) -> f64 {
+    let a = xs[0];
+    let b = xs[i];
+    let c = &xs[1..];
+    a + b + c[i]
+}
+";
+        let found = rules_of(src, RuleSet::all());
+        assert_eq!(found, vec![("P-index", 2)]);
+    }
+
+    #[test]
+    fn errdoc_requires_errors_section() {
+        let src = "\
+/// Does a thing.
+pub fn bad() -> Result<(), String> { Ok(()) }
+
+/// Does a thing.
+///
+/// # Errors
+///
+/// Never, actually.
+pub fn good() -> Result<(), String> { Ok(()) }
+
+/// No Result here.
+pub fn plain() -> u32 { 0 }
+
+pub(crate) fn internal() -> Result<(), String> { Ok(()) }
+";
+        let found = rules_of(src, RuleSet::all());
+        assert_eq!(found, vec![("S-errdoc", 2)]);
+    }
+
+    #[test]
+    fn errctor_flags_construction_not_patterns() {
+        let src = "\
+fn build() -> FaseError {
+    FaseError::Worker(\"died\".to_owned())
+}
+fn is_capture(e: &FaseError) -> bool {
+    matches!(e, FaseError::CaptureFailed { .. })
+}
+fn peel(r: Result<(), FaseError>) {
+    if let Err(e @ FaseError::Worker(_)) = r {
+        let _ = e;
+    }
+}
+fn arms(e: FaseError) -> usize {
+    match e {
+        FaseError::Worker(_) | FaseError::InvalidConfig(_) => 0,
+        FaseError::CaptureFailed { segment, cause } if segment > 0 => segment + cause.len(),
+        FaseError::CaptureFailed { .. } => 1,
+    }
+}
+";
+        let found = rules_of(src, RuleSet::all());
+        assert_eq!(found, vec![("S-errctor", 2)]);
+    }
+
+    #[test]
+    fn panic_macros_flagged_but_asserts_allowed() {
+        let src = "\
+fn f(x: u32) {
+    assert!(x > 0, \"contract\");
+    debug_assert!(x < 10);
+    if x == 3 {
+        panic!(\"boom\");
+    }
+}
+";
+        let found = rules_of(src, RuleSet::all());
+        assert_eq!(found, vec![("P-panic", 5)]);
+    }
+
+    #[test]
+    fn test_attribute_functions_exempt() {
+        let src = "\
+#[test]
+fn check() {
+    let v: Vec<u32> = vec![];
+    let _ = v[0];
+    panic!(\"fine in tests\");
+}
+";
+        assert!(rules_of(src, RuleSet::all()).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "\
+#[cfg(not(test))]
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        assert_eq!(rules_of(src, RuleSet::all()), vec![("P-unwrap", 2)]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Fixture: idiomatic code that must produce zero findings under every
+//! rule — the false-positive regression guard.
+
+use std::collections::BTreeMap;
+
+/// A tidy, deterministic, panic-free helper.
+pub fn histogram(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut out = BTreeMap::new();
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Sorting through a total order, no unwraps anywhere.
+pub fn sorted(xs: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = xs.to_vec();
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+/// Strings and docs that merely *mention* `unwrap()`, `panic!`, `xs[0]`,
+/// `HashMap`, or `Instant::now()` must not fire:
+/// `let t = Instant::now();` is only prose here.
+pub fn mentions() -> &'static str {
+    "calling .unwrap() or panic! inside a string literal is fine; so is xs[0]"
+}
+
+/// Checked element access, the sanctioned shape.
+pub fn first_or_zero(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_be_blunt() {
+        let xs = [3.0, 1.0];
+        assert_eq!(sorted(&xs)[0], 1.0);
+        let h = histogram(&[1, 1, 2]);
+        assert_eq!(*h.get(&1).unwrap(), 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: every determinism (D) rule fires exactly once per marked line.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+pub fn wall_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn calendar() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn random_hasher() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn random_set() -> HashSet<u32> {
+    HashSet::new()
+}
+
+pub fn ambient_env() -> Option<String> {
+    std::env::var("FASE_FIXTURE").ok()
+}
+
+pub fn machine_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

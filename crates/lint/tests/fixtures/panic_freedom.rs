@@ -1,0 +1,41 @@
+//! Fixture: every panic-freedom (P) rule fires; test modules stay exempt.
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expects(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn panics() -> ! {
+    panic!("boom")
+}
+
+pub fn unreachable_code(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn literal_index(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn fine_variants(x: Option<u32>, xs: &[u32], i: usize) -> u32 {
+    // None of these are violations: fallbacks, checked access, variable
+    // subscripts, and debug assertions are all sanctioned.
+    debug_assert!(i < xs.len());
+    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + xs.get(i).copied().unwrap_or_default() + xs[i]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_region() {
+        let xs = [1u32];
+        assert_eq!(Some(xs[0]).unwrap(), 1);
+        assert_eq!(None::<u32>.unwrap_or(2), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: pragma handling — justified waivers suppress findings, while
+//! bare, stale, and unknown-rule pragmas are themselves findings.
+
+pub fn waived_trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // fase-lint: allow(P-unwrap) -- fixture proves trailing waivers work
+}
+
+pub fn waived_standalone(x: Option<u32>) -> u32 {
+    // fase-lint: allow(P-expect) -- fixture proves standalone waivers work
+    x.expect("present")
+}
+
+pub fn unjustified_waiver(x: Option<u32>) -> u32 {
+    x.unwrap() // fase-lint: allow(P-unwrap)
+}
+
+pub fn group_waiver() -> usize {
+    // fase-lint: allow(D) -- fixture proves group-letter waivers cover member rules
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub fn stale_waiver() -> u32 {
+    // fase-lint: allow(P-panic) -- nothing on the next line panics
+    4
+}
+
+pub fn unknown_rule() -> u32 {
+    // fase-lint: allow(Q-nonsense) -- no such rule exists
+    5
+}

@@ -1,0 +1,43 @@
+//! Fixture: structural (S) rules — undocumented `Result` returns and
+//! out-of-site `FaseError` construction fire; patterns do not.
+
+pub enum FaseError {
+    InvalidConfig(String),
+    CaptureFailed { segment: usize, cause: String },
+}
+
+pub fn undocumented_fallible() -> Result<u32, FaseError> {
+    Ok(1)
+}
+
+/// Documented fallible function.
+///
+/// # Errors
+///
+/// Returns [`FaseError::InvalidConfig`] when the stars misalign — which is
+/// an S-errctor violation here, but not an S-errdoc one.
+pub fn documented_fallible() -> Result<u32, FaseError> {
+    Err(FaseError::InvalidConfig("misaligned".to_owned()))
+}
+
+/// Infallible, so no `# Errors` section is required.
+pub fn infallible() -> u32 {
+    2
+}
+
+/// Matching on variants is fine; only construction is designated.
+///
+/// # Errors
+///
+/// Never fails; it only inspects `e`.
+pub fn patterns_are_fine(e: &FaseError) -> Result<usize, FaseError> {
+    match e {
+        FaseError::InvalidConfig(_) => Ok(0),
+        FaseError::CaptureFailed { segment, .. } => Ok(*segment),
+    }
+}
+
+pub(crate) fn crate_private_fallible() -> Result<u32, FaseError> {
+    // pub(crate) is not API surface: exempt from S-errdoc.
+    Ok(3)
+}

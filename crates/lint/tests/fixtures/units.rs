@@ -1,0 +1,27 @@
+//! Fixture: units/float-hygiene (U) rules fire on raw casts and NaN-able
+//! operations.
+
+pub fn truncating_bin(x: f64) -> usize {
+    x as usize
+}
+
+pub fn truncating_offset(x: f64) -> isize {
+    x as isize
+}
+
+pub fn naan_sqrt(x: f64) -> f64 {
+    x.sqrt()
+}
+
+pub fn naan_log10(x: f64) -> f64 {
+    x.log10()
+}
+
+pub fn naan_ln(x: f64) -> f64 {
+    x.ln()
+}
+
+pub fn widening_is_fine(n: usize, k: u32) -> f64 {
+    // Float widening casts are not truncating and do not trip U-cast.
+    n as f64 + f64::from(k)
+}

@@ -1,0 +1,168 @@
+//! Integration tests: fixture files exercise every rule end to end, and a
+//! regression test pins the real workspace at zero findings.
+
+use fase_lint::report::Finding;
+use fase_lint::rules::RuleSet;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    fase_lint::lint_source(name, &source, RuleSet::all())
+}
+
+fn rules_fired(findings: &[Finding]) -> BTreeSet<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn determinism_fixture_fires_every_d_rule() {
+    let findings = fixture("determinism.rs");
+    let rules = rules_fired(&findings);
+    assert_eq!(
+        rules,
+        ["D-time", "D-hash", "D-env", "D-thread"]
+            .into_iter()
+            .collect(),
+        "{findings:#?}"
+    );
+    // `Instant::now()` in the body, not just the `use`, is flagged.
+    assert!(lines_of(&findings, "D-time").contains(&7), "{findings:#?}");
+}
+
+#[test]
+fn panic_freedom_fixture_fires_every_p_rule_and_exempts_tests() {
+    let findings = fixture("panic_freedom.rs");
+    let rules = rules_fired(&findings);
+    assert_eq!(
+        rules,
+        ["P-unwrap", "P-expect", "P-panic", "P-index"]
+            .into_iter()
+            .collect(),
+        "{findings:#?}"
+    );
+    // `fine_variants` (line 26+) and the test module produce nothing.
+    assert!(
+        findings.iter().all(|f| f.line < 26),
+        "sanctioned shapes or test code were flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn units_fixture_fires_both_u_rules() {
+    let findings = fixture("units.rs");
+    let rules = rules_fired(&findings);
+    assert_eq!(
+        rules,
+        ["U-cast", "U-nan"].into_iter().collect(),
+        "{findings:#?}"
+    );
+    assert_eq!(lines_of(&findings, "U-cast"), vec![5, 9], "{findings:#?}");
+    assert_eq!(
+        lines_of(&findings, "U-nan"),
+        vec![13, 17, 21],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn structural_fixture_flags_docs_and_construction_not_patterns() {
+    let findings = fixture("structural.rs");
+    assert_eq!(
+        lines_of(&findings, "S-errdoc"),
+        vec![9],
+        "only the undocumented fallible fn: {findings:#?}"
+    );
+    assert_eq!(
+        lines_of(&findings, "S-errctor"),
+        vec![20],
+        "only the construction inside documented_fallible: {findings:#?}"
+    );
+}
+
+#[test]
+fn pragma_fixture_waives_and_reports_hygiene() {
+    let findings = fixture("pragmas.rs");
+    // Justified waivers suppress everything on lines 5 and 10, and the
+    // group-letter waiver covers D-thread on line 19.
+    for line in [5, 10, 19] {
+        assert!(
+            findings.iter().all(|f| f.line != line),
+            "line {line} should be waived: {findings:#?}"
+        );
+    }
+    // The unjustified waiver suppresses nothing and is itself a finding.
+    assert!(
+        lines_of(&findings, "P-unwrap").contains(&14),
+        "{findings:#?}"
+    );
+    assert!(
+        lines_of(&findings, "L-pragma").contains(&14),
+        "{findings:#?}"
+    );
+    // Stale and unknown-rule pragmas are findings.
+    assert!(
+        lines_of(&findings, "L-pragma").contains(&23),
+        "{findings:#?}"
+    );
+    assert!(
+        lines_of(&findings, "L-pragma").contains(&28),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let findings = fixture("clean.rs");
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let findings = fixture("units.rs");
+    let json = fase_lint::report::to_json(&findings);
+    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"U-cast\""), "{json}");
+    assert!(json.contains("units.rs"), "{json}");
+    assert!(json.trim_end().ends_with('}'), "{json}");
+}
+
+/// The workspace itself must stay clean: every violation is either fixed
+/// or carries a justified pragma. This is the regression core of the PR —
+/// new violations anywhere in the tree fail this test before CI even runs
+/// the binary.
+#[test]
+fn real_workspace_has_zero_findings() {
+    let root = workspace_root();
+    let findings = fase_lint::lint_workspace(&root)
+        .unwrap_or_else(|e| panic!("cannot walk {}: {e}", root.display()));
+    assert!(
+        findings.is_empty(),
+        "workspace violations:\n{}",
+        findings
+            .iter()
+            .map(Finding::human)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}

@@ -252,9 +252,7 @@ impl CampaignRunner {
         health.surviving = labeled.len();
         if labeled.len() < 2 {
             return Err(first_failure.unwrap_or_else(|| {
-                FaseError::InvalidSpectra(
-                    "fewer than two alternation frequencies survived".to_owned(),
-                )
+                FaseError::invalid_spectra("fewer than two alternation frequencies survived")
             }));
         }
         Ok(CampaignSpectra::new(config.clone(), labeled)?.with_health(health))
@@ -334,12 +332,12 @@ impl CampaignRunner {
                                     health.retried_tasks += 1;
                                     health.total_retries += (attempt - 1) as usize;
                                 }
-                                return Err(FaseError::CaptureFailed {
+                                return Err(FaseError::capture_failed(
                                     f_alt,
-                                    segment: i_seg,
-                                    attempts: attempt,
-                                    cause: e.to_string(),
-                                });
+                                    i_seg,
+                                    attempt,
+                                    e.to_string(),
+                                ));
                             }
                         }
                     }
@@ -372,7 +370,7 @@ impl CampaignRunner {
         fault: Option<FaultKind>,
     ) -> Result<(Spectrum, usize, f64), FaseError> {
         if fault == Some(FaultKind::TaskFailure) {
-            return Err(FaseError::Worker("injected task failure".to_owned()));
+            return Err(FaseError::worker("injected task failure"));
         }
         let window = segment.window(self.time);
         let trace = self
@@ -519,12 +517,14 @@ fn effective_threads(requested: Option<usize>) -> usize {
     if let Some(n) = requested {
         return n.max(1);
     }
+    // fase-lint: allow(D-env) -- FASE_THREADS selects the worker count only; campaign output is bit-identical for any value (PR 1 guarantee)
     if let Some(n) = std::env::var("FASE_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
     {
         return n.max(1);
     }
+    // fase-lint: allow(D-thread) -- the machine's parallelism affects scheduling, not results; task outputs reduce in task order
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -607,7 +607,7 @@ where
     F: Fn(usize) -> SimulatedSystem,
 {
     if fault == Some(FaultKind::TaskFailure) {
-        return Err(FaseError::Worker("injected task failure".to_owned()));
+        return Err(FaseError::worker("injected task failure"));
     }
     let mut system = factory(task.i_alt);
     system.machine = prepared.machine.clone();
@@ -759,12 +759,12 @@ where
                             Err(e) => {
                                 if attempt >= max_attempts {
                                     break TaskResult {
-                                        out: Err(FaseError::CaptureFailed {
-                                            f_alt: f_alts[task.i_alt],
-                                            segment: task.i_seg,
-                                            attempts: attempt,
-                                            cause: e.to_string(),
-                                        }),
+                                        out: Err(FaseError::capture_failed(
+                                            f_alts[task.i_alt],
+                                            task.i_seg,
+                                            attempt,
+                                            e.to_string(),
+                                        )),
                                         attempts: attempt,
                                         faults,
                                     };
@@ -785,7 +785,7 @@ where
         }
     });
     if let Some(msg) = worker_panic {
-        return Err(FaseError::Worker(msg));
+        return Err(FaseError::worker(msg));
     }
 
     // Reduce in task order (worker scheduling cannot reorder this):
@@ -811,7 +811,7 @@ where
                 let result = outputs
                     .next()
                     .flatten()
-                    .ok_or_else(|| FaseError::Worker("capture task never ran".to_owned()))?;
+                    .ok_or_else(|| FaseError::worker("capture task never ran"))?;
                 if result.attempts > 1 {
                     health.retried_tasks += 1;
                     health.total_retries += (result.attempts - 1) as usize;
@@ -853,7 +853,7 @@ where
     health.surviving = labeled.len();
     if labeled.len() < 2 {
         return Err(first_failure.unwrap_or_else(|| {
-            FaseError::InvalidSpectra("fewer than two alternation frequencies survived".to_owned())
+            FaseError::invalid_spectra("fewer than two alternation frequencies survived")
         }));
     }
     Ok(CampaignSpectra::new(config.clone(), labeled)?.with_health(health))

@@ -178,7 +178,7 @@ impl Machine {
 
         let footprint = activity
             .footprint_bytes(&self.hierarchy)
-            .expect("memory activity has a footprint");
+            .expect("memory activity has a footprint"); // fase-lint: allow(P-expect) -- ALU-only activities returned early above; every remaining variant reports a footprint
         let mut chase = PointerChase::new(0x4000_0000, footprint, self.config.chase_stride);
 
         // Warm up: two full passes over the footprint.

@@ -14,6 +14,10 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> fase-lint --strict"
+cargo run -p fase-lint --offline -- --strict --quiet --json target/fase-lint.json \
+  || { echo "fase-lint findings:"; cat target/fase-lint.json; exit 1; }
+
 echo "==> cargo build --release"
 cargo build --workspace --release --offline
 
@@ -22,10 +26,12 @@ cargo test --workspace --offline -q
 
 # Extended fault matrix: every impairment class at every alternation
 # index, across worker thread counts (~1 min). Opt in because it dwarfs
-# the rest of the suite; CI's fault-matrix job sets it.
+# the rest of the suite; CI's fault-matrix job sets it. --release reuses
+# the artifacts the build step above just produced instead of paying for
+# a second (debug) compile of the whole workspace.
 if [[ "${FASE_FAULT_MATRIX:-}" == "full" ]]; then
   echo "==> fault matrix (FASE_FAULT_MATRIX=full)"
-  cargo test --offline -q -p fase-specan --test fault_matrix
+  cargo test --offline --release -q -p fase-specan --test fault_matrix
 fi
 
 echo "CI OK"
