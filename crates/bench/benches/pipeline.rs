@@ -5,7 +5,10 @@
 //!
 //! Writes `BENCH_pipeline.json` at the repo root recording every timing
 //! plus the derived `campaign_speedup` (exact single-thread median over
-//! fast pooled median) — the headline number of the performance overhaul.
+//! fast pooled median) — the headline number of the performance overhaul —
+//! the observability tax `obs_overhead_enabled_pct` (fast pool with the
+//! metrics recorder enabled vs disabled), and the recorded per-stage
+//! `stage_breakdown` span statistics.
 
 use fase_bench::harness::BenchReport;
 use fase_core::CampaignConfig;
@@ -95,15 +98,41 @@ fn main() {
         run_campaign(&config, CampaignOptions::default());
     });
 
+    // Same workload with the process-wide metrics recorder enabled: the
+    // difference against `campaign_e2e_fast_pool` (which ran with the
+    // recorder disabled — the no-op default) is the observability tax.
+    fase_obs::reset();
+    fase_obs::enable();
+    report.run("campaign_e2e_fast_pool_recorded", 1, 5, || {
+        run_campaign(&config, CampaignOptions::default());
+    });
+    fase_obs::disable();
+    let snapshot = fase_obs::snapshot();
+
     let exact = report
         .get("campaign_e2e_exact_single_thread")
         .unwrap()
         .median_ns;
     let fast = report.get("campaign_e2e_fast_pool").unwrap().median_ns;
+    let recorded = report
+        .get("campaign_e2e_fast_pool_recorded")
+        .unwrap()
+        .median_ns;
     let speedup = exact / fast;
+    let obs_overhead_pct = (recorded / fast - 1.0) * 100.0;
     println!("campaign speedup (exact 1-thread / fast pool): {speedup:.2}x");
+    println!("observability overhead (recorder enabled): {obs_overhead_pct:+.2}%");
     // Anchor to the workspace root regardless of the bench's working dir.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    std::fs::write(path, report.to_json(&[("campaign_speedup", speedup)]))
-        .expect("write BENCH_pipeline.json");
+    std::fs::write(
+        path,
+        report.to_json_sections(
+            &[
+                ("campaign_speedup", speedup),
+                ("obs_overhead_enabled_pct", obs_overhead_pct),
+            ],
+            &[("stage_breakdown", &snapshot.spans_json())],
+        ),
+    )
+    .expect("write BENCH_pipeline.json");
 }

@@ -108,6 +108,15 @@ impl BenchReport {
     /// `{iters, median_ns, p95_ns, min_ns, mean_ns}` records, plus any
     /// extra top-level numeric fields (e.g. derived speedups).
     pub fn to_json(&self, extra: &[(&str, f64)]) -> String {
+        self.to_json_sections(extra, &[])
+    }
+
+    /// Like [`BenchReport::to_json`], but additionally embeds each
+    /// `(key, json)` pair of `raw_sections` as a top-level member whose
+    /// value is the given pre-serialized JSON — how the pipeline bench
+    /// attaches the observability stage breakdown to
+    /// `BENCH_pipeline.json`. Callers must pass valid JSON values.
+    pub fn to_json_sections(&self, extra: &[(&str, f64)], raw_sections: &[(&str, &str)]) -> String {
         let mut out = String::from("{\n");
         let mut first = true;
         for r in &self.results {
@@ -127,6 +136,13 @@ impl BenchReport {
             }
             first = false;
             out.push_str(&format!("  \"{k}\": {v:.4}"));
+        }
+        for (k, json) in raw_sections {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("  \"{k}\": {json}"));
         }
         out.push_str("\n}\n");
         out
@@ -165,6 +181,23 @@ mod tests {
         assert!(json.contains("\"speedup\": 3.5000"));
         assert!(report.get("noop").is_some());
         assert!(report.get("missing").is_none());
+    }
+
+    #[test]
+    fn raw_sections_embed_verbatim() {
+        let mut report = BenchReport::new();
+        report.run("noop", 1, 2, || {
+            std::hint::black_box(1);
+        });
+        let json = report.to_json_sections(
+            &[("speedup", 2.0)],
+            &[("stage_breakdown", "{ \"campaign\": { \"count\": 1 } }")],
+        );
+        assert!(
+            json.contains("\"stage_breakdown\": { \"campaign\": { \"count\": 1 } }"),
+            "{json}"
+        );
+        assert!(json.contains("\"speedup\": 2.0000"), "{json}");
     }
 
     #[test]

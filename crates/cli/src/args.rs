@@ -1,14 +1,16 @@
 //! Minimal, dependency-free command-line parsing for `fase-cli`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// A parsed command line: a subcommand plus `--key value` options.
+/// A parsed command line: a subcommand plus `--key value` options and
+/// value-less boolean `--flag`s.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
     pub command: String,
     options: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
 }
 
 /// Errors from parsing or validating arguments.
@@ -64,27 +66,54 @@ impl ParsedArgs {
     /// Returns an [`ArgError`] for a missing command, a flag without a
     /// value, or a stray positional token.
     pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse_with_flags(args, &[])
+    }
+
+    /// Parses like [`ParsedArgs::parse`], but the names in `boolean`
+    /// (without the `--` prefix) are value-less flags: their presence is
+    /// queried with [`ParsedArgs::flag`] instead of consuming the next
+    /// token as a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArgError`] for a missing command, a non-boolean flag
+    /// without a value, or a stray positional token.
+    pub fn parse_with_flags(args: &[String], boolean: &[&str]) -> Result<ParsedArgs, ArgError> {
         let mut iter = args.iter();
         let command = iter.next().ok_or(ArgError::MissingCommand)?.clone();
         if command.starts_with("--") {
             return Err(ArgError::MissingCommand);
         }
         let mut options = BTreeMap::new();
+        let mut flags = BTreeSet::new();
         while let Some(token) = iter.next() {
             let Some(key) = token.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedToken(token.clone()));
             };
+            if boolean.contains(&key) {
+                flags.insert(key.to_owned());
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| ArgError::MissingValue(key.to_owned()))?;
             options.insert(key.to_owned(), value.clone());
         }
-        Ok(ParsedArgs { command, options })
+        Ok(ParsedArgs {
+            command,
+            options,
+            flags,
+        })
     }
 
     /// The raw string value of an option.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
+    }
+
+    /// True when the boolean `--key` flag was present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
     }
 
     /// A required string option.
@@ -230,6 +259,23 @@ mod tests {
         assert_eq!(
             ParsedArgs::parse(&argv("scan stray")).unwrap_err(),
             ArgError::UnexpectedToken("stray".into())
+        );
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let p = ParsedArgs::parse_with_flags(
+            &argv("scan --timings --system i7 --lo 60k --hi 2M"),
+            &["timings"],
+        )
+        .unwrap();
+        assert!(p.flag("timings"));
+        assert!(!p.flag("metrics-out"));
+        assert_eq!(p.get("system"), Some("i7"));
+        // Without registration the same token still demands a value.
+        assert_eq!(
+            ParsedArgs::parse(&argv("scan --timings")).unwrap_err(),
+            ArgError::MissingValue("timings".into())
         );
     }
 

@@ -22,9 +22,18 @@ usage:
   fase-cli probe     --system <name> --carrier <freq> [--falt <freq>] [--span <freq>] [--seed <n>]
   fase-cli leakage   --system <name> --lo <freq> --hi <freq> [scan options]
   fase-cli attribute --system <name> --peak <freq> --lo <freq> --hi <freq> [scan options]
+  fase-cli report    --system <name> --lo <freq> --hi <freq> [scan options]
+                     (scan with the stage-timing tree always appended)
 
 systems: i7 | i3 | turion | p3m | i7-mitigated
 frequencies accept k/M/G suffixes (e.g. 43.3k, 2M).
+
+observability (scan/classify/leakage/attribute/report):
+  --metrics-out <path>  write deterministic metrics JSON (stage spans,
+                        counters, latency histograms; stable key order,
+                        durations only, no timestamps)
+  --timings             append the hierarchical stage-timing tree to the
+                        report
 
 fault injection (scan/classify/leakage/attribute):
   --fault-rate <p>   per-class capture impairment probability (default 0)
@@ -76,17 +85,55 @@ impl From<FaseError> for CliError {
 /// Returns a [`CliError`] describing what went wrong; the binary prints it
 /// with the usage text.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let parsed = ParsedArgs::parse(args)?;
+    let parsed = ParsedArgs::parse_with_flags(args, &["timings"])?;
     match parsed.command.as_str() {
         "list-systems" => Ok(list_systems()),
-        "scan" => scan(&parsed),
-        "classify" => classify(&parsed),
+        "scan" => with_observability(&parsed, false, scan),
+        "classify" => with_observability(&parsed, false, classify),
         "probe" => probe(&parsed),
-        "leakage" => leakage(&parsed),
-        "attribute" => attribute(&parsed),
+        "leakage" => with_observability(&parsed, false, leakage),
+        "attribute" => with_observability(&parsed, false, attribute),
+        "report" => with_observability(&parsed, true, scan),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(ArgError::UnknownCommand(other.to_owned()).into()),
     }
+}
+
+/// Runs `body` under the process-wide metrics recorder when observability
+/// was requested (`--metrics-out`, `--timings`, or the `report`
+/// subcommand), then exports what was recorded: deterministic JSON to the
+/// `--metrics-out` path and/or the human timing tree appended to the
+/// report. Without either request this is a plain pass-through — the
+/// recorder stays disabled and the campaign pays only a relaxed atomic
+/// load per metric site.
+fn with_observability<F>(
+    parsed: &ParsedArgs,
+    always_timings: bool,
+    body: F,
+) -> Result<String, CliError>
+where
+    F: FnOnce(&ParsedArgs) -> Result<String, CliError>,
+{
+    let metrics_out = parsed.get("metrics-out");
+    let want_timings = always_timings || parsed.flag("timings");
+    if metrics_out.is_none() && !want_timings {
+        return body(parsed);
+    }
+    fase_obs::reset();
+    fase_obs::enable();
+    let result = body(parsed);
+    fase_obs::disable();
+    let snapshot = fase_obs::snapshot();
+    let mut out = result?;
+    if let Some(path) = metrics_out {
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| CliError::Invalid(format!("cannot write {path}: {e}")))?;
+    }
+    if want_timings {
+        out.push('\n');
+        out.push_str(&snapshot.render_tree());
+    }
+    Ok(out)
 }
 
 fn list_systems() -> String {
@@ -344,6 +391,52 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("carrier_hz,"), "{text}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Serializes the tests that toggle the process-wide recorder, so one
+    /// test's `reset`/`disable` cannot race another's enabled run.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn metrics_out_exports_schema_valid_json() {
+        let _guard = OBS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let path = std::env::temp_dir().join("fase_cli_metrics_test.json");
+        let cmd = format!(
+            "scan --system i7 --lo 300k --hi 330k --res 500 --falt 30k --fdelta 2k --alts 3 --avg 1 --metrics-out {}",
+            path.display()
+        );
+        let _ = run(&argv(&cmd)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let schema = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scripts/metrics.schema.json"
+        ))
+        .unwrap();
+        fase_obs::validate::validate_metrics(&text, &schema).unwrap();
+        assert!(text.contains("\"campaign\""), "{text}");
+        assert!(text.contains("\"specan.captures\""), "{text}");
+        assert!(text.contains("\"dsp.fft\""), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_appends_timing_tree() {
+        let _guard = OBS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let out = run(&argv(
+            "report --system i7 --lo 300k --hi 330k --res 500 --falt 30k --fdelta 2k --alts 3 --avg 1",
+        ))
+        .unwrap();
+        assert!(
+            out.contains("timings (calls, total wall time per span)"),
+            "{out}"
+        );
+        assert!(out.contains("campaign"), "{out}");
+        assert!(out.contains("counters"), "{out}");
+        assert!(out.contains("specan.captures"), "{out}");
     }
 
     #[test]

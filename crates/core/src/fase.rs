@@ -3,9 +3,10 @@
 use crate::config::CampaignConfig;
 use crate::detector::{detect_in_trace, merge_detections, Detection, DetectorConfig};
 use crate::error::FaseError;
-use crate::heuristic::{all_harmonic_scores, HeuristicConfig};
+use crate::heuristic::{all_harmonic_scores_recorded, HeuristicConfig};
 use crate::report::FaseReport;
 use crate::spectra::CampaignSpectra;
+use fase_obs::{span, Recorder};
 
 /// Tunables of a FASE analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,12 +74,25 @@ impl Default for FaseConfig {
 #[derive(Debug, Clone, Default)]
 pub struct Fase {
     config: FaseConfig,
+    recorder: Recorder,
 }
 
 impl Fase {
-    /// Creates an analyzer with the given configuration.
+    /// Creates an analyzer with the given configuration. Metrics go to the
+    /// process-wide recorder (inert unless [`fase_obs::enable`] was called).
     pub fn new(config: FaseConfig) -> Fase {
-        Fase { config }
+        Fase {
+            config,
+            recorder: Recorder::global(),
+        }
+    }
+
+    /// Replaces the metrics [`Recorder`] used by [`analyze`](Fase::analyze)
+    /// — e.g. [`Recorder::detached`] for an isolated sink in tests.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Fase {
+        self.recorder = recorder;
+        self
     }
 
     /// The analyzer configuration.
@@ -96,17 +110,33 @@ impl Fase {
         if self.config.max_harmonic == 0 {
             return Err(FaseError::invalid_config("max_harmonic must be at least 1"));
         }
-        let traces = all_harmonic_scores(spectra, self.config.max_harmonic, &self.config.heuristic);
-        let detections: Vec<Detection> = traces
-            .iter()
-            .flat_map(|t| detect_in_trace(t, &self.config.detector))
-            .collect();
+        let _analyze = span!(self.recorder, "analyze");
+        let traces = {
+            let _score = span!(self.recorder, "score");
+            all_harmonic_scores_recorded(
+                spectra,
+                self.config.max_harmonic,
+                &self.config.heuristic,
+                &self.recorder,
+            )
+        };
+        let detections: Vec<Detection> = {
+            let _detect = span!(self.recorder, "detect");
+            traces
+                .iter()
+                .flat_map(|t| detect_in_trace(t, &self.config.detector))
+                .collect()
+        };
+        self.recorder
+            .count_usize("core.detections", detections.len());
+        let _group = span!(self.recorder, "group");
         let carriers = merge_detections(spectra, detections, &self.config.detector);
         let mut report =
             FaseReport::from_carriers(carriers, self.config.group_rel_tol).with_traces(traces);
         if let Some(health) = spectra.health() {
             report = report.with_health(health.clone());
         }
+        self.recorder.count_usize("core.carriers", report.len());
         Ok(report)
     }
 
@@ -199,6 +229,29 @@ mod tests {
             fase.analyze(&campaign),
             Err(FaseError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn analyze_records_stage_spans_and_counters() {
+        let campaign = modulated_campaign(&[100_000.0]);
+        let rec = Recorder::detached();
+        let fase = Fase::default().with_recorder(rec.clone());
+        fase.analyze(&campaign).unwrap();
+        let snap = rec.snapshot();
+        for path in [
+            "analyze",
+            "analyze/score",
+            "analyze/detect",
+            "analyze/group",
+        ] {
+            assert!(
+                snap.spans.contains_key(path),
+                "missing span {path}: {:?}",
+                snap.spans.keys().collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(snap.counters.get("core.carriers"), Some(&1));
+        assert!(snap.counters.contains_key("core.heuristic.bins_scored"));
     }
 
     #[test]

@@ -20,7 +20,9 @@
 
 use crate::config::CampaignConfig;
 use crate::spectra::CampaignSpectra;
+use fase_dsp::units::bin_round;
 use fase_dsp::{Hertz, Spectrum};
+use fase_obs::Recorder;
 
 /// Configuration of the heuristic evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -174,7 +176,11 @@ struct ScoreContext {
 }
 
 impl ScoreContext {
-    fn new(spectra: &CampaignSpectra, config: &HeuristicConfig) -> ScoreContext {
+    fn new(
+        spectra: &CampaignSpectra,
+        config: &HeuristicConfig,
+        recorder: &Recorder,
+    ) -> ScoreContext {
         let n_spectra = spectra.len();
         let first = spectra.spectrum(0);
         let bins = first.len();
@@ -182,8 +188,25 @@ impl ScoreContext {
 
         // The search window must stay below the f_Δ spacing, or a neighbour
         // spectrum's own side-band would leak into the denominator lookup.
-        let delta_bins = (spectra.config().f_delta() / resolution).round() as usize;
-        let search = config.search_bins.min(delta_bins.saturating_sub(1) / 2);
+        let search = match bin_round(spectra.config().f_delta() / resolution, bins) {
+            Some(delta_bins) => {
+                let max_search = delta_bins.saturating_sub(1) / 2;
+                if config.search_bins > max_search {
+                    recorder.count("core.heuristic.search_window_clamped", 1);
+                    if max_search == 0 && config.search_bins > 0 {
+                        // f_Δ < 1.5 × resolution: the windowed-max collapses
+                        // to a point lookup and loses all calibration
+                        // tolerance — worth a warning, not just a counter.
+                        recorder.warn("core.heuristic.search_window_collapsed");
+                    }
+                }
+                config.search_bins.min(max_search)
+            }
+            // f_Δ at or beyond the band width: adjacent spectra cannot leak
+            // into any in-band lookup, so the configured window stands.
+            None => config.search_bins,
+        };
+        recorder.count_usize("core.heuristic.windowed_max_passes", n_spectra);
 
         let floored: Vec<Vec<f64>> = (0..n_spectra)
             .map(|i| {
@@ -270,7 +293,23 @@ impl ScoreContext {
 /// sub-score of 1 — the paper's "obscured side-band" behaviour: missing
 /// evidence weakens but does not destroy a detection.
 pub fn harmonic_scores(spectra: &CampaignSpectra, h: i32, config: &HeuristicConfig) -> ScoreTrace {
-    ScoreContext::new(spectra, config).harmonic(h, config)
+    harmonic_scores_recorded(spectra, h, config, &Recorder::global())
+}
+
+/// [`harmonic_scores`] with an explicit metrics [`Recorder`].
+///
+/// The recorder sees one `core.heuristic.windowed_max_passes` increment
+/// per spectrum, a `core.heuristic.bins_scored` increment per candidate
+/// bin, and the search-window clamp counters (see [`all_harmonic_scores`]).
+pub fn harmonic_scores_recorded(
+    spectra: &CampaignSpectra,
+    h: i32,
+    config: &HeuristicConfig,
+    recorder: &Recorder,
+) -> ScoreTrace {
+    let ctx = ScoreContext::new(spectra, config, recorder);
+    recorder.count_usize("core.heuristic.bins_scored", ctx.column_sum.len());
+    ctx.harmonic(h, config)
 }
 
 /// Computes score traces for every harmonic `±1..=±max_harmonic`.
@@ -284,8 +323,29 @@ pub fn all_harmonic_scores(
     max_harmonic: u32,
     config: &HeuristicConfig,
 ) -> Vec<ScoreTrace> {
-    let ctx = ScoreContext::new(spectra, config);
+    all_harmonic_scores_recorded(spectra, max_harmonic, config, &Recorder::global())
+}
+
+/// [`all_harmonic_scores`] with an explicit metrics [`Recorder`].
+///
+/// Besides the per-sweep work counters (`core.heuristic.bins_scored`,
+/// `core.heuristic.windowed_max_passes`), the shared precompute records
+/// `core.heuristic.search_window_clamped` whenever the configured
+/// `search_bins` had to be reduced to respect the f_Δ spacing, and the
+/// warning `core.heuristic.search_window_collapsed` when that clamp
+/// degrades the windowed-max to a point lookup (`f_Δ < 1.5 × resolution`).
+pub fn all_harmonic_scores_recorded(
+    spectra: &CampaignSpectra,
+    max_harmonic: u32,
+    config: &HeuristicConfig,
+    recorder: &Recorder,
+) -> Vec<ScoreTrace> {
+    let ctx = ScoreContext::new(spectra, config, recorder);
     let harmonics: Vec<i32> = (1..=max_harmonic as i32).flat_map(|k| [k, -k]).collect();
+    recorder.count_usize(
+        "core.heuristic.bins_scored",
+        ctx.column_sum.len().saturating_mul(harmonics.len()),
+    );
     let threads = heuristic_threads().min(harmonics.len()).max(1);
     if threads == 1 {
         return harmonics.iter().map(|&h| ctx.harmonic(h, config)).collect();
@@ -653,6 +713,58 @@ mod tests {
             let at_spur = trace.score_at(Hertz(30_000.0)).unwrap();
             assert!(at_spur < 10.0, "keep {keep:?}: spur promoted: {at_spur}");
         }
+    }
+
+    #[test]
+    fn search_window_clamp_is_recorded_not_silent() {
+        // Default campaign: f_Δ = 500 Hz at 100 Hz resolution allows a
+        // half-width of 2, so the configured 3 is reduced — a counter, but
+        // no collapse warning.
+        let rec = Recorder::detached();
+        let campaign = synthetic_campaign(50_000.0, true, None);
+        let _ = harmonic_scores_recorded(&campaign, 1, &HeuristicConfig::default(), &rec);
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counters.get("core.heuristic.search_window_clamped"),
+            Some(&1),
+            "{:?}",
+            snap.counters
+        );
+        assert!(!snap
+            .counters
+            .contains_key("warn.core.heuristic.search_window_collapsed"));
+        assert!(snap.counters.get("core.heuristic.bins_scored").copied() > Some(0));
+        assert_eq!(
+            snap.counters.get("core.heuristic.windowed_max_passes"),
+            Some(&5)
+        );
+    }
+
+    #[test]
+    fn point_lookup_collapse_raises_a_warning() {
+        // f_Δ = 100 Hz at 100 Hz resolution: delta_bins = 1, so the search
+        // window collapses to a point lookup and the warning metric fires.
+        let config = CampaignConfig::builder()
+            .band(Hertz(0.0), Hertz(100_000.0))
+            .resolution(Hertz(100.0))
+            .alternation(Hertz(20_000.0), Hertz(100.0), 5)
+            .build()
+            .unwrap();
+        let bins = config.bins();
+        let spectra: Vec<Spectrum> = (0..5)
+            .map(|_| Spectrum::new(Hertz(0.0), Hertz(100.0), vec![1e-14; bins]).unwrap())
+            .collect();
+        let campaign = campaign_from_spectra(config, spectra).unwrap();
+        let rec = Recorder::detached();
+        let _ = harmonic_scores_recorded(&campaign, 1, &HeuristicConfig::default(), &rec);
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counters
+                .get("warn.core.heuristic.search_window_collapsed"),
+            Some(&1),
+            "{:?}",
+            snap.counters
+        );
     }
 
     #[test]

@@ -22,8 +22,12 @@ pub struct Attribution {
     pub carrier: Hertz,
     /// How many of the N spectra show the expected shifted peak.
     pub consistent_spectra: usize,
+    /// Total number of spectra in the campaign (the denominator of
+    /// "`consistent_spectra` out of …").
+    pub n_spectra: usize,
     /// Mean power ratio of the expected peak location vs. the other
-    /// spectra at that same location (≫ 1 when the attribution is right).
+    /// spectra at that same location (≫ 1 when the attribution is right),
+    /// averaged over the spectra that could actually be evaluated.
     pub mean_ratio: f64,
 }
 
@@ -32,11 +36,7 @@ impl fmt::Display for Attribution {
         write!(
             f,
             "h = {:+}: carrier {} ({}/{} spectra consistent, ratio {:.1})",
-            self.harmonic,
-            self.carrier,
-            self.consistent_spectra,
-            self.mean_ratio as usize,
-            self.mean_ratio
+            self.harmonic, self.carrier, self.consistent_spectra, self.n_spectra, self.mean_ratio
         )
     }
 }
@@ -94,6 +94,7 @@ pub fn attribute_peak(
         }
         let mut consistent = 0usize;
         let mut ratio_sum = 0.0;
+        let mut evaluated = 0usize;
         for (i, &f_alt_i) in f_alts.iter().enumerate() {
             let expected = Hertz(carrier.hz() + h as f64 * f_alt_i);
             let own = local_max(spectra, i, expected, config.search_bins, res);
@@ -105,18 +106,28 @@ pub fn attribute_peak(
             if others > 0.0 {
                 let ratio = own / others;
                 ratio_sum += ratio;
+                evaluated += 1;
                 if ratio >= config.min_ratio {
                     consistent += 1;
                 }
             }
         }
+        // Spectra where `others == 0.0` contribute nothing to `ratio_sum`,
+        // so averaging over all `n` would silently deflate the ratio.
+        let mean_ratio = if evaluated > 0 {
+            ratio_sum / evaluated as f64
+        } else {
+            0.0
+        };
         out.push(Attribution {
             harmonic: h,
             carrier,
             consistent_spectra: consistent,
-            mean_ratio: ratio_sum / n as f64,
+            n_spectra: n,
+            mean_ratio,
         });
     }
+    fase_obs::Recorder::global().count_usize("core.attribution.candidates", out.len());
     out.sort_by(|a, b| {
         b.consistent_spectra
             .cmp(&a.consistent_spectra)
@@ -241,9 +252,29 @@ mod tests {
             harmonic: -3,
             carrier: Hertz(100_000.0),
             consistent_spectra: 4,
+            n_spectra: 5,
             mean_ratio: 12.5,
         };
-        let text = format!("{a}");
-        assert!(text.contains("h = -3"), "{text}");
+        // The full rendered string: the denominator is the spectra count,
+        // not (as it once was) the ratio truncated to an integer.
+        assert_eq!(
+            format!("{a}"),
+            "h = -3: carrier 100.000 kHz (4/5 spectra consistent, ratio 12.5)"
+        );
+    }
+
+    #[test]
+    fn mean_ratio_averages_only_evaluated_spectra() {
+        let c = campaign();
+        let ranked = attribute_peak(&c, Hertz(120_000.0), &AttributionConfig::default());
+        let best = ranked[0];
+        assert_eq!(best.n_spectra, 5);
+        // Every spectrum in the synthetic campaign has a nonzero floor, so
+        // all five are evaluated and the mean is over five honest ratios —
+        // well above the consistency threshold, not deflated by zeros.
+        assert!(
+            best.mean_ratio >= AttributionConfig::default().min_ratio,
+            "{best:?}"
+        );
     }
 }

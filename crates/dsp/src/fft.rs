@@ -219,6 +219,13 @@ impl FftPlan {
         scratch: &mut FftScratch,
     ) {
         assert_eq!(data.len(), self.n, "buffer length must match plan length");
+        // Every public FFT entry point funnels through here, so this is
+        // the one choke point for the executed-FFT counters. They count
+        // physical transform executions: a Bluestein plan contributes its
+        // own entry plus the two inner power-of-two convolution FFTs.
+        let obs = fase_obs::Recorder::global();
+        obs.count("dsp.fft", 1);
+        obs.count_usize("dsp.fft_points", self.n);
         match (&self.kind, direction) {
             (PlanKind::Trivial, _) => {}
             (PlanKind::Radix2 { twiddles, rev }, dir) => {

@@ -75,6 +75,8 @@ pub fn welch_psd(
         config.overlap < config.segment,
         "overlap must be smaller than the segment"
     );
+    let obs = fase_obs::Recorder::global();
+    let _welch = fase_obs::span!(obs, "welch");
     let seg = config.segment;
     if iq.len() < seg {
         return Err(SpectrumError::Empty);
@@ -87,6 +89,7 @@ pub fn welch_psd(
 
     let mut acc = vec![0.0f64; seg];
     let mut count = 0usize;
+    let mut skipped = 0usize;
     let mut start = 0usize;
     while start + seg <= iq.len() {
         let chunk = &iq[start..start + seg];
@@ -94,6 +97,7 @@ pub fn welch_psd(
         // front-end glitches): one poisoned sample would otherwise spread
         // NaN across every bin of the whole estimate via the FFT.
         if chunk.iter().any(|z| !z.re.is_finite() || !z.im.is_finite()) {
+            skipped += 1;
             start += hop;
             continue;
         }
@@ -110,6 +114,8 @@ pub fn welch_psd(
         count += 1;
         start += hop;
     }
+    obs.count_usize("dsp.welch_segments", count);
+    obs.count_usize("dsp.welch_segments_skipped", skipped);
     if count == 0 {
         return Err(SpectrumError::Empty);
     }

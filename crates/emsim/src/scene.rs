@@ -84,6 +84,10 @@ impl Scene {
     /// Renders all sources for `window` and applies the channel (gain +
     /// receiver noise).
     pub fn render(&mut self, window: &CaptureWindow, ctx: &RenderCtx<'_>) -> Vec<Complex64> {
+        let _synth = fase_obs::span!(ctx.recorder(), "synth");
+        ctx.recorder().count("emsim.renders", 1);
+        ctx.recorder()
+            .count_usize("emsim.samples_rendered", window.len());
         let mut iq = vec![Complex64::ZERO; window.len()];
         for source in self.sources.iter_mut() {
             source.render(window, ctx, &mut iq);

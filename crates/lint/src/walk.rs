@@ -5,6 +5,7 @@
 //! | scope                                   | D | P | U | S-errdoc | S-errctor |
 //! |-----------------------------------------|---|---|---|----------|-----------|
 //! | `fase-dsp`/`core`/`emsim`/`specan` src  | ✓ | ✓ |   | ✓        | ✓         |
+//! | `fase-obs` src (clock waiver inside)    | ✓ | ✓ |   | ✓        | ✓         |
 //! | DSP hot-path files (spectrum, fft, …)   | ✓ | ✓ | ✓ | ✓        | ✓         |
 //! | `fase-sysmodel`/`baseline`/root src     |   | ✓ |   | ✓        | ✓         |
 //! | `fase-cli` (except `main.rs`)           |   | ✓ |   | ✓        | ✓         |
@@ -19,13 +20,16 @@ use crate::rules::RuleSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose library code must be deterministic (rule group D).
-const DETERMINISTIC_CRATES: &[&str] = &["dsp", "core", "emsim", "specan"];
+/// Crates whose library code must be deterministic (rule group D). The
+/// `obs` crate is deliberately in scope: its `clock.rs` carries the
+/// workspace's single justified `D-time` waiver, and everything else in
+/// it must stay clock-free.
+const DETERMINISTIC_CRATES: &[&str] = &["dsp", "core", "emsim", "obs", "specan"];
 
 /// Crates whose library code must be panic-free (rule group P); `cli` is
 /// handled separately because its `main.rs` is exempt.
 const PANIC_FREE_CRATES: &[&str] = &[
-    "dsp", "core", "emsim", "specan", "sysmodel", "baseline", "cli",
+    "dsp", "core", "emsim", "obs", "specan", "sysmodel", "baseline", "cli",
 ];
 
 /// DSP hot-path files subject to the units/float-hygiene rules (group U).
@@ -172,6 +176,13 @@ mod tests {
         let error_home = classify("crates/core/src/error.rs").unwrap();
         assert!(!error_home.errctor, "error.rs is the designated ctor site");
         assert!(classify("crates/core/src/config.rs").unwrap().errctor);
+        let obs_clock = classify("crates/obs/src/clock.rs").unwrap();
+        assert!(
+            obs_clock.determinism && obs_clock.panic_freedom && !obs_clock.units,
+            "the obs clock module is in D scope; its waiver is a pragma, not an exemption"
+        );
+        let obs_bin = classify("crates/obs/src/bin/validate.rs").unwrap();
+        assert!(obs_bin.determinism && obs_bin.panic_freedom);
     }
 
     #[test]

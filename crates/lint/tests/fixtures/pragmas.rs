@@ -28,3 +28,12 @@ pub fn unknown_rule() -> u32 {
     // fase-lint: allow(Q-nonsense) -- no such rule exists
     5
 }
+
+pub mod obs_clock {
+    //! Mirrors the one justified monotonic-clock site in `fase-obs`.
+    pub use std::time::Instant as Monotonic; // fase-lint: allow(D-time) -- fixture mirrors the obs clock's single waived monotonic source
+}
+
+pub fn unwaived_clock_read() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -121,6 +121,17 @@ fn pragma_fixture_waives_and_reports_hygiene() {
         lines_of(&findings, "L-pragma").contains(&28),
         "{findings:#?}"
     );
+    // The obs-clock-style D-time waiver (line 34) suppresses the
+    // monotonic-clock finding without disarming the rule elsewhere
+    // (line 38).
+    assert!(
+        findings.iter().all(|f| f.line != 34),
+        "justified D-time waiver should suppress: {findings:#?}"
+    );
+    assert!(
+        lines_of(&findings, "D-time").contains(&38),
+        "unwaived Instant must still fire: {findings:#?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,41 @@
+//! `fase-obs-validate`: check a metrics JSON export against the schema.
+//!
+//! Usage: `fase-obs-validate <metrics.json> <schema.json>`. Exits 0 when
+//! the document is valid, 1 with one violation per stderr line when it
+//! is not, and 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(metrics_path), Some(schema_path), 2) = (args.first(), args.get(1), args.len()) else {
+        eprintln!("usage: fase-obs-validate <metrics.json> <schema.json>");
+        return ExitCode::from(2);
+    };
+    let metrics = match std::fs::read_to_string(metrics_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("fase-obs-validate: cannot read {metrics_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let schema = match std::fs::read_to_string(schema_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("fase-obs-validate: cannot read {schema_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match fase_obs::validate::validate_metrics(&metrics, &schema) {
+        Ok(()) => {
+            println!("{metrics_path}: OK");
+            ExitCode::SUCCESS
+        }
+        Err(violations) => {
+            for violation in &violations {
+                eprintln!("{metrics_path}: {violation}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

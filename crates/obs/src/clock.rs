@@ -1,0 +1,35 @@
+//! The single sanctioned monotonic-clock access point in the workspace.
+//!
+//! Every other module and crate is barred from naming `Instant` by the
+//! `D-time` lint. Durations measured here are the only wall-clock data
+//! that may enter the pipeline, and they leave as opaque elapsed
+//! nanosecond counts — never as absolute timestamps — so exported
+//! metrics stay free of machine- or run-identifying values.
+
+use std::sync::OnceLock;
+use std::time::Instant as Monotonic; // fase-lint: allow(D-time) -- sole clock site: spans need a monotonic source; only elapsed durations escape, never absolute time
+
+static EPOCH: OnceLock<Monotonic> = OnceLock::new();
+
+/// Nanoseconds elapsed since the first clock access in this process.
+///
+/// Monotonic and process-local: useful for measuring durations,
+/// deliberately useless as a timestamp. Saturates at `u64::MAX`
+/// (584 years of uptime) instead of panicking.
+#[must_use]
+pub fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Monotonic::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::now_ns;
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,176 @@
+//! Structural validation of exported metrics documents against the
+//! checked-in schema (`scripts/metrics.schema.json`).
+//!
+//! The schema file lists the required top-level keys, the expected
+//! `schema_version`, and the named structural rules to enforce. The
+//! rules themselves are implemented here:
+//!
+//! - `sorted-keys` — every object's keys are strictly ascending, which
+//!   also bans duplicate keys;
+//! - `finite-numbers` — no NaN/Inf anywhere (the parser already rejects
+//!   the literals; this re-checks parsed values), counters and all
+//!   `*_ns` fields are non-negative integers;
+//! - `monotone-span-nesting` — for every span whose parent path is also
+//!   present, `child.total_ns <= parent.total_ns`; each span has
+//!   `count >= 1` and `min_ns <= max_ns <= total_ns`.
+
+use crate::json::{self, Value};
+
+/// Validate a metrics document against a schema document.
+///
+/// # Errors
+/// Returns every violation found (the list is never empty on `Err`):
+/// parse failures, missing required keys, schema-version mismatches, and
+/// breaches of the structural rules listed in the schema.
+pub fn validate_metrics(metrics: &str, schema: &str) -> Result<(), Vec<String>> {
+    let schema = match json::parse(schema) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("schema: {e}")]),
+    };
+    let doc = match json::parse(metrics) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("metrics: {e}")]),
+    };
+
+    let mut errors = Vec::new();
+    let rules: Vec<&str> = schema
+        .get("rules")
+        .and_then(Value::as_array)
+        .map(|items| items.iter().filter_map(Value::as_str).collect())
+        .unwrap_or_default();
+
+    if doc.as_object().is_none() {
+        errors.push("metrics: top level is not an object".to_owned());
+        return Err(errors);
+    }
+
+    if let Some(required) = schema.get("required").and_then(Value::as_array) {
+        for key in required.iter().filter_map(Value::as_str) {
+            if doc.get(key).is_none() {
+                errors.push(format!("missing required top-level key '{key}'"));
+            }
+        }
+    }
+
+    if let Some(expected) = schema.get("schema_version").and_then(Value::as_number) {
+        let found = doc
+            .get("schema")
+            .and_then(|s| s.get("version"))
+            .and_then(Value::as_number);
+        if found != Some(expected) {
+            errors.push(format!(
+                "schema version mismatch: expected {expected}, found {found:?}"
+            ));
+        }
+    }
+
+    if rules.contains(&"sorted-keys") {
+        check_sorted(&doc, "$", &mut errors);
+    }
+    if rules.contains(&"finite-numbers") {
+        check_numbers(&doc, "$", &mut errors);
+    }
+    if rules.contains(&"monotone-span-nesting") {
+        check_spans(&doc, &mut errors);
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn check_sorted(value: &Value, path: &str, errors: &mut Vec<String>) {
+    match value {
+        Value::Object(members) => {
+            for pair in members.windows(2) {
+                if let [(a, _), (b, _)] = pair {
+                    if a >= b {
+                        errors.push(format!(
+                            "{path}: keys not strictly sorted ('{a}' then '{b}')"
+                        ));
+                    }
+                }
+            }
+            for (key, child) in members {
+                check_sorted(child, &format!("{path}.{key}"), errors);
+            }
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                check_sorted(item, &format!("{path}[{i}]"), errors);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn check_numbers(value: &Value, path: &str, errors: &mut Vec<String>) {
+    match value {
+        Value::Number(n) => {
+            if !n.is_finite() {
+                errors.push(format!("{path}: non-finite number"));
+            }
+            let integral = path.ends_with("_ns")
+                || path.contains("$.counters.")
+                || path.contains(".buckets.")
+                || path.ends_with(".count");
+            if integral && (n.fract() != 0.0 || *n < 0.0) {
+                errors.push(format!("{path}: expected a non-negative integer, got {n}"));
+            }
+        }
+        Value::Object(members) => {
+            for (key, child) in members {
+                check_numbers(child, &format!("{path}.{key}"), errors);
+            }
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                check_numbers(item, &format!("{path}[{i}]"), errors);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn check_spans(doc: &Value, errors: &mut Vec<String>) {
+    let Some(spans) = doc.get("spans").and_then(Value::as_object) else {
+        return;
+    };
+    let field = |span: &Value, name: &str| span.get(name).and_then(Value::as_number);
+    for (span_path, span) in spans {
+        let (Some(count), Some(total), Some(min), Some(max)) = (
+            field(span, "count"),
+            field(span, "total_ns"),
+            field(span, "min_ns"),
+            field(span, "max_ns"),
+        ) else {
+            errors.push(format!(
+                "spans.{span_path}: missing count/total_ns/min_ns/max_ns"
+            ));
+            continue;
+        };
+        if count < 1.0 {
+            errors.push(format!("spans.{span_path}: count {count} < 1"));
+        }
+        if min > max || max > total {
+            errors.push(format!(
+                "spans.{span_path}: expected min_ns <= max_ns <= total_ns, got {min}/{max}/{total}"
+            ));
+        }
+        if let Some((parent_path, _)) = span_path.rsplit_once('/') {
+            let parent_total = spans
+                .iter()
+                .find(|(k, _)| k == parent_path)
+                .and_then(|(_, parent)| field(parent, "total_ns"));
+            if let Some(parent_total) = parent_total {
+                if total > parent_total {
+                    errors.push(format!(
+                        "spans.{span_path}: total_ns {total} exceeds parent '{parent_path}' total_ns {parent_total}"
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -84,6 +84,7 @@ impl SpectrumAnalyzer {
         iq: &[Complex64],
     ) -> Result<Spectrum, SpectrumError> {
         assert_eq!(iq.len(), window.len(), "capture length must match window");
+        let _transform = fase_obs::span!("transform");
         let n = iq.len();
         let mut buf = iq.to_vec();
         self.window.apply_complex(&mut buf);

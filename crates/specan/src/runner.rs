@@ -12,6 +12,7 @@ use fase_dsp::fir::Fir;
 use fase_dsp::rng::{mix_seed, SmallRng};
 use fase_dsp::{Hertz, Spectrum};
 use fase_emsim::{RenderCtx, SimulatedSystem, SynthMode};
+use fase_obs::{span, Recorder};
 use fase_sysmodel::{ActivityPair, Alternation};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -87,6 +88,16 @@ fn quarantine(captures: &[Spectrum]) -> Vec<&Spectrum> {
     }
 }
 
+/// Publishes a finished campaign's health record as observability
+/// counters, so retries/quarantines/faults show up in `--metrics-out`
+/// next to the stage timings.
+fn record_health(recorder: &Recorder, health: &CampaignHealth) {
+    recorder.count_usize("specan.capture_retries", health.total_retries);
+    recorder.count_usize("specan.quarantined", health.quarantined);
+    recorder.count_usize("specan.faults_injected", health.faults.len());
+    recorder.count_usize("specan.dropped_alternations", health.dropped.len());
+}
+
 /// RNG stream for `(campaign seed, task index, attempt)`. Attempt 0 uses
 /// the same derivation as the pre-retry runner (`mix_seed(seed, index)`),
 /// so fault-free campaigns reproduce historical results bit-for-bit;
@@ -136,6 +147,7 @@ pub struct CampaignRunner {
     fault_plan: Option<FaultPlan>,
     max_attempts: u32,
     averaging: Averaging,
+    recorder: Recorder,
 }
 
 impl CampaignRunner {
@@ -152,7 +164,17 @@ impl CampaignRunner {
             fault_plan: None,
             max_attempts: DEFAULT_MAX_ATTEMPTS,
             averaging: Averaging::default(),
+            recorder: Recorder::global(),
         }
+    }
+
+    /// Replaces the metrics [`Recorder`] campaign spans and health counters
+    /// report through (default is the process-wide recorder, inert unless
+    /// enabled).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> CampaignRunner {
+        self.recorder = recorder;
+        self
     }
 
     /// Injects a deterministic impairment schedule into every capture (see
@@ -223,6 +245,7 @@ impl CampaignRunner {
     /// Propagates spectrum assembly failures, and capture failures when
     /// the campaign cannot degrade any further.
     pub fn run(&mut self, config: &CampaignConfig) -> Result<CampaignSpectra, FaseError> {
+        let _campaign = span!(self.recorder, "campaign");
         let f_alts = config.alternation_frequencies();
         let mut health = CampaignHealth::new(f_alts.len());
         let mut labeled = Vec::with_capacity(f_alts.len());
@@ -250,6 +273,7 @@ impl CampaignRunner {
             }
         }
         health.surviving = labeled.len();
+        record_health(&self.recorder, &health);
         if labeled.len() < 2 {
             return Err(first_failure.unwrap_or_else(|| {
                 FaseError::invalid_spectra("fewer than two alternation frequencies survived")
@@ -303,6 +327,8 @@ impl CampaignRunner {
             for i_avg in 0..averages {
                 let max_attempts = self.max_attempts.max(1);
                 let mut attempt = 0u32;
+                let _capture = span!(self.recorder, "capture");
+                let t0 = self.recorder.is_active().then(fase_obs::monotonic_ns);
                 let (spectrum, pairs, duration) = loop {
                     let fault = self
                         .fault_plan
@@ -342,6 +368,11 @@ impl CampaignRunner {
                         }
                     }
                 };
+                if let Some(t0) = t0 {
+                    let elapsed = fase_obs::monotonic_ns().saturating_sub(t0);
+                    self.recorder.observe_ns("specan.capture_ns", elapsed);
+                }
+                self.recorder.count("specan.captures", 1);
                 period_sum += duration / pairs as f64;
                 period_count += 1;
                 captures.push(spectrum);
@@ -380,7 +411,9 @@ impl CampaignRunner {
         let pairs = (trace.len() / 2).max(1);
         let duration = trace.duration();
         let refreshes = self.system.refresh.schedule(&trace, &mut self.rng);
-        let ctx = RenderCtx::new(&trace, &refreshes, &window).with_mode(self.synth_mode);
+        let ctx = RenderCtx::new(&trace, &refreshes, &window)
+            .with_mode(self.synth_mode)
+            .with_recorder(self.recorder.clone());
         let mut iq = self.system.scene.render(&window, &ctx);
         if let Some(kind) = fault {
             let mut fault_rng = self.rng.fork(0xFAB1_7FAB);
@@ -463,6 +496,10 @@ pub struct CampaignOptions {
     pub max_attempts: u32,
     /// Capture-averaging policy for each sweep segment's cohort.
     pub averaging: Averaging,
+    /// Metrics [`Recorder`] campaign spans, counters and capture timings
+    /// report through (default is the process-wide recorder, inert unless
+    /// enabled). Observability never affects campaign output.
+    pub recorder: Recorder,
 }
 
 impl Default for CampaignOptions {
@@ -474,6 +511,7 @@ impl Default for CampaignOptions {
             fault_plan: None,
             max_attempts: DEFAULT_MAX_ATTEMPTS,
             averaging: Averaging::default(),
+            recorder: Recorder::global(),
         }
     }
 }
@@ -602,6 +640,7 @@ fn execute_capture<F>(
     factory: &F,
     seed: u64,
     synth_mode: SynthMode,
+    recorder: &Recorder,
 ) -> Result<CaptureOut, FaseError>
 where
     F: Fn(usize) -> SimulatedSystem,
@@ -620,7 +659,9 @@ where
     let pairs = (trace.len() / 2).max(1);
     let trace_duration = trace.duration();
     let refreshes = system.refresh.schedule(&trace, &mut rng);
-    let ctx = RenderCtx::new(&trace, &refreshes, &window).with_mode(synth_mode);
+    let ctx = RenderCtx::new(&trace, &refreshes, &window)
+        .with_mode(synth_mode)
+        .with_recorder(recorder.clone());
     let mut iq = system.scene.render(&window, &ctx);
     if let Some(kind) = fault {
         let mut fault_rng = SmallRng::seed_from_u64(mix_seed(stream, 0xFAB1_7FAB));
@@ -693,6 +734,8 @@ where
     let max_attempts = options.max_attempts.max(1);
     let averaging = options.averaging;
     let fault_plan = options.fault_plan.as_ref();
+    let recorder = &options.recorder;
+    let _campaign = span!(recorder, "campaign");
     let next = AtomicUsize::new(0);
     let prepared: Vec<Mutex<Option<std::sync::Arc<Prepared>>>> =
         f_alts.iter().map(|_| Mutex::new(None)).collect();
@@ -720,6 +763,11 @@ where
                         pair,
                         factory,
                     );
+                    // Worker threads have their own span stack, so this
+                    // aggregates as a root "capture" span (one entry per
+                    // task, retries included).
+                    let _capture = span!(recorder, "capture");
+                    let t0 = recorder.is_active().then(fase_obs::monotonic_ns);
                     // Bounded retry: each attempt draws its own fault and
                     // RNG stream from the task coordinates, so the retry
                     // history is identical for any worker count.
@@ -746,6 +794,7 @@ where
                             factory,
                             seed,
                             synth_mode,
+                            recorder,
                         );
                         attempt += 1;
                         match out {
@@ -772,6 +821,13 @@ where
                             }
                         }
                     };
+                    if let Some(t0) = t0 {
+                        let elapsed = fase_obs::monotonic_ns().saturating_sub(t0);
+                        recorder.observe_ns("specan.capture_ns", elapsed);
+                    }
+                    if result.out.is_ok() {
+                        recorder.count("specan.captures", 1);
+                    }
                     results
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(result);
@@ -793,6 +849,7 @@ where
     // alternation frequency with an exhausted capture is dropped and the
     // campaign degrades to the survivors; the error surfaces only when
     // fewer than two survive.
+    let _reduce = span!(recorder, "reduce");
     let outputs = results
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -851,6 +908,7 @@ where
         });
     }
     health.surviving = labeled.len();
+    record_health(recorder, &health);
     if labeled.len() < 2 {
         return Err(first_failure.unwrap_or_else(|| {
             FaseError::invalid_spectra("fewer than two alternation frequencies survived")
@@ -1019,6 +1077,55 @@ mod tests {
         let pooled = run(4);
         assert_eq!(sequential, pooled, "threads=1 vs threads=4 diverged");
         assert_eq!(sequential, run(1), "same seed, same thread count diverged");
+    }
+
+    #[test]
+    fn sequential_campaign_records_observability() {
+        let recorder = Recorder::detached();
+        let mut runner = CampaignRunner::new(demo_system(5), ActivityPair::LdmLdl1, 11)
+            .with_max_fft(1 << 12)
+            .with_recorder(recorder.clone());
+        let spectra = runner.run(&small_config()).unwrap();
+        assert_eq!(spectra.len(), 5);
+        let snap = recorder.snapshot();
+        // 5 alternation frequencies × 1 segment × 3 averages.
+        assert_eq!(snap.counters.get("specan.captures"), Some(&15));
+        assert_eq!(snap.counters.get("specan.capture_retries"), Some(&0));
+        assert_eq!(snap.counters.get("specan.dropped_alternations"), Some(&0));
+        assert_eq!(snap.counters.get("emsim.renders"), Some(&15));
+        for path in ["campaign", "campaign/capture", "campaign/capture/synth"] {
+            assert!(snap.spans.contains_key(path), "missing span {path}");
+        }
+        let hist = snap.histograms.get("specan.capture_ns").unwrap();
+        assert_eq!(hist.count, 15);
+        assert!(hist.sum_ns > 0);
+    }
+
+    #[test]
+    fn pooled_campaign_records_observability() {
+        let recorder = Recorder::detached();
+        let spectra = run_campaign_with_options(
+            &small_config(),
+            ActivityPair::LdmLdl1,
+            |_| demo_system(6),
+            77,
+            CampaignOptions {
+                threads: Some(2),
+                recorder: recorder.clone(),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(spectra.len(), 5);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counters.get("specan.captures"), Some(&15));
+        // Workers run on their own threads, so captures aggregate as root
+        // spans next to the reducing main thread's campaign span.
+        for path in ["campaign", "campaign/reduce", "capture", "capture/synth"] {
+            assert!(snap.spans.contains_key(path), "missing span {path}");
+        }
+        assert_eq!(snap.spans.get("capture").unwrap().count, 15);
+        assert_eq!(snap.histograms.get("specan.capture_ns").unwrap().count, 15);
     }
 
     #[test]

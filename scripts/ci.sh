@@ -24,6 +24,17 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> metrics export + schema validation"
+# A small real campaign with observability on: the exported metrics JSON
+# must validate against the checked-in schema (sorted keys, finite
+# numbers, monotone span nesting). CI uploads target/metrics.json as an
+# artifact for inspection.
+cargo run -p fase-cli --offline --release -- \
+  scan --system i7 --lo 300k --hi 330k --res 500 --falt 30k --fdelta 2k \
+  --alts 3 --avg 1 --seed 5 --metrics-out target/metrics.json > /dev/null
+cargo run -p fase-obs --offline --release --bin fase-obs-validate -- \
+  target/metrics.json scripts/metrics.schema.json
+
 # Extended fault matrix: every impairment class at every alternation
 # index, across worker thread counts (~1 min). Opt in because it dwarfs
 # the rest of the suite; CI's fault-matrix job sets it. --release reuses

@@ -24,6 +24,8 @@
 //! * [`core`] — the FASE methodology itself: the Eq. (1)/(2) heuristic,
 //!   campaign orchestration, carrier detection/grouping/classification.
 //! * [`baseline`] — the naive detectors the paper argues against.
+//! * [`obs`] — the observability layer: hierarchical timing spans,
+//!   counters/gauges/histograms, deterministic JSON metrics export.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use fase_baseline as baseline;
 pub use fase_core as core;
 pub use fase_dsp as dsp;
 pub use fase_emsim as emsim;
+pub use fase_obs as obs;
 pub use fase_specan as specan;
 pub use fase_sysmodel as sysmodel;
 
@@ -63,6 +66,7 @@ pub mod prelude {
     };
     pub use fase_dsp::{Dbm, Decibels, Hertz, Seconds, Spectrum};
     pub use fase_emsim::{RefreshPolicy, Scene, SimulatedSystem};
+    pub use fase_obs::Recorder;
     pub use fase_specan::{CampaignRunner, SpectrumAnalyzer};
     pub use fase_sysmodel::{Activity, ActivityPair, Machine};
 }
