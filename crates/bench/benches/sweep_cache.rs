@@ -1,0 +1,88 @@
+//! Sweep-scheduler cache economics: a cold wide-band sweep (every band
+//! captured) against a warm one (every band served from the capture
+//! cache). Run with `cargo bench --bench sweep_cache`.
+//!
+//! Writes `BENCH_sweep.json` at the repo root. The headline number is
+//! `warm_speedup`: cold median over warm median, with an acceptance
+//! budget of at least 5x — a warm sweep skips synthesis, capture and
+//! averaging entirely, paying only entry I/O + analysis, so anything
+//! less means the cache path regressed.
+
+use fase_bench::harness::BenchReport;
+use fase_dsp::Hertz;
+use fase_emsim::SimulatedSystem;
+use fase_specan::{run_sweep, SweepConfig, SweepOptions};
+use fase_sysmodel::ActivityPair;
+use std::hint::black_box;
+use std::path::Path;
+
+/// Two overlapping bands over 250–400 kHz — the i7 regulator band the
+/// test suite sweeps, at full campaign scale (5 alternations, 3
+/// averages).
+fn sweep_config() -> SweepConfig {
+    SweepConfig {
+        lo: Hertz::from_khz(250.0),
+        hi: Hertz::from_khz(400.0),
+        resolution: Hertz(200.0),
+        bands: 2,
+        overlap: Hertz::from_khz(2.0),
+        f_alt1: Hertz::from_khz(30.0),
+        f_delta: Hertz::from_khz(2.0),
+        alternations: 5,
+        averages: 3,
+    }
+}
+
+fn options(dir: &Path) -> SweepOptions {
+    SweepOptions {
+        cache_dir: Some(dir.to_path_buf()),
+        ..SweepOptions::default()
+    }
+}
+
+fn sweep(opts: &SweepOptions) -> (usize, usize) {
+    let outcome = run_sweep(
+        &sweep_config(),
+        "bench-i7",
+        ActivityPair::LdmLdl1,
+        |_| SimulatedSystem::intel_i7_desktop(1),
+        3,
+        opts,
+    )
+    .expect("sweep");
+    black_box(outcome.report.len());
+    (outcome.cache_hits, outcome.cache_misses)
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("fase-bench-sweep-{}", std::process::id()));
+    let mut report = BenchReport::new();
+
+    // Cold: a fresh cache directory every iteration, so every band pays
+    // synthesis + capture + averaging and then stores its entry.
+    report.run("sweep_2band_cold", 1, 3, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let (hits, misses) = sweep(&options(&dir));
+        assert_eq!((hits, misses), (0, 2), "cold run must miss every band");
+    });
+
+    // Warm: the directory the last cold iteration populated; every band
+    // is served from disk and only analysis + merge run.
+    report.run("sweep_2band_warm", 1, 5, || {
+        let (hits, misses) = sweep(&options(&dir));
+        assert_eq!((hits, misses), (2, 0), "warm run must hit every band");
+    });
+
+    let cold = report.get("sweep_2band_cold").unwrap().median_ns;
+    let warm = report.get("sweep_2band_warm").unwrap().median_ns;
+    let speedup = cold / warm;
+    println!("warm-cache sweep speedup: {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "warm sweep must be at least 5x faster than cold (got {speedup:.1}x)"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, report.to_json(&[("warm_speedup", speedup)]))
+        .expect("write BENCH_sweep.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,9 +24,22 @@ usage:
   fase-cli attribute --system <name> --peak <freq> --lo <freq> --hi <freq> [scan options]
   fase-cli report    --system <name> --lo <freq> --hi <freq> [scan options]
                      (scan with the stage-timing tree always appended)
+  fase-cli sweep     --system <name> --lo <freq> --hi <freq> [--res <freq>]
+                     [--bands <n>] [--overlap <freq>] [--shard <k/n>]
+                     [--cache-dir <path>] [--resume] [--threads <n>]
+                     [scan options]
 
 systems: i7 | i3 | turion | p3m | i7-mitigated
 frequencies accept k/M/G suffixes (e.g. 43.3k, 2M).
+
+sweep: shards [lo, hi] into --bands overlapping bands, runs a campaign per
+band, and merges the per-band reports (seam duplicates deduplicated,
+harmonic sets regrouped across bands). With --cache-dir, each band's
+captures are cached content-addressed: a warm re-run is served from disk,
+and --resume finishes an interrupted sweep by recomputing only the missing
+bands — bit-identical to an uninterrupted run. --shard k/n computes only
+bands with index % n == k, so several hosts sharing a cache directory can
+split one span.
 
 observability (scan/classify/leakage/attribute/report):
   --metrics-out <path>  write deterministic metrics JSON (stage spans,
@@ -85,7 +98,7 @@ impl From<FaseError> for CliError {
 /// Returns a [`CliError`] describing what went wrong; the binary prints it
 /// with the usage text.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let parsed = ParsedArgs::parse_with_flags(args, &["timings"])?;
+    let parsed = ParsedArgs::parse_with_flags(args, &["timings", "resume"])?;
     match parsed.command.as_str() {
         "list-systems" => Ok(list_systems()),
         "scan" => with_observability(&parsed, false, scan),
@@ -94,6 +107,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "leakage" => with_observability(&parsed, false, leakage),
         "attribute" => with_observability(&parsed, false, attribute),
         "report" => with_observability(&parsed, true, scan),
+        "sweep" => with_observability(&parsed, false, sweep),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(ArgError::UnknownCommand(other.to_owned()).into()),
     }
@@ -153,6 +167,21 @@ fn system_by_name(name: &str, seed: u64) -> Result<SimulatedSystem, CliError> {
         "turion" => Ok(SimulatedSystem::amd_turion_laptop(seed)),
         "p3m" => Ok(SimulatedSystem::pentium3m_laptop(seed)),
         "i7-mitigated" => Ok(SimulatedSystem::intel_i7_mitigated(seed, 0.45)),
+        other => Err(CliError::Invalid(format!(
+            "unknown system '{other}' (try: fase-cli list-systems)"
+        ))),
+    }
+}
+
+/// Maps a system name to its zero-capture constructor, so sweep workers
+/// can rebuild the scene without re-validating the name.
+fn system_factory(name: &str) -> Result<fn(u64) -> SimulatedSystem, CliError> {
+    match name {
+        "i7" => Ok(SimulatedSystem::intel_i7_desktop),
+        "i3" => Ok(SimulatedSystem::intel_i3_laptop),
+        "turion" => Ok(SimulatedSystem::amd_turion_laptop),
+        "p3m" => Ok(SimulatedSystem::pentium3m_laptop),
+        "i7-mitigated" => Ok(|seed| SimulatedSystem::intel_i7_mitigated(seed, 0.45)),
         other => Err(CliError::Invalid(format!(
             "unknown system '{other}' (try: fase-cli list-systems)"
         ))),
@@ -322,6 +351,107 @@ fn attribute(parsed: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The `--shard k/n` assignment, if any.
+fn shard_from(parsed: &ParsedArgs) -> Result<Option<fase_specan::Shard>, CliError> {
+    let Some(text) = parsed.get("shard") else {
+        return Ok(None);
+    };
+    let parse = || {
+        let (index, count) = text.split_once('/')?;
+        Some(fase_specan::Shard {
+            index: index.trim().parse().ok()?,
+            count: count.trim().parse().ok()?,
+        })
+    };
+    match parse() {
+        Some(shard) => Ok(Some(shard)),
+        None => Err(ArgError::BadValue {
+            option: "shard".to_owned(),
+            value: text.to_owned(),
+            expected: "shard assignment k/n (e.g. 0/4)",
+        }
+        .into()),
+    }
+}
+
+fn sweep(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use fase_specan::{run_sweep, SweepConfig, SweepOptions};
+    let pair = pair_by_name(parsed.get("pair").unwrap_or("ldm-ldl1"))?;
+    let seed = parsed.integer_or("seed", 42)?;
+    let name = parsed.required("system")?;
+    let make = system_factory(name)?;
+    let res = parsed.frequency_or("res", 100.0)?;
+    let config = SweepConfig {
+        lo: Hertz(parsed.frequency("lo")?),
+        hi: Hertz(parsed.frequency("hi")?),
+        resolution: Hertz(res),
+        bands: parsed.integer_or("bands", 4)? as usize,
+        overlap: Hertz(parsed.frequency_or("overlap", 20.0 * res)?),
+        f_alt1: Hertz(parsed.frequency_or("falt", 43_300.0)?),
+        f_delta: Hertz(parsed.frequency_or("fdelta", 500.0)?),
+        alternations: parsed.integer_or("alts", 5)? as usize,
+        averages: parsed.integer_or("avg", 4)? as usize,
+    };
+    let retries = parsed
+        .integer_or("retries", 2)?
+        .min(u64::from(u32::MAX) - 1) as u32;
+    let mut options = SweepOptions::default();
+    options.campaign.max_attempts = retries + 1;
+    options.campaign.fault_plan = fault_plan_from(parsed, seed)?;
+    options.campaign.threads = parsed.integer_opt("threads")?.map(|n| n as usize);
+    options.cache_dir = parsed.get("cache-dir").map(std::path::PathBuf::from);
+    options.resume = parsed.flag("resume");
+    options.shard = shard_from(parsed)?;
+    // The scene seed is part of the system's cache identity; the campaign
+    // itself runs under a distinct seed stream (same convention as
+    // `runner_from`).
+    let system_id = format!("{name}#{seed:016x}");
+    let outcome = run_sweep(
+        &config,
+        &system_id,
+        pair,
+        |_| make(seed),
+        seed.wrapping_add(1),
+        &options,
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sweep {} .. {} in {} band(s):",
+        config.lo,
+        config.hi,
+        outcome.bands.len()
+    );
+    for b in &outcome.bands {
+        let status = if b.skipped {
+            "skipped (other shard)"
+        } else if b.from_cache {
+            "cached  "
+        } else {
+            "computed"
+        };
+        let _ = writeln!(
+            out,
+            "  band {}  {} .. {}  {status}  {} carrier(s)",
+            b.band.index, b.band.lo, b.band.hi, b.carriers
+        );
+    }
+    let _ = writeln!(
+        out,
+        "cache: {} hit(s), {} miss(es)",
+        outcome.cache_hits, outcome.cache_misses
+    );
+    if !outcome.complete {
+        let _ = writeln!(
+            out,
+            "note: partial sweep — unassigned bands were skipped; the merged\n\
+             report covers only the computed bands"
+        );
+    }
+    let _ = writeln!(out, "\n{}", outcome.report);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +595,45 @@ mod tests {
         .unwrap();
         assert!(out.contains("carrier 315"), "{out}");
         assert!(out.contains("capture health"), "{out}");
+    }
+
+    #[test]
+    fn sweep_merges_bands_and_warm_run_hits_the_cache() {
+        let dir = std::env::temp_dir().join(format!("fase_cli_sweep_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = format!(
+            "sweep --system i7 --lo 250k --hi 400k --res 200 --bands 2 --overlap 2k \
+             --falt 30k --fdelta 2k --alts 5 --avg 3 --seed 11 --cache-dir {}",
+            dir.display()
+        );
+        let cold = run(&argv(&cmd)).unwrap();
+        assert!(cold.contains("band 0"), "{cold}");
+        assert!(cold.contains("band 1"), "{cold}");
+        assert!(cold.contains("cache: 0 hit(s), 2 miss(es)"), "{cold}");
+        assert!(cold.contains("carrier 315"), "{cold}");
+        let warm = run(&argv(&cmd)).unwrap();
+        assert!(warm.contains("cache: 2 hit(s), 0 miss(es)"), "{warm}");
+        // Same carriers, same evidence: only the provenance column moved.
+        let tail = |s: &str| s.split("cache:").nth(1).map(str::to_owned);
+        assert_eq!(
+            tail(&cold).map(|t| t.replace("0 hit(s), 2 miss(es)", "")),
+            tail(&warm).map(|t| t.replace("2 hit(s), 0 miss(es)", "")),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_shard_and_blind_resume() {
+        let e = run(&argv(
+            "sweep --system i7 --lo 250k --hi 400k --bands 2 --shard 5",
+        ))
+        .unwrap_err();
+        assert!(matches!(e, CliError::Args(_)), "{e}");
+        let e = run(&argv(
+            "sweep --system i7 --lo 250k --hi 400k --bands 2 --resume",
+        ))
+        .unwrap_err();
+        assert!(matches!(e, CliError::Fase(_)), "{e}");
     }
 
     #[test]

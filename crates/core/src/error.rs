@@ -30,6 +30,12 @@ pub enum FaseError {
         /// Description of the final attempt's failure.
         cause: String,
     },
+    /// The capture cache could not be read or written (I/O failure,
+    /// unparsable entry, manifest problems). Cache *corruption* is never
+    /// an error — invalid entries are detected by their integrity hash and
+    /// silently recomputed — so this variant covers only the cases where
+    /// the sweep cannot proceed at all.
+    Cache(String),
 }
 
 impl FaseError {
@@ -68,6 +74,11 @@ impl FaseError {
             cause: cause.into(),
         }
     }
+
+    /// Builds an [`FaseError::Cache`] error.
+    pub fn cache(msg: impl Into<String>) -> FaseError {
+        FaseError::Cache(msg.into())
+    }
 }
 
 impl fmt::Display for FaseError {
@@ -86,6 +97,7 @@ impl fmt::Display for FaseError {
                 f,
                 "capture at f_alt {f_alt} (segment {segment}) failed after {attempts} attempt(s): {cause}"
             ),
+            FaseError::Cache(msg) => write!(f, "capture cache: {msg}"),
         }
     }
 }
@@ -118,5 +130,8 @@ mod tests {
         let e = FaseError::from(SpectrumError::Empty);
         assert!(e.source().is_some());
         assert!(format!("{e}").contains("spectrum error"));
+        let e = FaseError::cache("manifest truncated");
+        assert!(format!("{e}").contains("capture cache: manifest truncated"));
+        assert!(e.source().is_none());
     }
 }

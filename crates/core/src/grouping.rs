@@ -59,11 +59,16 @@ impl HarmonicSet {
         self.members.is_empty()
     }
 
-    /// Harmonic numbers of the members relative to the fundamental.
+    /// Harmonic numbers of the members relative to the fundamental,
+    /// floored at 1: after a GCD merge or fundamental refinement a
+    /// member can sit below half the refined fundamental, and rounding
+    /// `f / fundamental` alone would call it "harmonic 0" — which would
+    /// (among other things) count it as an even harmonic in
+    /// [`even_odd_power_ratio`](HarmonicSet::even_odd_power_ratio).
     pub fn harmonic_numbers(&self) -> Vec<u32> {
         self.members
             .iter()
-            .map(|c| (c.frequency() / self.fundamental).round() as u32)
+            .map(|c| (c.frequency() / self.fundamental).round().max(1.0) as u32)
             .collect()
     }
 
@@ -302,6 +307,39 @@ mod tests {
             0.002,
         );
         assert!(odd_only[0].even_odd_power_ratio().is_none());
+    }
+
+    #[test]
+    fn merged_member_below_fundamental_floors_harmonic_at_one() {
+        // A merged set whose lowest detected member ended up *below* the
+        // refined fundamental: rounding 100 kHz / 260 kHz would yield
+        // harmonic number 0. The accessor must floor at 1, and the member
+        // must count as an odd harmonic for the duty-cycle ratio.
+        let set = HarmonicSet {
+            fundamental: Hertz(260_000.0),
+            members: vec![
+                carrier(100_000.0, -110.0),
+                carrier(520_000.0, -120.0),
+                carrier(780_000.0, -112.0),
+            ],
+        };
+        assert_eq!(set.harmonic_numbers(), vec![1, 2, 3]);
+        let r = set.even_odd_power_ratio().expect("even and odd present");
+        assert!(r.is_finite() && r > 0.0, "ratio {r}");
+    }
+
+    #[test]
+    fn gcd_merge_emits_no_zero_harmonics() {
+        // Sets [400 kHz] and [999.9 kHz] share a ~200 kHz divisor and
+        // merge; every harmonic number of the merged set must be >= 1.
+        let sets = group_harmonic_sets(
+            &[carrier(400_000.0, -110.0), carrier(999_900.0, -115.0)],
+            0.003,
+        );
+        assert_eq!(sets.len(), 1, "sets: {sets:?}");
+        assert!((sets[0].fundamental().khz() - 200.0).abs() < 1.0);
+        assert_eq!(sets[0].harmonic_numbers(), vec![2, 5]);
+        assert!(sets[0].harmonic_numbers().iter().all(|&k| k >= 1));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod grouping;
 pub mod health;
 pub mod heuristic;
 pub mod leakage;
+pub mod merge;
 pub mod mitigation;
 pub mod report;
 pub mod sideband;
@@ -57,6 +58,7 @@ pub use grouping::HarmonicSet;
 pub use health::{CampaignHealth, DroppedAlternation, FaultRecord};
 pub use heuristic::{HeuristicConfig, ScoreTrace};
 pub use leakage::{estimate_all, estimate_leakage, LeakageEstimate};
+pub use merge::merge_band_reports;
 pub use mitigation::{evaluate_mitigation, CarrierFate, MitigationOutcome};
 pub use report::FaseReport;
 pub use sideband::{attribute_peak, Attribution, AttributionConfig};

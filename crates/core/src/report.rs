@@ -113,6 +113,136 @@ impl FaseReport {
     pub fn len(&self) -> usize {
         self.carriers.len()
     }
+
+    /// Serializes the report as deterministic JSON: carriers (strongest
+    /// evidence first), harmonic sets, and the capture-health record.
+    ///
+    /// Two reports that compare equal produce byte-identical JSON — floats
+    /// are rendered with Rust's shortest-roundtrip formatting — which is
+    /// what the sweep scheduler's resumability guarantee is asserted
+    /// against. Score traces are *not* serialized: they are plotting data,
+    /// proportional to the campaign's bin count, and excluded so report
+    /// JSON stays diff-sized.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"carriers\": [");
+        let carriers: Vec<String> = self.carriers.iter().map(carrier_json).collect();
+        out.push_str(&carriers.join(", "));
+        out.push_str("],\n  \"harmonic_sets\": [");
+        let sets: Vec<String> = self.sets.iter().map(set_json).collect();
+        out.push_str(&sets.join(", "));
+        out.push_str("],\n  \"degraded\": ");
+        out.push_str(if self.is_degraded() { "true" } else { "false" });
+        out.push_str(",\n  \"health\": ");
+        match &self.health {
+            Some(h) => out.push_str(&health_json(h)),
+            None => out.push_str("null"),
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Formats an `f64` for JSON with Rust's shortest-roundtrip formatting —
+/// deterministic across platforms, bit-exact on re-parse.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        // JSON has no NaN/Inf; report fields are finite by construction,
+        // but a textual escape keeps the serializer total.
+        format!("\"{x:?}\"")
+    }
+}
+
+/// Escapes a string for a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn carrier_json(c: &Carrier) -> String {
+    let harmonics: Vec<String> = c
+        .harmonics()
+        .iter()
+        .map(|h| format!("{{\"h\": {}, \"score\": {}}}", h.h, json_f64(h.score)))
+        .collect();
+    format!(
+        "{{\"frequency_hz\": {}, \"magnitude_dbm\": {}, \"sideband_dbm\": {}, \
+         \"total_log_score\": {}, \"harmonics\": [{}]}}",
+        json_f64(c.frequency().hz()),
+        json_f64(c.magnitude().dbm()),
+        json_f64(c.sideband_magnitude().dbm()),
+        json_f64(c.total_log_score()),
+        harmonics.join(", ")
+    )
+}
+
+fn set_json(s: &HarmonicSet) -> String {
+    let numbers: Vec<String> = s.harmonic_numbers().iter().map(u32::to_string).collect();
+    let members: Vec<String> = s
+        .members()
+        .iter()
+        .map(|c| json_f64(c.frequency().hz()))
+        .collect();
+    format!(
+        "{{\"fundamental_hz\": {}, \"harmonic_numbers\": [{}], \"member_frequencies_hz\": [{}]}}",
+        json_f64(s.fundamental().hz()),
+        numbers.join(", "),
+        members.join(", ")
+    )
+}
+
+fn health_json(h: &CampaignHealth) -> String {
+    let faults: Vec<String> = h
+        .faults
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"f_alt_hz\": {}, \"segment\": {}, \"average\": {}, \"attempt\": {}, \
+                 \"tag\": {}}}",
+                json_f64(f.f_alt.hz()),
+                f.segment,
+                f.average,
+                f.attempt,
+                json_str(&f.tag)
+            )
+        })
+        .collect();
+    let dropped: Vec<String> = h
+        .dropped
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"f_alt_hz\": {}, \"error\": {}}}",
+                json_f64(d.f_alt.hz()),
+                json_str(&d.error.to_string())
+            )
+        })
+        .collect();
+    format!(
+        "{{\"planned\": {}, \"surviving\": {}, \"retried_tasks\": {}, \"total_retries\": {}, \
+         \"quarantined\": {}, \"faults\": [{}], \"dropped\": [{}]}}",
+        h.planned,
+        h.surviving,
+        h.retried_tasks,
+        h.total_retries,
+        h.quarantined,
+        faults.join(", "),
+        dropped.join(", ")
+    )
 }
 
 impl fmt::Display for FaseReport {
@@ -194,5 +324,46 @@ mod tests {
         let text = format!("{report}");
         assert!(text.contains("set @ fundamental"), "{text}");
         assert!(text.contains("315.000 kHz"), "{text}");
+    }
+
+    #[test]
+    fn json_is_deterministic_and_complete() {
+        let mut health = CampaignHealth::new(5);
+        health.surviving = 4;
+        health.faults.push(crate::health::FaultRecord {
+            f_alt: Hertz(43_300.0),
+            segment: 0,
+            average: 1,
+            attempt: 0,
+            tag: "adc-clip".into(),
+        });
+        health.dropped.push(crate::health::DroppedAlternation {
+            f_alt: Hertz(44_300.0),
+            error: crate::FaseError::capture_failed(Hertz(44_300.0), 0, 3, "said \"no\""),
+        });
+        let report = FaseReport::from_carriers(vec![carrier(315_000.0), carrier(630_000.0)], 0.003)
+            .with_health(health);
+        let json = report.to_json();
+        assert_eq!(json, report.clone().to_json(), "serialization not stable");
+        assert!(json.contains("\"frequency_hz\": 315000.0"), "{json}");
+        assert!(json.contains("\"harmonic_numbers\": [1, 2]"), "{json}");
+        assert!(json.contains("\"degraded\": true"), "{json}");
+        assert!(json.contains("\"tag\": \"adc-clip\""), "{json}");
+        assert!(json.contains("said \\\"no\\\""), "escaping broken: {json}");
+    }
+
+    #[test]
+    fn json_without_health_is_null() {
+        let report = FaseReport::from_carriers(vec![], 0.003);
+        let json = report.to_json();
+        assert!(json.contains("\"health\": null"), "{json}");
+        assert!(json.contains("\"carriers\": []"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_str("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_str("tab\there"), "\"tab\\there\"");
+        assert_eq!(json_f64(f64::NAN), "\"NaN\"");
     }
 }

@@ -95,12 +95,22 @@ pub fn find_peaks(values: &[f64], config: &PeakConfig) -> Vec<Peak> {
         scores[i] = 0.5 * (rise_left + rise_right);
     }
 
-    let positive: Vec<f64> = scores.iter().copied().filter(|&s| s > 0.0).collect();
-    if positive.is_empty() {
+    // The robust threshold must be computed over the scores of *finite*
+    // samples only: non-finite samples keep the 0.0 placeholder assigned
+    // above, and on a heavily-poisoned capture those placeholders would
+    // drag the median toward zero and deflate the MAD, moving the
+    // threshold and changing which peaks clear it.
+    let finite_scores: Vec<f64> = values
+        .iter()
+        .zip(&scores)
+        .filter(|(x, _)| x.is_finite())
+        .map(|(_, &s)| s)
+        .collect();
+    if finite_scores.is_empty() {
         return Vec::new();
     }
-    let med = stats::median(&scores);
-    let spread = stats::mad(&scores);
+    let med = stats::median(&finite_scores);
+    let spread = stats::mad(&finite_scores);
     let threshold = (med + config.threshold_mads * spread).max(config.min_rise);
 
     // Candidate peaks: strict local maxima whose score clears the
@@ -252,6 +262,25 @@ mod tests {
         assert_eq!(peaks.len(), 1, "peaks: {peaks:?}");
         assert_eq!(peaks[0].index, 77);
         assert!(peaks[0].value.is_finite() && peaks[0].score.is_finite());
+    }
+
+    #[test]
+    fn poisoned_majority_does_not_deflate_threshold() {
+        // Two of every three samples are poisoned. Their 0.0 score
+        // placeholders are then the majority of all scores, so a threshold
+        // computed over *all* scores collapses to `min_rise` (median and
+        // MAD both zero) and every ripple maximum becomes a spurious peak.
+        // Computed over the finite samples' scores only, the threshold
+        // stays calibrated to the ripple and only the real spike clears it.
+        let mut x = flat_with_spikes(301, &[(150, 25.0)]);
+        for (i, v) in x.iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = f64::NAN;
+            }
+        }
+        let peaks = find_peaks(&x, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1, "peaks: {peaks:?}");
+        assert_eq!(peaks[0].index, 150);
     }
 
     #[test]

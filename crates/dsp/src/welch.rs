@@ -11,6 +11,30 @@ use crate::spectrum::{Spectrum, SpectrumError};
 use crate::units::Hertz;
 use crate::window::Window;
 
+/// Scaling convention of a Welch estimate.
+///
+/// A windowed FFT cannot be calibrated for narrow-band tones and for
+/// broadband noise at the same time: dividing by the coherent gain makes a
+/// CW tone read its true power, but the same scaling spreads noise over the
+/// window's equivalent noise bandwidth (ENBW, ≈1.5 bins for Hann), so the
+/// per-bin noise floor reads ENBW× its true value. This switch selects
+/// which population is calibrated; [`Window::enbw_bins`] is the conversion
+/// factor between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WelchScaling {
+    /// Tone-calibrated — the spectrum analyzer's convention and the
+    /// default: a CW tone of envelope magnitude `a` reads `|a|²`
+    /// (milliwatts) at its bin, while the per-bin noise floor is biased
+    /// high by the window's ENBW in bins.
+    #[default]
+    Tone,
+    /// Noise-calibrated: bin powers are additionally divided by the
+    /// window's ENBW in bins, so white noise of total power `σ²` reads its
+    /// true per-bin level `σ²/N`, while a CW tone reads `1/ENBW ×` its
+    /// true power.
+    NoiseBandwidth,
+}
+
 /// Configuration of a Welch estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WelchConfig {
@@ -21,6 +45,8 @@ pub struct WelchConfig {
     pub overlap: usize,
     /// Window applied to each segment.
     pub window: Window,
+    /// Calibration convention (tone-exact vs. noise-floor-exact).
+    pub scaling: WelchScaling,
 }
 
 impl Default for WelchConfig {
@@ -29,14 +55,18 @@ impl Default for WelchConfig {
             segment: 1024,
             overlap: 512,
             window: Window::Hann,
+            scaling: WelchScaling::Tone,
         }
     }
 }
 
 /// Estimates the power spectrum of a complex-baseband capture centered at
-/// `center` with sample rate `fs`, on the same calibration convention as
-/// the spectrum analyzer: a CW tone of envelope magnitude `a` reads `|a|²`
-/// (milliwatts) at its bin.
+/// `center` with sample rate `fs`. Under the default
+/// [`WelchScaling::Tone`] convention this matches the spectrum analyzer's
+/// calibration: a CW tone of envelope magnitude `a` reads `|a|²`
+/// (milliwatts) at its bin, and the noise floor is biased high by the
+/// window's ENBW; [`WelchScaling::NoiseBandwidth`] divides the ENBW back
+/// out so the noise floor is exact instead.
 ///
 /// # Errors
 ///
@@ -86,6 +116,13 @@ pub fn welch_psd(
     let coeffs = config.window.coefficients(seg);
     let cg = config.window.coherent_gain(seg);
     let scale = 1.0 / (seg as f64 * cg);
+    // Noise-bandwidth correction: under the noise-calibrated convention
+    // each bin's power is divided by the window ENBW (in bins), undoing
+    // the noise-floor bias the coherent-gain scaling introduces.
+    let enbw_correction = match config.scaling {
+        WelchScaling::Tone => 1.0,
+        WelchScaling::NoiseBandwidth => 1.0 / config.window.enbw_bins(seg),
+    };
 
     let mut acc = vec![0.0f64; seg];
     let mut count = 0usize;
@@ -109,7 +146,7 @@ pub fn welch_psd(
         plan.forward(&mut buf);
         fft_shift(&mut buf);
         for (a, z) in acc.iter_mut().zip(&buf) {
-            *a += (z.norm() * scale).powi(2);
+            *a += (z.norm() * scale).powi(2) * enbw_correction;
         }
         count += 1;
         start += hop;
@@ -151,6 +188,75 @@ mod tests {
     }
 
     #[test]
+    fn tone_and_noise_floor_calibration_per_convention() {
+        let fs = 100_000.0;
+        let seg = 1024usize;
+        let enbw = Window::Hann.enbw_bins(seg);
+        assert!((enbw - 1.5).abs() < 1e-12);
+
+        // CW tone on a bin: exact under Tone, 1/ENBW low under
+        // NoiseBandwidth.
+        let amp = 10f64.powf(-85.0 / 20.0);
+        let f = 20.0 * fs / seg as f64;
+        let tone: Vec<Complex64> = (0..1 << 14)
+            .map(|n| Complex64::from_polar(amp, TAU * f * n as f64 / fs))
+            .collect();
+        let psd_tone = welch_psd(&tone, Hertz(0.0), fs, &WelchConfig::default()).unwrap();
+        let psd_nb = welch_psd(
+            &tone,
+            Hertz(0.0),
+            fs,
+            &WelchConfig {
+                scaling: WelchScaling::NoiseBandwidth,
+                ..WelchConfig::default()
+            },
+        )
+        .unwrap();
+        let (_, p_tone) = psd_tone.peak_bin();
+        let (_, p_nb) = psd_nb.peak_bin();
+        assert!((10.0 * p_tone.log10() - -85.0).abs() < 0.3);
+        assert!(
+            (p_tone / p_nb - enbw).abs() < 1e-9,
+            "ratio {}",
+            p_tone / p_nb
+        );
+
+        // White noise of total power σ²: the mean per-bin level is
+        // σ²·ENBW/N under Tone (the documented bias) and σ²/N under
+        // NoiseBandwidth (exact).
+        let sigma = 1e-3;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let noise: Vec<Complex64> = (0..1 << 16)
+            .map(|_| complex_normal(&mut rng, sigma))
+            .collect();
+        let floor = |scaling: WelchScaling| {
+            let psd = welch_psd(
+                &noise,
+                Hertz(0.0),
+                fs,
+                &WelchConfig {
+                    scaling,
+                    ..WelchConfig::default()
+                },
+            )
+            .unwrap();
+            crate::stats::mean(psd.powers())
+        };
+        let per_bin = sigma * sigma / seg as f64;
+        let tone_floor = floor(WelchScaling::Tone);
+        let nb_floor = floor(WelchScaling::NoiseBandwidth);
+        assert!(
+            (tone_floor / (per_bin * enbw) - 1.0).abs() < 0.05,
+            "tone-convention floor {tone_floor} vs expected {}",
+            per_bin * enbw
+        );
+        assert!(
+            (nb_floor / per_bin - 1.0).abs() < 0.05,
+            "noise-convention floor {nb_floor} vs expected {per_bin}"
+        );
+    }
+
+    #[test]
     fn averaging_reduces_noise_variance() {
         let fs = 100_000.0;
         let mut rng = SmallRng::seed_from_u64(3);
@@ -165,7 +271,7 @@ mod tests {
             &WelchConfig {
                 segment: 1024,
                 overlap: 0,
-                window: Window::Hann,
+                ..WelchConfig::default()
             },
         )
         .unwrap();
@@ -176,7 +282,7 @@ mod tests {
             &WelchConfig {
                 segment: 1024,
                 overlap: 512,
-                window: Window::Hann,
+                ..WelchConfig::default()
             },
         )
         .unwrap();
@@ -203,7 +309,7 @@ mod tests {
             &WelchConfig {
                 segment: 256,
                 overlap: 128,
-                window: Window::Hann,
+                ..WelchConfig::default()
             },
         )
         .unwrap();
@@ -267,7 +373,7 @@ mod tests {
             &WelchConfig {
                 segment: 256,
                 overlap: 256,
-                window: Window::Hann,
+                ..WelchConfig::default()
             },
         );
     }

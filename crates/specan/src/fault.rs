@@ -232,6 +232,36 @@ impl FaultPlan {
         self.force(i_alt, None, None, u32::MAX, FaultKind::TaskFailure)
     }
 
+    /// A canonical textual token identifying this plan for capture-cache
+    /// keys. Two plans with equal tokens draw identical fault schedules at
+    /// every capture coordinate, so a cached capture produced under one
+    /// can stand in for the other; any difference in seed, rates, or
+    /// forced faults changes the token and therefore the cache key.
+    pub fn cache_token(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "seed={:016x};rates={:?},{:?},{:?},{:?},{:?};forced=",
+            self.seed,
+            self.rates.adc_clip,
+            self.rates.segment_dropout,
+            self.rates.interference_burst,
+            self.rates.gain_glitch,
+            self.rates.task_failure,
+        );
+        for f in &self.forced {
+            let _ = write!(
+                out,
+                "[{}:{:?}:{:?}:{}:{}]",
+                f.i_alt,
+                f.i_seg,
+                f.i_avg,
+                f.attempts,
+                f.kind.tag()
+            );
+        }
+        out
+    }
+
     /// The fault (if any) striking the capture at `(i_alt, i_seg, i_avg)`
     /// on `attempt` — a pure function of the plan and the coordinates,
     /// independent of execution order or thread count. Forced faults take
@@ -317,6 +347,21 @@ mod tests {
         assert_eq!(plan.draw(2, 1, 0, 2), None, "attempt cap ignored");
         assert_eq!(plan.draw(2, 0, 0, 0), None, "segment scope ignored");
         assert_eq!(plan.draw(1, 1, 0, 0), None, "alternation scope ignored");
+    }
+
+    #[test]
+    fn cache_token_distinguishes_plans() {
+        let a = FaultPlan::new(9).with_rates(FaultRates::uniform(0.01));
+        let b = FaultPlan::new(10).with_rates(FaultRates::uniform(0.01));
+        let c = FaultPlan::new(9).with_rates(FaultRates::uniform(0.02));
+        let d = FaultPlan::new(9)
+            .with_rates(FaultRates::uniform(0.01))
+            .force(0, Some(1), None, 2, FaultKind::AdcClip);
+        assert_eq!(a.cache_token(), a.clone().cache_token());
+        assert_ne!(a.cache_token(), b.cache_token(), "seed ignored");
+        assert_ne!(a.cache_token(), c.cache_token(), "rates ignored");
+        assert_ne!(a.cache_token(), d.cache_token(), "forced faults ignored");
+        assert!(d.cache_token().contains("adc-clip"));
     }
 
     #[test]

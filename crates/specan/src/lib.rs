@@ -14,23 +14,33 @@
 //!
 //! The output is a [`fase_core::CampaignSpectra`], ready for
 //! [`fase_core::Fase::analyze`].
+//!
+//! On top of single-band campaigns, the crate provides the wide-band
+//! sweep machinery of paper §3: [`plan_bands`] shards a span into
+//! overlapping bands, [`run_sweep`] drives a campaign per band and merges
+//! the reports, and [`CaptureCache`] persists reduced band captures
+//! content-addressed so interrupted or repeated sweeps skip synthesis.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod analyzer;
 pub mod antenna;
+pub mod cache;
 pub mod fault;
 pub mod probe;
 pub mod runner;
+pub mod scheduler;
 pub mod sweep;
 
 pub use analyzer::SpectrumAnalyzer;
 pub use antenna::AntennaResponse;
+pub use cache::{CacheKey, CacheLookup, CaptureCache, SweepManifest};
 pub use fault::{FaultKind, FaultPlan, FaultRates};
 pub use probe::{IqCapture, ProbeConfig};
 pub use runner::{
     run_campaign_parallel, run_campaign_with_options, Averaging, CampaignOptions, CampaignRunner,
     DEFAULT_MAX_ATTEMPTS, DEFAULT_MAX_FFT,
 };
-pub use sweep::{SegmentSpec, SweepPlan};
+pub use scheduler::{run_sweep, BandOutcome, Shard, SweepConfig, SweepOptions, SweepOutcome};
+pub use sweep::{plan_bands, SegmentSpec, SweepBand, SweepPlan};

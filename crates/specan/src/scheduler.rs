@@ -1,0 +1,608 @@
+//! The wide-band sweep scheduler.
+//!
+//! Paper §3 sweeps the Agilent MXA across 0–4 GHz in resolution-limited
+//! steps; this module is that outer loop. [`run_sweep`] shards a span
+//! `[f_lo, f_hi]` into overlapping bands ([`crate::sweep::plan_bands`]),
+//! runs the full FASE campaign in each band through the pooled runner,
+//! analyzes each band independently, and merges the per-band reports into
+//! one span-wide [`FaseReport`] with seam-duplicate carriers deduplicated
+//! and harmonic sets regrouped across band boundaries
+//! ([`fase_core::merge_band_reports`]).
+//!
+//! Three features make multi-hour sweeps practical:
+//!
+//! * **Capture cache** — with [`SweepOptions::cache_dir`] set, each band's
+//!   reduced [`CampaignSpectra`] is stored content-addressed
+//!   ([`crate::cache`]); a warm re-run (or one with changed *analysis*
+//!   settings, which are not part of the key) skips synthesis entirely and
+//!   is byte-identical to the cold run.
+//! * **Resume** — a [`crate::cache::SweepManifest`] records finished
+//!   bands; [`SweepOptions::resume`] re-runs only missing or invalid
+//!   shards. Per-band seeds derive from the band *index*
+//!   (`mix_seed(seed, index)`), never from execution order, so a resumed
+//!   sweep's report is bit-identical to an uninterrupted one.
+//! * **Sharding** — [`SweepOptions::shard`] `k/n` makes this process
+//!   compute only bands with `index % n == k`, so `n` hosts sharing a
+//!   cache directory can split a span and any one of them can later merge
+//!   the full result.
+
+use crate::cache::{CacheKey, CacheLookup, CaptureCache, SweepManifest};
+use crate::runner::{run_campaign_with_options, CampaignOptions};
+use crate::sweep::{plan_bands, SweepBand};
+use fase_core::{
+    merge_band_reports, CampaignConfig, CampaignSpectra, Fase, FaseConfig, FaseError, FaseReport,
+};
+use fase_dsp::rng::mix_seed;
+use fase_dsp::Hertz;
+use fase_emsim::SimulatedSystem;
+use fase_sysmodel::ActivityPair;
+use std::path::PathBuf;
+
+/// Version prefix baked into every cache-key description: bump it when
+/// the capture pipeline changes in a way that invalidates old captures.
+const KEY_FORMAT: &str = "fase-sweep-key v1";
+
+/// The span to sweep and the campaign family to run in every band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Lower edge of the whole sweep span.
+    pub lo: Hertz,
+    /// Upper edge of the whole sweep span.
+    pub hi: Hertz,
+    /// Spectrum resolution, shared by every band.
+    pub resolution: Hertz,
+    /// Number of bands to shard the span into.
+    pub bands: usize,
+    /// Half-width of the seam overlap between adjacent bands (see
+    /// [`plan_bands`]).
+    pub overlap: Hertz,
+    /// First alternation frequency `f_alt1`.
+    pub f_alt1: Hertz,
+    /// Alternation-frequency step `f_Δ`.
+    pub f_delta: Hertz,
+    /// Number of alternation frequencies per band campaign.
+    pub alternations: usize,
+    /// Captures power-averaged per spectrum.
+    pub averages: usize,
+}
+
+/// A `k/n` shard assignment: this process computes only bands whose
+/// `index % count == index_of_this_shard`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard index, in `0..count`.
+    pub index: usize,
+    /// Total number of shards splitting the sweep.
+    pub count: usize,
+}
+
+/// Everything about *how* a sweep executes (as opposed to *what* it
+/// measures, which is [`SweepConfig`]).
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Per-band campaign execution options (threads, synthesis mode,
+    /// fault plan, averaging, recorder). The fault plan and averaging
+    /// policy are part of each band's cache key; threads and recorder are
+    /// not.
+    pub campaign: CampaignOptions,
+    /// Analysis configuration applied to each band and to the merge.
+    /// Deliberately *not* part of the cache key: re-analyzing cached
+    /// captures with new detector settings is a pure cache-hit sweep.
+    pub analysis: FaseConfig,
+    /// Directory for the capture cache and sweep manifest; `None` runs
+    /// uncached.
+    pub cache_dir: Option<PathBuf>,
+    /// Resume an interrupted sweep: require an existing manifest and
+    /// recompute only bands it does not record as done.
+    pub resume: bool,
+    /// Optional `k/n` shard assignment; unassigned bands are skipped and
+    /// reported in [`SweepOutcome::complete`].
+    pub shard: Option<Shard>,
+    /// Carriers closer than this across band seams are deduplicated as
+    /// one emitter. `0.0` (the default) auto-selects `2 × resolution`.
+    pub seam_tol: Hertz,
+}
+
+/// What happened in one band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandOutcome {
+    /// The band's frequency range and index.
+    pub band: SweepBand,
+    /// True when the band's spectra came from the capture cache.
+    pub from_cache: bool,
+    /// True when the band was skipped (assigned to another shard).
+    pub skipped: bool,
+    /// Carriers the band's own analysis reported.
+    pub carriers: usize,
+}
+
+/// The result of a sweep: the merged report plus per-band provenance.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Span-wide report: seam duplicates removed, harmonic sets regrouped,
+    /// health summed across bands.
+    pub report: FaseReport,
+    /// Per-band outcomes, in band order.
+    pub bands: Vec<BandOutcome>,
+    /// Bands served from the capture cache.
+    pub cache_hits: usize,
+    /// Bands that had to be captured (including invalid entries that were
+    /// recomputed).
+    pub cache_misses: usize,
+    /// True when every band was computed or cached; false when shard
+    /// assignment skipped some (the report then covers a partial span).
+    pub complete: bool,
+}
+
+/// The campaign configuration one band runs.
+fn band_config(config: &SweepConfig, band: &SweepBand) -> Result<CampaignConfig, FaseError> {
+    CampaignConfig::builder()
+        .band(band.lo, band.hi)
+        .resolution(config.resolution)
+        .alternation(config.f_alt1, config.f_delta, config.alternations)
+        .averages(config.averages)
+        .build()
+}
+
+/// Canonical description of everything that determines one band's
+/// captured bits. `system_id` names the simulated scene + machine (the
+/// caller's factory is opaque, so the caller vouches for the name);
+/// floats enter as bit patterns, and execution details that cannot change
+/// the bits (thread count, recorder) stay out.
+fn band_description(
+    config: &SweepConfig,
+    band: &SweepBand,
+    system_id: &str,
+    pair: ActivityPair,
+    band_seed: u64,
+    options: &CampaignOptions,
+) -> String {
+    let fault = options
+        .fault_plan
+        .as_ref()
+        .map_or_else(|| "none".to_owned(), |p| p.cache_token());
+    format!(
+        "{KEY_FORMAT}\nsystem={system_id}\npair={pair:?}\n\
+         band={} lo={:016x} hi={:016x} res={:016x}\n\
+         falt1={:016x} fdelta={:016x} alts={} avgs={}\n\
+         seed={band_seed:016x}\nsynth={:?}\nmax_fft={}\nmax_attempts={}\n\
+         averaging={:?}\nfault={fault}",
+        band.index,
+        band.lo.hz().to_bits(),
+        band.hi.hz().to_bits(),
+        config.resolution.hz().to_bits(),
+        config.f_alt1.hz().to_bits(),
+        config.f_delta.hz().to_bits(),
+        config.alternations,
+        config.averages,
+        options.synth_mode,
+        options.max_fft,
+        options.max_attempts,
+        options.averaging,
+    )
+}
+
+/// Canonical description of the whole sweep plan — the manifest's
+/// identity. Seed and capture options are included: resuming "the same
+/// sweep" with a different seed or fault plan is a different sweep.
+fn span_description(
+    config: &SweepConfig,
+    system_id: &str,
+    pair: ActivityPair,
+    seed: u64,
+    options: &CampaignOptions,
+) -> String {
+    let fault = options
+        .fault_plan
+        .as_ref()
+        .map_or_else(|| "none".to_owned(), |p| p.cache_token());
+    format!(
+        "{KEY_FORMAT} span\nsystem={system_id}\npair={pair:?}\n\
+         lo={:016x} hi={:016x} res={:016x} bands={} overlap={:016x}\n\
+         falt1={:016x} fdelta={:016x} alts={} avgs={}\n\
+         seed={seed:016x}\nsynth={:?}\nmax_fft={}\nmax_attempts={}\n\
+         averaging={:?}\nfault={fault}",
+        config.lo.hz().to_bits(),
+        config.hi.hz().to_bits(),
+        config.resolution.hz().to_bits(),
+        config.bands,
+        config.overlap.hz().to_bits(),
+        config.f_alt1.hz().to_bits(),
+        config.f_delta.hz().to_bits(),
+        config.alternations,
+        config.averages,
+        options.synth_mode,
+        options.max_fft,
+        options.max_attempts,
+        options.averaging,
+    )
+}
+
+/// Runs a wide-band sweep: shard into bands, capture (or cache-hit) and
+/// analyze each, merge into one span-wide report.
+///
+/// `factory(i_alt)` builds the [`SimulatedSystem`] a band's campaign
+/// measures, exactly as in
+/// [`run_campaign_with_options`]; `system_id` must
+/// uniquely name what the factory builds (scene + machine + scene seed),
+/// because it stands in for the opaque factory in the cache key. Each
+/// band's campaign runs with seed `mix_seed(seed, band_index)`, so band
+/// results are independent of which bands ran before them — the property
+/// that makes resumed and sharded sweeps bit-identical to monolithic
+/// ones.
+///
+/// # Errors
+///
+/// * [`FaseError::InvalidConfig`] — degenerate span/band plan, a shard
+///   assignment with `index >= count`, or `resume` without a cache
+///   directory.
+/// * [`FaseError::Cache`] — cache directory or manifest I/O failures, or
+///   `resume` when no manifest records this sweep plan. (Corrupt cache
+///   *entries* are never errors; they are recomputed.)
+/// * Any capture error a band campaign surfaces, unchanged.
+pub fn run_sweep<F>(
+    config: &SweepConfig,
+    system_id: &str,
+    pair: ActivityPair,
+    factory: F,
+    seed: u64,
+    options: &SweepOptions,
+) -> Result<SweepOutcome, FaseError>
+where
+    F: Fn(usize) -> SimulatedSystem + Sync,
+{
+    let bands = plan_bands(
+        config.lo,
+        config.hi,
+        config.resolution,
+        config.bands,
+        config.overlap,
+    )?;
+    if let Some(shard) = options.shard {
+        if shard.count == 0 || shard.index >= shard.count {
+            return Err(FaseError::invalid_config(format!(
+                "shard {}/{} is not a valid assignment (need index < count)",
+                shard.index, shard.count
+            )));
+        }
+    }
+
+    let recorder = options.campaign.recorder.clone();
+    let _sweep_span = recorder.span("specan.sweep");
+
+    let cache = match &options.cache_dir {
+        Some(dir) => Some(CaptureCache::open(dir)?),
+        None if options.resume => {
+            return Err(FaseError::invalid_config(
+                "resume requires a cache directory",
+            ));
+        }
+        None => None,
+    };
+    let span_key = CacheKey::from_description(&span_description(
+        config,
+        system_id,
+        pair,
+        seed,
+        &options.campaign,
+    ));
+    let mut manifest = match &cache {
+        Some(cache) if options.resume => Some(
+            SweepManifest::load(cache.dir(), &span_key, bands.len())?.ok_or_else(|| {
+                FaseError::cache("nothing to resume: no manifest records this sweep plan")
+            })?,
+        ),
+        Some(cache) => Some(SweepManifest::create(cache.dir(), &span_key, bands.len())?),
+        None => None,
+    };
+
+    let analyzer = Fase::new(options.analysis).with_recorder(recorder.clone());
+    let mut outcomes = Vec::with_capacity(bands.len());
+    let mut reports = Vec::with_capacity(bands.len());
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+
+    for band in &bands {
+        let _band_span = recorder.span("specan.sweep_band");
+        let band_config = band_config(config, band)?;
+        let band_seed = mix_seed(seed, band.index as u64);
+        let key = CacheKey::from_description(&band_description(
+            config,
+            band,
+            system_id,
+            pair,
+            band_seed,
+            &options.campaign,
+        ));
+
+        let cached: Option<CampaignSpectra> = cache.as_ref().and_then(|c| {
+            match c.load(&key) {
+                // A hit whose stored config disagrees with the plan means
+                // a (vanishingly unlikely) key collision or tampering —
+                // never trust it.
+                CacheLookup::Hit(spectra) if *spectra.config() == band_config => Some(*spectra),
+                CacheLookup::Hit(_) | CacheLookup::Miss | CacheLookup::Invalid => None,
+            }
+        });
+        let from_cache = cached.is_some();
+
+        let spectra = match cached {
+            Some(spectra) => {
+                hits += 1;
+                spectra
+            }
+            None => {
+                if let Some(shard) = options.shard {
+                    if band.index % shard.count != shard.index {
+                        outcomes.push(BandOutcome {
+                            band: *band,
+                            from_cache: false,
+                            skipped: true,
+                            carriers: 0,
+                        });
+                        continue;
+                    }
+                }
+                let spectra = run_campaign_with_options(
+                    &band_config,
+                    pair,
+                    &factory,
+                    band_seed,
+                    options.campaign.clone(),
+                )?;
+                if let Some(cache) = &cache {
+                    cache.store(&key, &spectra)?;
+                }
+                misses += 1;
+                spectra
+            }
+        };
+
+        let report = analyzer.analyze(&spectra)?;
+        if let Some(manifest) = &mut manifest {
+            manifest.mark_done(band.index, &key)?;
+        }
+        outcomes.push(BandOutcome {
+            band: *band,
+            from_cache,
+            skipped: false,
+            carriers: report.len(),
+        });
+        reports.push(report);
+    }
+
+    recorder.count_usize("specan.cache_hits", hits);
+    recorder.count_usize("specan.cache_misses", misses);
+
+    let seam = if options.seam_tol.hz() > 0.0 {
+        options.seam_tol
+    } else {
+        Hertz(2.0 * config.resolution.hz())
+    };
+    let complete = outcomes.iter().all(|o| !o.skipped);
+    Ok(SweepOutcome {
+        report: merge_band_reports(&reports, seam, options.analysis.group_rel_tol),
+        bands: outcomes,
+        cache_hits: hits,
+        cache_misses: misses,
+        complete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fase_emsim::SimulatedSystem;
+    use fase_sysmodel::Machine;
+    use std::path::PathBuf;
+
+    fn demo_factory(i_alt: usize) -> SimulatedSystem {
+        let mut system = SimulatedSystem::intel_i7_desktop(0xFA5E + i_alt as u64);
+        system.machine = Machine::core_i7();
+        system
+    }
+
+    fn small_sweep() -> SweepConfig {
+        // 250–400 kHz contains the 315 kHz DRAM regulator; the same
+        // campaign family the runner's detection tests use, split in two.
+        SweepConfig {
+            lo: Hertz(250_000.0),
+            hi: Hertz(400_000.0),
+            resolution: Hertz(200.0),
+            bands: 2,
+            overlap: Hertz(2_000.0),
+            f_alt1: Hertz(30_000.0),
+            f_delta: Hertz(2_000.0),
+            alternations: 5,
+            averages: 3,
+        }
+    }
+
+    fn fast_options() -> SweepOptions {
+        let mut options = SweepOptions::default();
+        options.campaign.max_fft = 1 << 12;
+        options
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fase-sched-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn uncached_sweep_covers_the_span_and_merges() {
+        let outcome = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            7,
+            &fast_options(),
+        )
+        .unwrap();
+        assert_eq!(outcome.bands.len(), 2);
+        assert!(outcome.complete);
+        assert_eq!(outcome.cache_hits, 0);
+        assert_eq!(outcome.cache_misses, 2);
+        assert!(outcome.bands.iter().all(|b| !b.from_cache && !b.skipped));
+        // The i7 scene's memory carrier lands in the span; the merged
+        // report must see evidence somewhere.
+        assert!(!outcome.report.is_empty(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn warm_cache_reproduces_the_cold_report_bit_for_bit() {
+        let dir = temp_dir("warm");
+        let mut options = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            ..fast_options()
+        };
+        let cold = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            7,
+            &options,
+        )
+        .unwrap();
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 2));
+
+        let warm = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            7,
+            &options,
+        )
+        .unwrap();
+        assert_eq!((warm.cache_hits, warm.cache_misses), (2, 0));
+        assert!(warm.bands.iter().all(|b| b.from_cache));
+        assert_eq!(warm.report.to_json(), cold.report.to_json());
+
+        // A different seed must not hit the same entries.
+        options.cache_dir = Some(dir.clone());
+        let other = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            8,
+            &options,
+        )
+        .unwrap();
+        assert_eq!(other.cache_hits, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_halves_then_resume_match_the_monolithic_sweep() {
+        let dir = temp_dir("shard");
+        let whole = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            11,
+            &fast_options(),
+        )
+        .unwrap();
+
+        // Shard 0/2 computes band 0 only; its outcome is partial.
+        let shard0 = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            shard: Some(Shard { index: 0, count: 2 }),
+            ..fast_options()
+        };
+        let partial = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            11,
+            &shard0,
+        )
+        .unwrap();
+        assert!(!partial.complete);
+        assert_eq!(partial.cache_misses, 1);
+        assert!(partial.bands[1].skipped);
+
+        // Resuming without a shard fills in band 1 and reproduces the
+        // monolithic report exactly.
+        let resume = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            resume: true,
+            ..fast_options()
+        };
+        let finished = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            11,
+            &resume,
+        )
+        .unwrap();
+        assert!(finished.complete);
+        assert_eq!((finished.cache_hits, finished.cache_misses), (1, 1));
+        assert_eq!(finished.report.to_json(), whole.report.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_without_prior_sweep_is_refused() {
+        let dir = temp_dir("fresh-resume");
+        let options = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            resume: true,
+            ..fast_options()
+        };
+        let err = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            7,
+            &options,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FaseError::Cache(_)), "{err}");
+
+        let no_dir = SweepOptions {
+            resume: true,
+            ..fast_options()
+        };
+        let err = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            7,
+            &no_dir,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FaseError::InvalidConfig(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_shard_assignment_is_refused() {
+        let options = SweepOptions {
+            shard: Some(Shard { index: 2, count: 2 }),
+            ..fast_options()
+        };
+        let err = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            7,
+            &options,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FaseError::InvalidConfig(_)), "{err}");
+    }
+}

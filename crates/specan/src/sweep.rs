@@ -1,5 +1,7 @@
-//! Sweep planning: covering a wide band with FFT-sized capture segments.
+//! Sweep planning: covering a wide band with FFT-sized capture segments,
+//! and sharding a wide span into overlapping campaign bands.
 
+use fase_core::FaseError;
 use fase_dsp::Hertz;
 use fase_emsim::CaptureWindow;
 
@@ -120,6 +122,87 @@ impl SweepPlan {
     }
 }
 
+/// One band of a wide-band sweep: a sub-span of the full `[lo, hi]`
+/// request, widened into its neighbors by the seam overlap so a carrier
+/// sitting exactly on a band boundary is seen whole by both sides (the
+/// span-wide merge deduplicates it). Produced by [`plan_bands`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepBand {
+    /// Zero-based position in ascending frequency order.
+    pub index: usize,
+    /// Lower band edge (overlap-extended, snapped to the resolution grid).
+    pub lo: Hertz,
+    /// Upper band edge (overlap-extended, snapped to the resolution grid).
+    pub hi: Hertz,
+}
+
+/// Shards the span `[lo, hi]` into `bands` equal-stride sub-bands, each
+/// extended by `overlap` into its neighbors (the outermost edges stay at
+/// the span boundary). Band edges are snapped to the resolution grid
+/// anchored at `lo`, so every band's bins land on the same span-wide grid
+/// and per-band reports merge without frequency skew.
+///
+/// # Errors
+///
+/// Returns [`FaseError::InvalidConfig`] when the band is inverted, the
+/// resolution or band count is not positive, the per-band stride is
+/// narrower than two resolution bins, or the overlap is negative,
+/// non-finite, or at least one full stride wide.
+pub fn plan_bands(
+    lo: Hertz,
+    hi: Hertz,
+    resolution: Hertz,
+    bands: usize,
+    overlap: Hertz,
+) -> Result<Vec<SweepBand>, FaseError> {
+    if !(lo.hz().is_finite() && hi.hz().is_finite()) || hi.hz() <= lo.hz() {
+        return Err(FaseError::invalid_config(format!(
+            "sweep span must be an ordered finite band, got [{lo}, {hi}]"
+        )));
+    }
+    if !resolution.hz().is_finite() || resolution.hz() <= 0.0 {
+        return Err(FaseError::invalid_config(format!(
+            "sweep resolution must be positive, got {resolution}"
+        )));
+    }
+    if bands == 0 {
+        return Err(FaseError::invalid_config("sweep needs at least one band"));
+    }
+    let stride = (hi - lo).hz() / bands as f64;
+    if stride < 2.0 * resolution.hz() {
+        return Err(FaseError::invalid_config(format!(
+            "{bands} band(s) over [{lo}, {hi}] leaves a {stride:.1} Hz stride, narrower than \
+             two {resolution} bins"
+        )));
+    }
+    if !overlap.hz().is_finite() || overlap.hz() < 0.0 || overlap.hz() >= stride {
+        return Err(FaseError::invalid_config(format!(
+            "band overlap must be in [0, stride) = [0, {stride:.1} Hz), got {overlap}"
+        )));
+    }
+    // Snap to the span-wide resolution grid anchored at `lo`.
+    let snap = |f: f64| lo.hz() + ((f - lo.hz()) / resolution.hz()).round() * resolution.hz();
+    Ok((0..bands)
+        .map(|k| {
+            let band_lo = if k == 0 {
+                lo.hz()
+            } else {
+                snap(lo.hz() + k as f64 * stride - overlap.hz())
+            };
+            let band_hi = if k + 1 == bands {
+                hi.hz()
+            } else {
+                snap(lo.hz() + (k + 1) as f64 * stride + overlap.hz())
+            };
+            SweepBand {
+                index: k,
+                lo: Hertz(band_lo),
+                hi: Hertz(band_hi),
+            }
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +246,97 @@ mod tests {
     #[should_panic(expected = "ordered")]
     fn inverted_band_panics() {
         let _ = SweepPlan::new(Hertz(1e6), Hertz(0.0), Hertz(50.0), 1 << 15);
+    }
+
+    #[test]
+    fn single_band_is_the_whole_span() {
+        let bands = plan_bands(Hertz(0.0), Hertz(4e6), Hertz(50.0), 1, Hertz(1_000.0)).unwrap();
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].lo, Hertz(0.0));
+        assert_eq!(bands[0].hi, Hertz(4e6));
+    }
+
+    #[test]
+    fn bands_overlap_at_seams_and_sit_on_the_grid() {
+        let res = Hertz(100.0);
+        let overlap = Hertz(2_000.0);
+        let bands = plan_bands(Hertz(250_000.0), Hertz(850_000.0), res, 3, overlap).unwrap();
+        assert_eq!(bands.len(), 3);
+        // Outermost edges pinned to the span; inner edges overlap-extended.
+        assert_eq!(bands[0].lo, Hertz(250_000.0));
+        assert_eq!(bands[2].hi, Hertz(850_000.0));
+        for pair in bands.windows(2) {
+            let seam_width = (pair[0].hi - pair[1].lo).hz();
+            assert!(
+                (seam_width - 2.0 * overlap.hz()).abs() < 1e-6,
+                "seam width {seam_width} (expected {})",
+                2.0 * overlap.hz()
+            );
+        }
+        // Every edge lies on the span-wide resolution grid.
+        for b in &bands {
+            for edge in [b.lo, b.hi] {
+                let steps = (edge.hz() - 250_000.0) / res.hz();
+                assert!(
+                    (steps - steps.round()).abs() < 1e-9,
+                    "edge {edge} off-grid (band {})",
+                    b.index
+                );
+            }
+            assert!(b.hi.hz() > b.lo.hz());
+        }
+    }
+
+    #[test]
+    fn zero_overlap_tiles_contiguously() {
+        let bands = plan_bands(Hertz(0.0), Hertz(600_000.0), Hertz(100.0), 3, Hertz(0.0)).unwrap();
+        for pair in bands.windows(2) {
+            assert_eq!(pair[0].hi, pair[1].lo);
+        }
+    }
+
+    #[test]
+    fn degenerate_band_plans_are_rejected() {
+        let ok = |r: Result<Vec<SweepBand>, FaseError>| r.is_ok();
+        // Inverted span.
+        assert!(!ok(plan_bands(
+            Hertz(1e6),
+            Hertz(0.0),
+            Hertz(50.0),
+            2,
+            Hertz(0.0)
+        )));
+        // Zero bands.
+        assert!(!ok(plan_bands(
+            Hertz(0.0),
+            Hertz(1e6),
+            Hertz(50.0),
+            0,
+            Hertz(0.0)
+        )));
+        // Stride narrower than two bins.
+        assert!(!ok(plan_bands(
+            Hertz(0.0),
+            Hertz(1_000.0),
+            Hertz(400.0),
+            2,
+            Hertz(0.0)
+        )));
+        // Overlap as wide as the stride.
+        assert!(!ok(plan_bands(
+            Hertz(0.0),
+            Hertz(1e6),
+            Hertz(50.0),
+            2,
+            Hertz(500_000.0)
+        )));
+        // Non-finite resolution.
+        assert!(!ok(plan_bands(
+            Hertz(0.0),
+            Hertz(1e6),
+            Hertz(f64::NAN),
+            2,
+            Hertz(0.0)
+        )));
     }
 }

@@ -35,6 +35,23 @@ cargo run -p fase-cli --offline --release -- \
 cargo run -p fase-obs --offline --release --bin fase-obs-validate -- \
   target/metrics.json scripts/metrics.schema.json
 
+echo "==> sweep cache reuse"
+# The same two-band sweep twice against one cache directory: the first
+# run populates it, the second must be served from it (nonzero
+# specan.cache_hits in the exported metrics) and its metrics must still
+# validate against the schema.
+rm -rf target/sweep-cache
+sweep_args=(sweep --system i7 --lo 250k --hi 400k --res 500 --bands 2
+  --overlap 2k --falt 30k --fdelta 2k --alts 3 --avg 1 --seed 5
+  --cache-dir target/sweep-cache)
+cargo run -p fase-cli --offline --release -- "${sweep_args[@]}" > /dev/null
+cargo run -p fase-cli --offline --release -- "${sweep_args[@]}" \
+  --metrics-out target/sweep-metrics.json > /dev/null
+cargo run -p fase-obs --offline --release --bin fase-obs-validate -- \
+  target/sweep-metrics.json scripts/metrics.schema.json
+grep -Eq '"specan\.cache_hits": [1-9]' target/sweep-metrics.json \
+  || { echo "warm sweep recorded no cache hits:"; cat target/sweep-metrics.json; exit 1; }
+
 # Extended fault matrix: every impairment class at every alternation
 # index, across worker thread counts (~1 min). Opt in because it dwarfs
 # the rest of the suite; CI's fault-matrix job sets it. --release reuses
