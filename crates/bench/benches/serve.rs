@@ -1,0 +1,114 @@
+//! Service-level latency and throughput: an in-process `fase-serve`
+//! instance under the standard eight-lane load generator, cold cache
+//! against warm. Run with `cargo bench --bench serve`.
+//!
+//! Writes `BENCH_serve.json` at the repo root. Each iteration drives
+//! eight concurrent client lanes (four tenants, two requests each)
+//! through real sockets, so the numbers include admission, DRR
+//! scheduling, worker dispatch and HTTP framing — not just the sweep
+//! itself. The headline numbers are the warm-cache p50/p99 request
+//! latencies and requests-per-second, plus `warm_speedup` (cold median
+//! over warm median) with a deliberately generous 2x budget: a warm
+//! request pays only queueing + entry I/O + analysis, so anything less
+//! means the serving path regressed.
+
+use fase_bench::harness::BenchReport;
+use fase_serve::{run_load, LoadReport, LoadSpec, ServeConfig, Server};
+
+/// The load-generator family: four tenants, two requests each, eight
+/// concurrent lanes, fault-free so cold/warm cost is deterministic.
+fn spec(addr: &str) -> LoadSpec {
+    LoadSpec {
+        addr: addr.to_owned(),
+        tenants: 4,
+        requests: 2,
+        concurrency: 8,
+        seed: 13,
+        fault_rate: 0.0,
+        deadline_ms: Some(60_000),
+        ..LoadSpec::default()
+    }
+}
+
+fn drive(addr: &str) -> LoadReport {
+    let report = run_load(&spec(addr)).expect("load generator");
+    assert_eq!(report.errors, 0, "load errors: {report:?}");
+    assert_eq!(
+        report.answered(),
+        report.sent,
+        "dropped requests: {report:?}"
+    );
+    report
+}
+
+fn main() {
+    let cache = std::env::temp_dir().join(format!("fase-bench-serve-{}", std::process::id()));
+    let server = Server::start(ServeConfig {
+        workers: 3,
+        cache_dir: Some(cache.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = server.addr().to_string();
+
+    let mut report = BenchReport::new();
+    let mut cold_load: Option<LoadReport> = None;
+    let mut warm_load: Option<LoadReport> = None;
+
+    // Cold: a fresh cache directory every iteration — every request pays
+    // synthesis + capture + averaging before the entries land on disk.
+    report.run("serve_8lane_cold", 0, 3, || {
+        let _ = std::fs::remove_dir_all(&cache);
+        cold_load = Some(drive(&addr));
+    });
+
+    // Warm: the directory the last cold iteration populated — every band
+    // of every request is served from disk.
+    report.run("serve_8lane_warm", 1, 5, || {
+        warm_load = Some(drive(&addr));
+    });
+
+    let cold = report
+        .get("serve_8lane_cold")
+        .expect("cold result")
+        .median_ns;
+    let warm = report
+        .get("serve_8lane_warm")
+        .expect("warm result")
+        .median_ns;
+    let speedup = cold / warm;
+    let (cold_load, warm_load) = (
+        cold_load.expect("cold load report"),
+        warm_load.expect("warm load report"),
+    );
+    println!(
+        "warm serve: p50 {:.1} ms  p99 {:.1} ms  {:.1} req/s  ({speedup:.1}x over cold)",
+        warm_load.p50_ms, warm_load.p99_ms, warm_load.throughput_rps
+    );
+    assert!(
+        speedup >= 2.0,
+        "warm serving must be at least 2x faster than cold (got {speedup:.1}x)"
+    );
+
+    let extras = [
+        ("warm_speedup", speedup),
+        ("cold_p50_ms", cold_load.p50_ms),
+        ("cold_p99_ms", cold_load.p99_ms),
+        ("cold_throughput_rps", cold_load.throughput_rps),
+        ("warm_p50_ms", warm_load.p50_ms),
+        ("warm_p99_ms", warm_load.p99_ms),
+        ("warm_throughput_rps", warm_load.throughput_rps),
+    ];
+    let sections = [
+        ("cold_load", cold_load.to_json()),
+        ("warm_load", warm_load.to_json()),
+    ];
+    let section_refs: Vec<(&str, &str)> = sections.iter().map(|(k, v)| (*k, v.as_str())).collect();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, report.to_json_sections(&extras, &section_refs))
+        .expect("write BENCH_serve.json");
+
+    server.drain();
+    server.join();
+    let _ = std::fs::remove_dir_all(&cache);
+}

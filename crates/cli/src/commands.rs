@@ -28,6 +28,14 @@ usage:
                      [--bands <n>] [--overlap <freq>] [--shard <k/n>]
                      [--cache-dir <path>] [--resume] [--threads <n>]
                      [scan options]
+  fase-cli serve     [--addr 127.0.0.1:0] [--port-file <path>] [--cache-dir <path>]
+                     [--workers <n>] [--tenant-cap <n>] [--global-cap <n>]
+                     [--quantum <n>] [--default-deadline-ms <n>]
+                     [--drain-deadline-ms <n>] [--run-ms <n>]
+  fase-cli load      --addr <host:port> [--tenants <n>] [--requests <n>]
+                     [--concurrency <n>] [--seed <n>] [--fault-rate <p>]
+                     [--deadline-ms <n>] [--max-captures <n>] [--max-p99-ms <x>]
+                     [--json] [--drain] [--no-retry]
 
 systems: i7 | i3 | turion | p3m | i7-mitigated
 frequencies accept k/M/G suffixes (e.g. 43.3k, 2M).
@@ -53,7 +61,23 @@ fault injection (scan/classify/leakage/attribute):
   --fault-seed <n>   impairment schedule seed (default derived from --seed)
   --retries <n>      retries per failed capture before giving up (default 2)
   --fail-alt <i>     force every capture of alternation index <i> to fail;
-                     the campaign degrades to the surviving frequencies";
+                     the campaign degrades to the surviving frequencies
+
+serve: runs the multi-tenant sweep service (admission control, DRR
+fairness, deadlines, graceful drain). --run-ms drains and exits after
+that long; a POST /v1/drain drains it sooner. --port-file writes the
+bound address (useful with --addr 127.0.0.1:0) for scripts.
+
+load: drives a running server with a seeded multi-tenant request mix
+and prints latency/outcome statistics (--json for machine-readable
+output). --drain sends a drain once the load completes; --max-p99-ms
+fails the run (exit 2) when the p99 latency exceeds the bound.
+
+exit codes:
+  0 success                 2 usage / invalid configuration
+  3 capture cache           4 capture failed
+  5 worker failed           6 invalid spectra / spectrum
+  7 cancelled               8 busy (queue at capacity)";
 
 /// Errors surfaced to the user.
 #[derive(Debug)]
@@ -78,6 +102,36 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+impl CliError {
+    /// The process exit code for this error — a stable contract scripts
+    /// and CI branch on:
+    ///
+    /// | code | meaning                                             |
+    /// |------|-----------------------------------------------------|
+    /// | 0    | success                                             |
+    /// | 2    | usage error or invalid configuration                |
+    /// | 3    | capture cache I/O or manifest failure               |
+    /// | 4    | a capture exhausted its retry budget                |
+    /// | 5    | a campaign worker failed (panic/abort)              |
+    /// | 6    | invalid spectra or spectrum-level failure           |
+    /// | 7    | cancelled (deadline, budget, or explicit)           |
+    /// | 8    | busy — an admission queue was at capacity           |
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Args(_) | CliError::Invalid(_) => 2,
+            CliError::Fase(e) => match e {
+                FaseError::InvalidConfig(_) => 2,
+                FaseError::Cache(_) => 3,
+                FaseError::CaptureFailed { .. } => 4,
+                FaseError::Worker(_) => 5,
+                FaseError::InvalidSpectra(_) | FaseError::Spectrum(_) => 6,
+                FaseError::Cancelled(_) => 7,
+                FaseError::Busy { .. } => 8,
+            },
+        }
+    }
+}
+
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> CliError {
         CliError::Args(e)
@@ -98,7 +152,8 @@ impl From<FaseError> for CliError {
 /// Returns a [`CliError`] describing what went wrong; the binary prints it
 /// with the usage text.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let parsed = ParsedArgs::parse_with_flags(args, &["timings", "resume"])?;
+    let parsed =
+        ParsedArgs::parse_with_flags(args, &["timings", "resume", "json", "drain", "no-retry"])?;
     match parsed.command.as_str() {
         "list-systems" => Ok(list_systems()),
         "scan" => with_observability(&parsed, false, scan),
@@ -108,6 +163,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "attribute" => with_observability(&parsed, false, attribute),
         "report" => with_observability(&parsed, true, scan),
         "sweep" => with_observability(&parsed, false, sweep),
+        "serve" => serve(&parsed),
+        "load" => load(&parsed),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(ArgError::UnknownCommand(other.to_owned()).into()),
     }
@@ -452,6 +509,102 @@ fn sweep(parsed: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Starts the multi-tenant sweep service and blocks until it drains
+/// (via `--run-ms` or an HTTP `POST /v1/drain`).
+fn serve(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use fase_serve::{ServeConfig, ServePhase, Server};
+    let mut config = ServeConfig {
+        addr: parsed.get("addr").unwrap_or("127.0.0.1:0").to_owned(),
+        workers: parsed.integer_or("workers", 2)?.max(1) as usize,
+        cache_dir: parsed.get("cache-dir").map(std::path::PathBuf::from),
+        default_deadline_ms: parsed.integer_or("default-deadline-ms", 60_000)?,
+        drain_deadline_ms: parsed.integer_or("drain-deadline-ms", 10_000)?,
+        ..ServeConfig::default()
+    };
+    config.caps.per_tenant = parsed.integer_or("tenant-cap", 8)?.max(1) as usize;
+    config.caps.global = parsed.integer_or("global-cap", 32)?.max(1) as usize;
+    config.caps.quantum = parsed.integer_or("quantum", 2)?;
+    let run_ms = parsed.integer_opt("run-ms")?;
+
+    let server = Server::start(config)?;
+    let addr = server.addr();
+    if let Some(path) = parsed.get("port-file") {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError::Invalid(format!("cannot write {path}: {e}")))?;
+    }
+    println!("fase-serve listening on {addr}");
+    let started = fase_obs::monotonic_ns();
+    loop {
+        // An HTTP drain moves the phase; --run-ms triggers one from here.
+        if server.phase() != ServePhase::Accepting {
+            break;
+        }
+        if let Some(ms) = run_ms {
+            if fase_obs::monotonic_ns().saturating_sub(started) >= ms.saturating_mul(1_000_000) {
+                server.drain();
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    server.join();
+    Ok(format!("fase-serve on {addr}: drained cleanly\n"))
+}
+
+/// Drives a running server with a seeded multi-tenant load and reports
+/// outcome counts and latency percentiles.
+fn load(parsed: &ParsedArgs) -> Result<String, CliError> {
+    let fault_rate = parsed.float_or("fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(CliError::Invalid(format!(
+            "--fault-rate {fault_rate} is not a probability in [0, 1]"
+        )));
+    }
+    let spec = fase_serve::LoadSpec {
+        addr: parsed.required("addr")?.to_owned(),
+        tenants: parsed.integer_or("tenants", 4)?.max(1) as usize,
+        requests: parsed.integer_or("requests", 4)?.max(1) as usize,
+        concurrency: parsed.integer_or("concurrency", 8)?.max(1) as usize,
+        seed: parsed.integer_or("seed", 42)?,
+        fault_rate,
+        deadline_ms: Some(parsed.integer_or("deadline-ms", 30_000)?),
+        max_captures: parsed.integer_opt("max-captures")?,
+        retry_rejected: !parsed.flag("no-retry"),
+    };
+    let report = fase_serve::run_load(&spec)?;
+    if parsed.flag("drain") {
+        let _ = fase_serve::http::client_request(&spec.addr, "POST", "/v1/drain", "");
+    }
+    let max_p99 = parsed.float_or("max-p99-ms", 0.0)?;
+    if max_p99 > 0.0 && report.p99_ms > max_p99 {
+        return Err(CliError::Invalid(format!(
+            "p99 latency {:.1} ms exceeds the --max-p99-ms bound of {max_p99} ms",
+            report.p99_ms
+        )));
+    }
+    if parsed.flag("json") {
+        return Ok(format!("{}\n", report.to_json()));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "load against {}: {} request(s) from {} tenant(s) over {} lane(s)",
+        spec.addr, report.sent, spec.tenants, spec.concurrency
+    );
+    let _ = writeln!(
+        out,
+        "  outcomes: {} ok, {} degraded, {} rejected, {} error(s) \
+         ({} rejection(s) seen including retries)",
+        report.ok, report.degraded, report.rejected, report.errors, report.rejections_seen
+    );
+    let _ = writeln!(
+        out,
+        "  latency: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms; {:.1} req/s over {:.0} ms",
+        report.p50_ms, report.p99_ms, report.max_ms, report.throughput_rps, report.wall_ms
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +787,73 @@ mod tests {
         ))
         .unwrap_err();
         assert!(matches!(e, CliError::Fase(_)), "{e}");
+    }
+
+    #[test]
+    fn serve_and_load_roundtrip_with_port_file() {
+        let port_file =
+            std::env::temp_dir().join(format!("fase_cli_serve_test_{}.port", std::process::id()));
+        let _ = std::fs::remove_file(&port_file);
+        // Run the server from a thread (as a separate process would);
+        // it exits on its own after --run-ms.
+        let serve_cmd = format!(
+            "serve --addr 127.0.0.1:0 --workers 2 --run-ms 30000 --port-file {}",
+            port_file.display()
+        );
+        let server = std::thread::spawn(move || run(&argv(&serve_cmd)));
+        // Wait for the port file to appear.
+        let mut addr = String::new();
+        for _ in 0..200 {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                addr = text.trim().to_owned();
+                if !addr.is_empty() {
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert!(!addr.is_empty(), "server never wrote its port file");
+
+        let load_cmd = format!(
+            "load --addr {addr} --tenants 2 --requests 1 --concurrency 2 --seed 5 --json --drain"
+        );
+        let out = run(&argv(&load_cmd)).unwrap();
+        assert!(out.contains("\"sent\":2"), "{out}");
+        assert!(out.contains("\"errors\":0"), "{out}");
+        // --drain shut the server down; the serve thread returns.
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("drained cleanly"), "{served}");
+        let _ = std::fs::remove_file(&port_file);
+    }
+
+    #[test]
+    fn load_requires_an_address_and_valid_fault_rate() {
+        let e = run(&argv("load --tenants 2")).unwrap_err();
+        assert!(matches!(e, CliError::Args(_)), "{e}");
+        let e = run(&argv("load --addr 127.0.0.1:1 --fault-rate 2.0")).unwrap_err();
+        assert!(matches!(e, CliError::Invalid(_)), "{e}");
+    }
+
+    #[test]
+    fn exit_codes_are_a_stable_contract() {
+        use crate::args::ArgError;
+        let cases: [(CliError, i32); 9] = [
+            (CliError::Args(ArgError::MissingCommand), 2),
+            (CliError::Invalid("x".into()), 2),
+            (CliError::Fase(FaseError::invalid_config("x")), 2),
+            (CliError::Fase(FaseError::cache("x")), 3),
+            (
+                CliError::Fase(FaseError::capture_failed(fase_dsp::Hertz(1.0), 0, 3, "x")),
+                4,
+            ),
+            (CliError::Fase(FaseError::worker("x")), 5),
+            (CliError::Fase(FaseError::invalid_spectra("x")), 6),
+            (CliError::Fase(FaseError::cancelled("x")), 7),
+            (CliError::Fase(FaseError::busy("q", 250)), 8),
+        ];
+        for (err, code) in cases {
+            assert_eq!(err.exit_code(), code, "{err}");
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!();
             eprintln!("{}", fase_cli::USAGE);
-            std::process::exit(2);
+            // Exit codes are part of the CLI contract (scripts branch on
+            // them); see `CliError::exit_code` for the full table.
+            std::process::exit(e.exit_code());
         }
     }
 }

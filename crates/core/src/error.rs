@@ -36,6 +36,24 @@ pub enum FaseError {
     /// silently recomputed — so this variant covers only the cases where
     /// the sweep cannot proceed at all.
     Cache(String),
+    /// The operation was cancelled cooperatively before it could finish —
+    /// a deadline expired, a capture budget ran out, or a caller asked for
+    /// shutdown. The payload says which. Cancellation is a *normal*
+    /// robustness outcome: schedulers that can degrade return a partial
+    /// result instead, and this variant surfaces only where nothing
+    /// partial exists to return.
+    Cancelled(String),
+    /// A bounded queue or admission controller refused the work because
+    /// the system is at capacity. Carries a retry hint so callers (and the
+    /// serving layer's `Retry-After` header) can back off instead of
+    /// spinning.
+    Busy {
+        /// Which capacity limit rejected the work (e.g. `"tenant queue"`,
+        /// `"global queue"`).
+        scope: String,
+        /// Suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl FaseError {
@@ -79,6 +97,21 @@ impl FaseError {
     pub fn cache(msg: impl Into<String>) -> FaseError {
         FaseError::Cache(msg.into())
     }
+
+    /// Builds an [`FaseError::Cancelled`] error naming what cut the
+    /// operation short (deadline, capture budget, explicit cancel).
+    pub fn cancelled(reason: impl Into<String>) -> FaseError {
+        FaseError::Cancelled(reason.into())
+    }
+
+    /// Builds an [`FaseError::Busy`] rejection for the capacity limit
+    /// named by `scope`, hinting the caller retry after `retry_after_ms`.
+    pub fn busy(scope: impl Into<String>, retry_after_ms: u64) -> FaseError {
+        FaseError::Busy {
+            scope: scope.into(),
+            retry_after_ms,
+        }
+    }
 }
 
 impl fmt::Display for FaseError {
@@ -98,6 +131,11 @@ impl fmt::Display for FaseError {
                 "capture at f_alt {f_alt} (segment {segment}) failed after {attempts} attempt(s): {cause}"
             ),
             FaseError::Cache(msg) => write!(f, "capture cache: {msg}"),
+            FaseError::Cancelled(reason) => write!(f, "cancelled: {reason}"),
+            FaseError::Busy {
+                scope,
+                retry_after_ms,
+            } => write!(f, "busy: {scope} full, retry after {retry_after_ms} ms"),
         }
     }
 }
@@ -133,5 +171,9 @@ mod tests {
         let e = FaseError::cache("manifest truncated");
         assert!(format!("{e}").contains("capture cache: manifest truncated"));
         assert!(e.source().is_none());
+        let e = FaseError::cancelled("deadline exceeded");
+        assert!(format!("{e}").contains("cancelled: deadline exceeded"));
+        let e = FaseError::busy("tenant queue", 250);
+        assert!(format!("{e}").contains("tenant queue full, retry after 250 ms"));
     }
 }

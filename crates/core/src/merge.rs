@@ -216,4 +216,57 @@ mod tests {
         assert!(merged.is_empty());
         assert!(merged.health().is_none());
     }
+
+    #[test]
+    fn zero_band_merge_is_byte_stable() {
+        // The degenerate server case — a sweep cancelled before any band
+        // finished — must serialize identically on every merge.
+        let a = merge_band_reports(&[], Hertz(500.0), 0.003);
+        let b = merge_band_reports(&[], Hertz(500.0), 0.003);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("\"carriers\": []"), "{}", a.to_json());
+    }
+
+    #[test]
+    fn all_bands_degraded_sums_health_byte_identically() {
+        // Every band lost captures: the sums are exact integers, the
+        // merged report keeps the [DEGRADED] marking, and a re-merge of
+        // the same inputs is byte-identical.
+        let band = |f: f64, surviving: usize| {
+            let mut h = CampaignHealth::new(8);
+            h.surviving = surviving;
+            report(vec![carrier(f, 50.0)]).with_health(h)
+        };
+        let bands = [band(100_000.0, 5), band(500_000.0, 6), band(900_000.0, 7)];
+        let merged = merge_band_reports(&bands, Hertz(500.0), 0.003);
+        let health = merged.health().expect("merged health");
+        assert_eq!((health.planned, health.surviving), (24, 18));
+        assert!(merged.is_degraded());
+        let again = merge_band_reports(&bands, Hertz(500.0), 0.003);
+        assert_eq!(merged.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn duplicates_exactly_on_the_seam_boundary_collapse() {
+        // The dedup comparison is inclusive (`<=`): two detections split
+        // by *exactly* the seam tolerance are one emitter. The survivor
+        // then regroups with the other band's fundamental, and the whole
+        // report is byte-identical to one that only ever saw the
+        // surviving copies.
+        let a = report(vec![carrier(200_000.0, 120.0), carrier(400_000.0, 80.0)]);
+        let b = report(vec![carrier(400_500.0, 90.0)]);
+        let merged = merge_band_reports(&[a, b], Hertz(500.0), 0.003);
+        assert_eq!(merged.len(), 2, "{merged}");
+        assert_eq!(merged.harmonic_sets().len(), 1, "{merged}");
+        assert_eq!(
+            merged
+                .harmonic_sets()
+                .first()
+                .expect("one set")
+                .harmonic_numbers(),
+            vec![1, 2]
+        );
+        let expected = report(vec![carrier(200_000.0, 120.0), carrier(400_500.0, 90.0)]);
+        assert_eq!(merged.to_json(), expected.to_json());
+    }
 }

@@ -13,8 +13,11 @@
 //!   in DSP hot paths must go through the guarded helpers in
 //!   `fase_dsp::units` / `fase_dsp::stats`.
 //! * **S — structural**: `pub fn`s returning `Result` document `# Errors`,
-//!   and `FaseError` variants are built only via their designated
-//!   constructors in `core::error`.
+//!   `FaseError` variants are built only via their designated
+//!   constructors in `core::error`, and `Mutex`/`RwLock` guards are never
+//!   discarded at the binding site (`let _ = m.lock()` empties the
+//!   critical section the author thought they were holding — PR 7's
+//!   concurrent server made this a standing hazard).
 //!
 //! Findings are suppressed by `// fase-lint: allow(<rule>) -- why` pragmas
 //! ([`crate::pragma`]); test code (`#[cfg(test)]` modules, `#[test]` fns)
@@ -39,6 +42,7 @@ pub const RULES: &[&str] = &[
     "U-nan",
     "S-errdoc",
     "S-errctor",
+    "S-lock",
     "L-pragma",
 ];
 
@@ -55,6 +59,8 @@ pub struct RuleSet {
     pub errdoc: bool,
     /// `FaseError` designated-constructor rule (`S-errctor`).
     pub errctor: bool,
+    /// Discarded lock-guard rule (`S-lock`).
+    pub locks: bool,
 }
 
 impl RuleSet {
@@ -66,6 +72,7 @@ impl RuleSet {
             units: true,
             errdoc: true,
             errctor: true,
+            locks: true,
         }
     }
 
@@ -286,6 +293,58 @@ pub fn check_file(rel_path: &str, source: &str, rules: RuleSet) -> Vec<Finding> 
         }
     }
 
+    // S-lock: `let _ = <expr>.lock()` (or zero-arg `.read()`/`.write()`)
+    // drops the guard before the semicolon — the critical section the
+    // author meant to hold is empty. Named bindings (`let _guard = …`)
+    // scope the guard and are fine; argument-taking `.write(buf)` calls
+    // are I/O, not guards, and are ignored.
+    if rules.locks {
+        let mut i = 0usize;
+        while i < tokens.len() {
+            if in_test(i)
+                || !tokens[i].is_ident("let")
+                || !tokens.get(i + 1).is_some_and(|t| t.is_ident("_"))
+                || !tokens.get(i + 2).is_some_and(|t| t.is_punct('='))
+            {
+                i += 1;
+                continue;
+            }
+            // Scan the initializer up to the statement's `;` for a
+            // guard-returning zero-arg method call.
+            let mut depth = 0usize;
+            let mut j = i + 3;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                } else if t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "lock" | "read" | "write")
+                    && j >= 1
+                    && tokens[j - 1].is_punct('.')
+                    && tokens.get(j + 1).is_some_and(|n| n.is_punct('('))
+                    && tokens.get(j + 2).is_some_and(|n| n.is_punct(')'))
+                {
+                    push(
+                        "S-lock",
+                        t,
+                        format!(
+                            "`let _ = ….{}()` discards the guard immediately, emptying the \
+                             critical section; bind it to a named variable scoped over the \
+                             protected work",
+                            t.text
+                        ),
+                    );
+                }
+                j += 1;
+            }
+            i = j + 1;
+        }
+    }
+
     if rules.errdoc {
         check_errdoc(rel_path, tokens, &lexed.comments, &in_test, &mut raw);
     }
@@ -345,7 +404,9 @@ fn brace_body_is_pattern(tokens: &[Tok], open: usize) -> bool {
 
 /// True when the payload delimiters opening at `open` are followed by a
 /// match-arm marker — `=>`, an or-pattern `|`, or a guard `if` — meaning
-/// the variant path is a match pattern, not a construction.
+/// the variant path is a match pattern, not a construction. Enclosing
+/// tuple-struct wrappers are looked through, so
+/// `Err(FaseError::Cancelled(reason)) =>` reads as a pattern too.
 fn payload_is_match_arm(tokens: &[Tok], open: usize) -> bool {
     let Some(t) = tokens.get(open) else {
         return false;
@@ -364,9 +425,19 @@ fn payload_is_match_arm(tokens: &[Tok], open: usize) -> bool {
         } else if tokens[j].is_punct(c) {
             depth -= 1;
             if depth == 0 {
-                let next = tokens.get(j + 1);
+                // Skip closing parens (and trailing commas) of enclosing
+                // wrappers — `Err(…) =>`, `Err(\n    …,\n) =>` — before
+                // looking for the arm marker.
+                let mut k = j + 1;
+                while tokens
+                    .get(k)
+                    .is_some_and(|n| n.is_punct(')') || n.is_punct(','))
+                {
+                    k += 1;
+                }
+                let next = tokens.get(k);
                 let arrow = next.is_some_and(|n| n.is_punct('='))
-                    && tokens.get(j + 2).is_some_and(|n| n.is_punct('>'));
+                    && tokens.get(k + 1).is_some_and(|n| n.is_punct('>'));
                 return arrow
                     || next.is_some_and(|n| n.is_punct('|'))
                     || next.is_some_and(|n| n.is_ident("if"));
@@ -862,9 +933,18 @@ fn arms(e: FaseError) -> usize {
         FaseError::CaptureFailed { .. } => 1,
     }
 }
+fn wrapped_patterns(r: Result<(), FaseError>) -> bool {
+    match r {
+        Err(FaseError::Worker(reason)) => !reason.is_empty(),
+        _ => false,
+    }
+}
+fn wrapped_construction() -> Result<(), FaseError> {
+    Err(FaseError::Worker(\"died\".to_owned()))
+}
 ";
         let found = rules_of(src, RuleSet::all());
-        assert_eq!(found, vec![("S-errctor", 2)]);
+        assert_eq!(found, vec![("S-errctor", 2), ("S-errctor", 26)]);
     }
 
     #[test]
@@ -880,6 +960,45 @@ fn f(x: u32) {
 ";
         let found = rules_of(src, RuleSet::all());
         assert_eq!(found, vec![("P-panic", 5)]);
+    }
+
+    #[test]
+    fn discarded_lock_guards_flagged() {
+        let src = "\
+fn f(m: &std::sync::Mutex<u32>, rw: &std::sync::RwLock<u32>) {
+    let _ = m.lock();
+    let _ = rw.read();
+    let _ = rw.write();
+}
+";
+        let found = rules_of(src, RuleSet::all());
+        assert_eq!(found, vec![("S-lock", 2), ("S-lock", 3), ("S-lock", 4)]);
+    }
+
+    #[test]
+    fn named_guards_and_io_writes_not_flagged() {
+        let src = "\
+fn f(m: &std::sync::Mutex<u32>, out: &mut dyn std::io::Write, buf: &[u8]) -> u32 {
+    let guard = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = out.write(buf);
+    let _n = out.flush();
+    *guard
+}
+";
+        assert!(rules_of(src, RuleSet::all()).is_empty());
+    }
+
+    #[test]
+    fn lock_rule_scoped_by_ruleset() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) { let _ = m.lock(); }\n";
+        let without = rules_of(
+            src,
+            RuleSet {
+                locks: false,
+                ..RuleSet::all()
+            },
+        );
+        assert!(without.is_empty(), "{without:?}");
     }
 
     #[test]

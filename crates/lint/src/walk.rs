@@ -2,15 +2,20 @@
 //!
 //! The scope map encodes *which promise applies where*:
 //!
-//! | scope                                   | D | P | U | S-errdoc | S-errctor |
-//! |-----------------------------------------|---|---|---|----------|-----------|
-//! | `fase-dsp`/`core`/`emsim`/`specan` src  | ✓ | ✓ |   | ✓        | ✓         |
-//! | `fase-obs` src (clock waiver inside)    | ✓ | ✓ |   | ✓        | ✓         |
-//! | DSP hot-path files (spectrum, fft, …)   | ✓ | ✓ | ✓ | ✓        | ✓         |
-//! | `fase-sysmodel`/`baseline`/root src     |   | ✓ |   | ✓        | ✓         |
-//! | `fase-cli` (except `main.rs`)           |   | ✓ |   | ✓        | ✓         |
-//! | `core/src/error.rs` (designated site)   | ✓ | ✓ |   | ✓        |           |
-//! | `crates/bench`, `crates/lint`, tests    |   |   |   |          |           |
+//! | scope                                   | D | P | U | S-errdoc | S-errctor | S-lock |
+//! |-----------------------------------------|---|---|---|----------|-----------|--------|
+//! | `fase-dsp`/`core`/`emsim`/`specan` src  | ✓ | ✓ |   | ✓        | ✓         | ✓      |
+//! | `fase-obs` src (clock waiver inside)    | ✓ | ✓ |   | ✓        | ✓         | ✓      |
+//! | DSP hot-path files (spectrum, fft, …)   | ✓ | ✓ | ✓ | ✓        | ✓         | ✓      |
+//! | `fase-sysmodel`/`baseline`/root src     |   | ✓ |   | ✓        | ✓         | ✓      |
+//! | `fase-serve` src (concurrent server)    |   | ✓ |   | ✓        | ✓         | ✓      |
+//! | `fase-cli` (except `main.rs`)           |   | ✓ |   | ✓        | ✓         | ✓      |
+//! | `core/src/error.rs` (designated site)   | ✓ | ✓ |   | ✓        |           | ✓      |
+//! | `crates/bench`, `crates/lint`, tests    |   |   |   |          |           |        |
+//!
+//! `S-lock` (discarded `Mutex`/`RwLock` guards) tracks the panic-freedom
+//! scope: everywhere library code is expected to degrade instead of
+//! abort, it must also actually hold the locks it takes.
 //!
 //! `units.rs`/`stats.rs` inside fase-dsp are the *homes* of the guarded
 //! helpers, so the U rules do not apply to them; `rng.rs` and `complex.rs`
@@ -29,7 +34,7 @@ const DETERMINISTIC_CRATES: &[&str] = &["dsp", "core", "emsim", "obs", "specan"]
 /// Crates whose library code must be panic-free (rule group P); `cli` is
 /// handled separately because its `main.rs` is exempt.
 const PANIC_FREE_CRATES: &[&str] = &[
-    "dsp", "core", "emsim", "obs", "specan", "sysmodel", "baseline", "cli",
+    "dsp", "core", "emsim", "obs", "specan", "sysmodel", "baseline", "serve", "cli",
 ];
 
 /// DSP hot-path files subject to the units/float-hygiene rules (group U).
@@ -87,11 +92,13 @@ pub fn classify(rel: &str) -> Option<RuleSet> {
                 PANIC_FREE_CRATES.contains(&name) && !(name == "cli" && rel.ends_with("/main.rs"));
             rules.units = HOT_PATHS.contains(&rel);
             rules.errdoc = rules.panic_freedom;
+            rules.locks = PANIC_FREE_CRATES.contains(&name);
         }
         None => {
             // The root `fase` facade crate.
             rules.panic_freedom = true;
             rules.errdoc = true;
+            rules.locks = true;
         }
     }
     if rules.is_empty() {
@@ -183,6 +190,13 @@ mod tests {
         );
         let obs_bin = classify("crates/obs/src/bin/validate.rs").unwrap();
         assert!(obs_bin.determinism && obs_bin.panic_freedom);
+        let serve = classify("crates/serve/src/server.rs").unwrap();
+        assert!(
+            !serve.determinism && serve.panic_freedom && serve.errdoc && serve.locks,
+            "the concurrent server is panic-free and lock-disciplined, \
+             but free to use the wall clock"
+        );
+        assert!(classify("crates/specan/src/scheduler.rs").unwrap().locks);
     }
 
     #[test]

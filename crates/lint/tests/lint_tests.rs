@@ -135,6 +135,21 @@ fn pragma_fixture_waives_and_reports_hygiene() {
 }
 
 #[test]
+fn locks_fixture_flags_only_discarded_guards() {
+    let findings = fixture("locks.rs");
+    assert_eq!(
+        rules_fired(&findings),
+        ["S-lock"].into_iter().collect(),
+        "{findings:#?}"
+    );
+    assert_eq!(
+        lines_of(&findings, "S-lock"),
+        vec![7, 8, 9],
+        "{findings:#?}"
+    );
+}
+
+#[test]
 fn clean_fixture_is_silent() {
     let findings = fixture("clean.rs");
     assert!(findings.is_empty(), "false positives: {findings:#?}");

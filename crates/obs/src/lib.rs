@@ -146,6 +146,31 @@ impl Recorder {
         self.count(name, u64::try_from(by).unwrap_or(u64::MAX));
     }
 
+    /// Add `by` to the counter `<name>.<label>`, sanitizing `label` so
+    /// caller-supplied identifiers (e.g. tenant names arriving over the
+    /// wire) cannot inject separator structure into the metric
+    /// namespace: anything outside `[A-Za-z0-9_-]` becomes `_`, and an
+    /// empty label becomes `_`. This is the per-tenant counter surface
+    /// the serving layer exports request/rejection counts through.
+    pub fn count_labeled(&self, name: &str, label: &str, by: u64) {
+        if let Some(sink) = self.active_sink() {
+            let mut key = String::with_capacity(name.len() + label.len() + 1);
+            key.push_str(name);
+            key.push('.');
+            if label.is_empty() {
+                key.push('_');
+            }
+            for c in label.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                    key.push(c);
+                } else {
+                    key.push('_');
+                }
+            }
+            sink.add_count(&key, by);
+        }
+    }
+
     /// Record a warning occurrence; rendered in the `warnings` section
     /// of the human report and exported as the counter `warn.<name>`.
     pub fn warn(&self, name: &str) {
@@ -269,6 +294,19 @@ mod tests {
         // 0 and 1 both land in b00; 1000 in b09 (512..1024).
         assert_eq!(lat.buckets.get("b00"), Some(&2));
         assert_eq!(lat.buckets.get("b09"), Some(&1));
+    }
+
+    #[test]
+    fn labeled_counters_sanitize_hostile_labels() {
+        let rec = Recorder::detached();
+        rec.count_labeled("serve.tenant.requests", "acme-1", 2);
+        rec.count_labeled("serve.tenant.requests", "acme-1", 1);
+        rec.count_labeled("serve.tenant.requests", "a b\".c", 1);
+        rec.count_labeled("serve.tenant.requests", "", 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.get("serve.tenant.requests.acme-1"), Some(&3));
+        assert_eq!(snap.counters.get("serve.tenant.requests.a_b__c"), Some(&1));
+        assert_eq!(snap.counters.get("serve.tenant.requests._"), Some(&1));
     }
 
     #[test]

@@ -68,6 +68,109 @@ fn digest_hex(bytes: &[u8]) -> String {
     )
 }
 
+/// Total time a writer waits for the directory lock before giving up.
+const LOCK_TIMEOUT_MS: u64 = 10_000;
+
+/// After waiting this long on a lock file with unreadable contents, the
+/// holder is presumed to have died between creating the file and writing
+/// its PID, and the lock is stolen.
+const LOCK_UNREADABLE_GRACE_MS: u64 = 500;
+
+/// An advisory cross-process writer lock on a cache directory.
+///
+/// Entry and manifest writes are temp-file + rename, which is safe
+/// against *readers* — but two writers sharing a directory (two sweeps
+/// with the same `--cache-dir`, or the server's request threads) can
+/// race on the same temp name and rename each other's half-written file
+/// into place. Every write therefore takes this lock first.
+///
+/// The lock is a `create_new` file holding the owner's PID. A waiter
+/// that finds the file checks whether the recorded PID is still alive
+/// (via `/proc`); a dead owner's lock is stolen, a live owner's is
+/// waited on with growing sleeps, bounded by [`LOCK_TIMEOUT_MS`].
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Acquires the writer lock for `dir`, blocking (with backoff) while
+    /// another live process or thread holds it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaseError::Cache`] when the lock file cannot be created
+    /// for I/O reasons, or when a live holder keeps it past
+    /// [`LOCK_TIMEOUT_MS`].
+    pub fn acquire(dir: &Path) -> Result<DirLock, FaseError> {
+        let path = dir.join(".fase-cache.lock");
+        let mut waited_ms = 0u64;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    use std::io::Write as _;
+                    // A failed PID write leaves the lock held but
+                    // anonymous; waiters then apply the unreadable-lock
+                    // grace period instead of PID liveness.
+                    let _ = writeln!(file, "pid {}", std::process::id());
+                    return Ok(DirLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if holder_is_stale(&path, waited_ms) {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                }
+                Err(e) => {
+                    return Err(FaseError::cache(format!(
+                        "creating lock {}: {e}",
+                        path.display()
+                    )))
+                }
+            }
+            if waited_ms >= LOCK_TIMEOUT_MS {
+                return Err(FaseError::cache(format!(
+                    "lock {} held by a live process for over {LOCK_TIMEOUT_MS} ms",
+                    path.display()
+                )));
+            }
+            let step = (waited_ms / 8).clamp(1, 20);
+            std::thread::sleep(std::time::Duration::from_millis(step));
+            waited_ms += step;
+        }
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// True when the lock at `path` belongs to a process that no longer
+/// exists. A vanished file reads as *not* stale (its owner just released
+/// it — the acquire loop will retry `create_new` immediately anyway); an
+/// unreadable PID becomes stale only after a grace period, so a holder
+/// between "create" and "write PID" is not robbed. Without `/proc`
+/// liveness is unknowable and the acquire timeout is the only bound.
+fn holder_is_stale(path: &Path, waited_ms: u64) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let pid = text
+        .strip_prefix("pid ")
+        .and_then(|t| t.trim().parse::<u32>().ok());
+    let Some(pid) = pid else {
+        return waited_ms >= LOCK_UNREADABLE_GRACE_MS;
+    };
+    let proc_root = Path::new("/proc");
+    proc_root.exists() && !proc_root.join(pid.to_string()).exists()
+}
+
 /// A content-address: the 128-bit hex digest of a canonical capture
 /// description. Equal descriptions — same scene, machine, band,
 /// alternation family, averaging, fault plan, seed — produce equal keys.
@@ -172,13 +275,15 @@ impl CaptureCache {
     }
 
     /// Persists a reduced band campaign under `key`. The entry is written
-    /// to a temporary file and renamed into place, so a concurrent or
-    /// killed writer can never leave a half-entry under the final name —
-    /// at worst the integrity hash catches a torn rename target.
+    /// to a temporary file and renamed into place under the directory's
+    /// [`DirLock`], so a concurrent or killed writer can never leave a
+    /// half-entry under the final name — at worst the integrity hash
+    /// catches a torn rename target.
     ///
     /// # Errors
     ///
-    /// Returns [`FaseError::Cache`] when the entry cannot be written.
+    /// Returns [`FaseError::Cache`] when the entry cannot be written or
+    /// the writer lock cannot be acquired.
     pub fn store(&self, key: &CacheKey, spectra: &CampaignSpectra) -> Result<(), FaseError> {
         let payload = encode_spectra(spectra);
         let text = format!(
@@ -188,10 +293,12 @@ impl CaptureCache {
         );
         let tmp = self.dir.join(format!("{}.tmp", key.hex()));
         let path = self.entry_path(key);
+        let lock = DirLock::acquire(&self.dir)?;
         std::fs::write(&tmp, text)
             .map_err(|e| FaseError::cache(format!("writing {}: {e}", tmp.display())))?;
         std::fs::rename(&tmp, &path)
             .map_err(|e| FaseError::cache(format!("renaming into {}: {e}", path.display())))?;
+        drop(lock);
         Ok(())
     }
 }
@@ -550,7 +657,8 @@ impl SweepManifest {
         self.done.len() == self.bands
     }
 
-    /// Atomic rewrite: temp file + rename, same discipline as entries.
+    /// Atomic rewrite: temp file + rename under the directory's
+    /// [`DirLock`], same discipline as entries.
     fn persist(&self) -> Result<(), FaseError> {
         let mut text = format!(
             "{MANIFEST_MAGIC}\nspan {} bands {}\n",
@@ -560,10 +668,13 @@ impl SweepManifest {
             let _ = writeln!(text, "done {band} {entry}");
         }
         let tmp = self.path.with_extension("manifest.tmp");
+        let dir = self.path.parent().unwrap_or(Path::new("."));
+        let lock = DirLock::acquire(dir)?;
         std::fs::write(&tmp, text)
             .map_err(|e| FaseError::cache(format!("writing {}: {e}", tmp.display())))?;
         std::fs::rename(&tmp, &self.path)
             .map_err(|e| FaseError::cache(format!("renaming into {}: {e}", self.path.display())))?;
+        drop(lock);
         Ok(())
     }
 }
@@ -704,6 +815,70 @@ mod tests {
         assert_eq!(loaded.done_count(), 2);
         // A different plan (band count) refuses to resume against it.
         assert!(SweepManifest::load(&dir, &span, 4).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn two_threads_hammering_one_dir_stay_consistent() {
+        // The DirLock serializes entry + manifest writes: two threads
+        // storing under distinct and *shared* keys, while re-persisting a
+        // manifest, must leave every entry loadable and hash-valid.
+        let dir = temp_dir("hammer");
+        let cache = std::sync::Arc::new(CaptureCache::open(&dir).unwrap());
+        let spectra = std::sync::Arc::new(sample_spectra(true));
+        let span = CacheKey::from_description("hammer-span");
+        std::thread::scope(|scope| {
+            for t in 0..2u32 {
+                let cache = std::sync::Arc::clone(&cache);
+                let spectra = std::sync::Arc::clone(&spectra);
+                let span = span.clone();
+                scope.spawn(move || {
+                    let mut manifest = SweepManifest::create(cache.dir(), &span, 1000).unwrap();
+                    for i in 0..40u32 {
+                        let key = CacheKey::from_description(&format!("hammer-{}", i % 8));
+                        cache.store(&key, &spectra).unwrap();
+                        manifest.mark_done((t * 40 + i) as usize, &key).unwrap();
+                    }
+                });
+            }
+        });
+        for i in 0..8u32 {
+            let key = CacheKey::from_description(&format!("hammer-{i}"));
+            match cache.load(&key) {
+                CacheLookup::Hit(loaded) => assert_eq!(*loaded, *spectra),
+                other => panic!("entry {i} unreadable after hammer: {other:?}"),
+            }
+        }
+        // Both writers released the lock.
+        assert!(!dir.join(".fase-cache.lock").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_stolen() {
+        let dir = temp_dir("stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        // PIDs near u32::MAX exceed the kernel's pid_max; no live process
+        // can own this lock.
+        std::fs::write(dir.join(".fase-cache.lock"), "pid 4294967295\n").unwrap();
+        let lock = DirLock::acquire(&dir).unwrap();
+        drop(lock);
+        assert!(!dir.join(".fase-cache.lock").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn held_lock_blocks_until_released() {
+        let dir = temp_dir("held");
+        std::fs::create_dir_all(&dir).unwrap();
+        let first = DirLock::acquire(&dir).unwrap();
+        let dir2 = dir.clone();
+        let waiter = std::thread::spawn(move || DirLock::acquire(&dir2).map(drop));
+        // The waiter sees our live PID and must not steal.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!waiter.is_finished(), "lock was stolen from a live owner");
+        drop(first);
+        waiter.join().unwrap().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,195 @@
+//! Cooperative cancellation for campaigns and sweeps.
+//!
+//! A [`CancelToken`] carries a request's execution budget: an optional
+//! wall-clock deadline, an optional capture budget, and an explicit
+//! cancel flag. The pooled runner checks the token before pulling each
+//! capture task and the sweep scheduler checks it before each band, so
+//! cancellation latency is bounded by one capture — no thread is ever
+//! killed, no partial file is ever left behind.
+//!
+//! The default token ([`CancelToken::default`]) is *inert*: it never
+//! fires, costs one null check per poll, and keeps the default campaign
+//! and sweep paths bit-identical to the pre-cancellation runner. Only
+//! tokens built through [`CancelToken::new`] (or the budget builders) can
+//! fire, which is why deadline checks — read off the sanctioned
+//! monotonic clock, [`fase_obs::monotonic_ns`] — cannot perturb a run
+//! that never asked for a deadline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation state; see [`CancelToken`].
+#[derive(Debug)]
+struct Inner {
+    /// Explicit cancellation, set by [`CancelToken::cancel`].
+    cancelled: AtomicBool,
+    /// Absolute [`fase_obs::monotonic_ns`] deadline; `0` means none.
+    deadline_ns: AtomicU64,
+    /// Remaining capture budget; `u64::MAX` means unlimited.
+    captures_left: AtomicU64,
+}
+
+/// A cloneable, thread-safe cooperative cancellation token.
+///
+/// Clones share state: cancelling any clone cancels them all, and every
+/// capture consumed anywhere draws down the one shared budget. The
+/// runner and scheduler only ever *poll* the token; whoever created it
+/// decides when (and whether) it fires.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// Creates an armed token with no deadline and no capture budget; it
+    /// fires only when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline_ns: AtomicU64::new(0),
+                captures_left: AtomicU64::new(u64::MAX),
+            })),
+        }
+    }
+
+    /// The inert token: never fires, and [`CancelToken::cancel`] on it is
+    /// a no-op. This is the default everywhere a token is optional.
+    pub fn never() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Returns `self` if already armed, otherwise a fresh armed token.
+    fn armed(self) -> CancelToken {
+        if self.inner.is_some() {
+            self
+        } else {
+            CancelToken::new()
+        }
+    }
+
+    /// Arms the token (if it was inert) and sets an absolute deadline on
+    /// the [`fase_obs::monotonic_ns`] clock. A deadline of `0` is nudged
+    /// to `1` (i.e. "already expired"), never "none".
+    #[must_use]
+    pub fn with_deadline_at_ns(self, deadline_ns: u64) -> CancelToken {
+        let token = self.armed();
+        if let Some(inner) = &token.inner {
+            inner
+                .deadline_ns
+                .store(deadline_ns.max(1), Ordering::Relaxed);
+        }
+        token
+    }
+
+    /// Arms the token and sets a deadline `ms` milliseconds from now.
+    #[must_use]
+    pub fn with_deadline_in_ms(self, ms: u64) -> CancelToken {
+        let deadline = fase_obs::monotonic_ns().saturating_add(ms.saturating_mul(1_000_000));
+        self.with_deadline_at_ns(deadline)
+    }
+
+    /// Arms the token and caps the number of captures it will allow;
+    /// every executed capture attempt draws one unit
+    /// ([`CancelToken::consume_capture`]).
+    #[must_use]
+    pub fn with_capture_budget(self, captures: u64) -> CancelToken {
+        let token = self.armed();
+        if let Some(inner) = &token.inner {
+            inner.captures_left.store(captures, Ordering::Relaxed);
+        }
+        token
+    }
+
+    /// Requests cancellation. No-op on the inert token.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Draws one capture from the budget (saturating at zero); a no-op
+    /// when the token is inert or unlimited.
+    pub fn consume_capture(&self) {
+        let Some(inner) = &self.inner else { return };
+        let _ = inner
+            .captures_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| {
+                if left == u64::MAX || left == 0 {
+                    None
+                } else {
+                    Some(left - 1)
+                }
+            });
+    }
+
+    /// True once any budget has fired: explicit cancel, deadline passed,
+    /// or capture budget exhausted.
+    pub fn is_cancelled(&self) -> bool {
+        self.cause().is_some()
+    }
+
+    /// Why the token fired, or `None` while it has not. Explicit cancels
+    /// win over deadlines, deadlines over budget exhaustion.
+    pub fn cause(&self) -> Option<&'static str> {
+        let inner = self.inner.as_ref()?;
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return Some("cancelled by caller");
+        }
+        let deadline = inner.deadline_ns.load(Ordering::Relaxed);
+        if deadline != 0 && fase_obs::monotonic_ns() >= deadline {
+            return Some("deadline exceeded");
+        }
+        if inner.captures_left.load(Ordering::Relaxed) == 0 {
+            return Some("capture budget exhausted");
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_fires() {
+        let token = CancelToken::never();
+        token.cancel();
+        token.consume_capture();
+        assert!(!token.is_cancelled());
+        assert!(token.cause().is_none());
+    }
+
+    #[test]
+    fn explicit_cancel_fires_on_all_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.cause(), Some("cancelled by caller"));
+    }
+
+    #[test]
+    fn expired_deadline_fires() {
+        let token = CancelToken::new().with_deadline_at_ns(1);
+        assert!(token.is_cancelled());
+        assert_eq!(token.cause(), Some("deadline exceeded"));
+        let generous = CancelToken::new().with_deadline_in_ms(120_000);
+        assert!(!generous.is_cancelled());
+    }
+
+    #[test]
+    fn capture_budget_draws_down_shared() {
+        let token = CancelToken::new().with_capture_budget(2);
+        let clone = token.clone();
+        token.consume_capture();
+        assert!(!clone.is_cancelled());
+        clone.consume_capture();
+        assert!(token.is_cancelled());
+        assert_eq!(token.cause(), Some("capture budget exhausted"));
+        // Saturates: further draws stay at zero.
+        token.consume_capture();
+        assert!(token.is_cancelled());
+    }
+}

@@ -27,6 +27,7 @@
 pub mod analyzer;
 pub mod antenna;
 pub mod cache;
+pub mod cancel;
 pub mod fault;
 pub mod probe;
 pub mod runner;
@@ -35,7 +36,8 @@ pub mod sweep;
 
 pub use analyzer::SpectrumAnalyzer;
 pub use antenna::AntennaResponse;
-pub use cache::{CacheKey, CacheLookup, CaptureCache, SweepManifest};
+pub use cache::{CacheKey, CacheLookup, CaptureCache, DirLock, SweepManifest};
+pub use cancel::CancelToken;
 pub use fault::{FaultKind, FaultPlan, FaultRates};
 pub use probe::{IqCapture, ProbeConfig};
 pub use runner::{

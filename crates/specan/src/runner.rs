@@ -2,6 +2,7 @@
 //! rendering, capture, averaging and stitching for a full FASE campaign.
 
 use crate::analyzer::SpectrumAnalyzer;
+use crate::cancel::CancelToken;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::sweep::SweepPlan;
 use fase_core::{
@@ -500,6 +501,11 @@ pub struct CampaignOptions {
     /// report through (default is the process-wide recorder, inert unless
     /// enabled). Observability never affects campaign output.
     pub recorder: Recorder,
+    /// Cooperative cancellation budget (deadline / capture budget /
+    /// explicit cancel). The default token never fires, so default runs
+    /// stay bit-identical; a fired token stops workers before their next
+    /// task and surfaces as [`FaseError::Cancelled`] from the reduce.
+    pub cancel: CancelToken,
 }
 
 impl Default for CampaignOptions {
@@ -512,6 +518,7 @@ impl Default for CampaignOptions {
             max_attempts: DEFAULT_MAX_ATTEMPTS,
             averaging: Averaging::default(),
             recorder: Recorder::global(),
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -735,6 +742,7 @@ where
     let averaging = options.averaging;
     let fault_plan = options.fault_plan.as_ref();
     let recorder = &options.recorder;
+    let cancel = &options.cancel;
     let _campaign = span!(recorder, "campaign");
     let next = AtomicUsize::new(0);
     let prepared: Vec<Mutex<Option<std::sync::Arc<Prepared>>>> =
@@ -754,6 +762,11 @@ where
                 let f_alts = &f_alts;
                 let segments = &segments;
                 scope.spawn(move || loop {
+                    // Cooperative cancellation: stop before claiming the
+                    // next task, so latency is bounded by one capture.
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&task) = tasks.get(i) else { break };
                     let prep = prepared_for(
@@ -796,6 +809,7 @@ where
                             synth_mode,
                             recorder,
                         );
+                        cancel.consume_capture();
                         attempt += 1;
                         match out {
                             Ok(out) => {
@@ -865,10 +879,17 @@ where
         for _ in segments {
             let mut captures = Vec::with_capacity(averages);
             for _ in 0..averages {
-                let result = outputs
-                    .next()
-                    .flatten()
-                    .ok_or_else(|| FaseError::worker("capture task never ran"))?;
+                let result = match outputs.next().flatten() {
+                    Some(result) => result,
+                    // A hole in the results with a fired token is the
+                    // cancellation itself, not a scheduler bug.
+                    None if options.cancel.is_cancelled() => {
+                        return Err(FaseError::cancelled(
+                            options.cancel.cause().unwrap_or("cancelled"),
+                        ))
+                    }
+                    None => return Err(FaseError::worker("capture task never ran")),
+                };
                 if result.attempts > 1 {
                     health.retried_tasks += 1;
                     health.total_retries += (result.attempts - 1) as usize;
@@ -1149,6 +1170,69 @@ mod tests {
             matches!(&err, FaseError::Worker(msg) if msg.contains("synthetic factory failure")),
             "expected Worker error, got {err:?}"
         );
+    }
+
+    #[test]
+    fn pre_cancelled_campaign_returns_cancelled() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let err = run_campaign_with_options(
+            &small_config(),
+            ActivityPair::LdmLdl1,
+            |_| demo_system(6),
+            77,
+            CampaignOptions {
+                threads: Some(2),
+                cancel: token,
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, FaseError::Cancelled(msg) if msg.contains("cancelled by caller")),
+            "expected Cancelled, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn exhausted_capture_budget_cancels_mid_campaign() {
+        // 15 captures planned; a budget of 4 stops the workers early and
+        // the reduce reports the budget as the cause.
+        let err = run_campaign_with_options(
+            &small_config(),
+            ActivityPair::LdmLdl1,
+            |_| demo_system(6),
+            77,
+            CampaignOptions {
+                threads: Some(1),
+                cancel: crate::CancelToken::new().with_capture_budget(4),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, FaseError::Cancelled(msg) if msg.contains("capture budget")),
+            "expected Cancelled(budget), got {err:?}"
+        );
+    }
+
+    #[test]
+    fn inert_token_leaves_campaign_bit_identical() {
+        let config = small_config();
+        let plain =
+            run_campaign_parallel(&config, ActivityPair::LdmLdl1, |_| demo_system(6), 77).unwrap();
+        let with_token = run_campaign_with_options(
+            &config,
+            ActivityPair::LdmLdl1,
+            |_| demo_system(6),
+            77,
+            CampaignOptions {
+                cancel: crate::CancelToken::never(),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, with_token);
     }
 
     #[test]

@@ -132,6 +132,12 @@ pub struct SweepOutcome {
     /// True when every band was computed or cached; false when shard
     /// assignment skipped some (the report then covers a partial span).
     pub complete: bool,
+    /// True when the sweep's [`crate::CancelToken`] fired and remaining
+    /// bands were abandoned. The report then covers only the finished
+    /// bands and its health counts the abandoned bands' alternations as
+    /// planned-but-lost, so [`FaseReport::is_degraded`] is true — the
+    /// partial report prints and serializes as degraded.
+    pub cancelled: bool,
 }
 
 /// The campaign configuration one band runs.
@@ -297,12 +303,27 @@ where
     };
 
     let analyzer = Fase::new(options.analysis).with_recorder(recorder.clone());
+    let cancel = &options.campaign.cancel;
     let mut outcomes = Vec::with_capacity(bands.len());
     let mut reports = Vec::with_capacity(bands.len());
     let mut hits = 0usize;
     let mut misses = 0usize;
+    let mut cancelled = false;
 
     for band in &bands {
+        // Band-granularity cancellation: once the token fires, finished
+        // bands stand (they are cached and marked done in the manifest)
+        // and everything else — cache probes included — is abandoned.
+        if cancelled || cancel.is_cancelled() {
+            cancelled = true;
+            outcomes.push(BandOutcome {
+                band: *band,
+                from_cache: false,
+                skipped: true,
+                carriers: 0,
+            });
+            continue;
+        }
         let _band_span = recorder.span("specan.sweep_band");
         let band_config = band_config(config, band)?;
         let band_seed = mix_seed(seed, band.index as u64);
@@ -343,13 +364,29 @@ where
                         continue;
                     }
                 }
-                let spectra = run_campaign_with_options(
+                let spectra = match run_campaign_with_options(
                     &band_config,
                     pair,
                     &factory,
                     band_seed,
                     options.campaign.clone(),
-                )?;
+                ) {
+                    Ok(spectra) => spectra,
+                    // The token fired mid-band: nothing of this band is
+                    // kept (its captures never reduced), so the sweep
+                    // degrades to the bands already finished.
+                    Err(FaseError::Cancelled(_)) => {
+                        cancelled = true;
+                        outcomes.push(BandOutcome {
+                            band: *band,
+                            from_cache: false,
+                            skipped: true,
+                            carriers: 0,
+                        });
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
                 if let Some(cache) = &cache {
                     cache.store(&key, &spectra)?;
                 }
@@ -380,12 +417,23 @@ where
         Hertz(2.0 * config.resolution.hz())
     };
     let complete = outcomes.iter().all(|o| !o.skipped);
+    let mut report = merge_band_reports(&reports, seam, options.analysis.group_rel_tol);
+    if cancelled {
+        // Count the abandoned bands' alternations as planned-but-lost so
+        // the partial report carries the degraded mark (PR 2 semantics):
+        // `surviving < planned` makes `is_degraded()` true.
+        let abandoned = outcomes.iter().filter(|o| o.skipped).count();
+        let mut health = report.health().cloned().unwrap_or_default();
+        health.planned += abandoned * config.alternations;
+        report = report.with_health(health);
+    }
     Ok(SweepOutcome {
-        report: merge_band_reports(&reports, seam, options.analysis.group_rel_tol),
+        report,
         bands: outcomes,
         cache_hits: hits,
         cache_misses: misses,
         complete,
+        cancelled,
     })
 }
 
@@ -586,6 +634,89 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, FaseError::InvalidConfig(_)), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capture_budget_yields_partial_degraded_sweep_then_resume_completes() {
+        let dir = temp_dir("cancel");
+        // Budget for one band's captures (5 alts × 1 segment × 3 avgs =
+        // 15) but not two: band 0 completes, band 1 is abandoned.
+        let mut limited = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            ..fast_options()
+        };
+        limited.campaign.threads = Some(1);
+        limited.campaign.cancel = crate::CancelToken::new().with_capture_budget(15);
+        let partial = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            11,
+            &limited,
+        )
+        .unwrap();
+        assert!(partial.cancelled);
+        assert!(!partial.complete);
+        assert_eq!(partial.cache_misses, 1);
+        assert!(partial.bands[1].skipped);
+        // The partial report is marked degraded: abandoned alternations
+        // count as planned-but-lost.
+        assert!(partial.report.is_degraded());
+        let health = partial.report.health().unwrap();
+        assert_eq!(health.planned, 10);
+        assert_eq!(health.surviving, 5);
+
+        // A fresh run over the same cache dir resumes from the manifest:
+        // band 0 cache-hits, band 1 computes, and the result is
+        // bit-identical to a never-interrupted sweep.
+        let resume = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            resume: true,
+            ..fast_options()
+        };
+        let finished = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            11,
+            &resume,
+        )
+        .unwrap();
+        assert!(finished.complete && !finished.cancelled);
+        assert_eq!((finished.cache_hits, finished.cache_misses), (1, 1));
+        let whole = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            11,
+            &fast_options(),
+        )
+        .unwrap();
+        assert_eq!(finished.report.to_json(), whole.report.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_skips_every_band() {
+        let mut options = fast_options();
+        options.campaign.cancel = crate::CancelToken::new();
+        options.campaign.cancel.cancel();
+        let outcome = run_sweep(
+            &small_sweep(),
+            "demo",
+            ActivityPair::LdmLdl1,
+            demo_factory,
+            7,
+            &options,
+        )
+        .unwrap();
+        assert!(outcome.cancelled && !outcome.complete);
+        assert!(outcome.bands.iter().all(|b| b.skipped));
+        assert!(outcome.report.is_empty());
+        assert!(outcome.report.is_degraded());
     }
 
     #[test]

@@ -52,6 +52,35 @@ cargo run -p fase-obs --offline --release --bin fase-obs-validate -- \
 grep -Eq '"specan\.cache_hits": [1-9]' target/sweep-metrics.json \
   || { echo "warm sweep recorded no cache hits:"; cat target/sweep-metrics.json; exit 1; }
 
+echo "==> serve smoke (seeded load, p99 bound, clean drain)"
+# Start the detection service on an OS-assigned port, fire a small
+# deterministic multi-tenant load at it, assert the p99 latency under a
+# generous bound, then drain: the server must answer every request and
+# exit cleanly on its own.
+rm -f target/serve.port target/serve.log
+rm -rf target/serve-cache
+cargo run -p fase-cli --offline --release -- \
+  serve --addr 127.0.0.1:0 --workers 2 --cache-dir target/serve-cache \
+  --run-ms 120000 --port-file target/serve.port > target/serve.log &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  [[ -s target/serve.port ]] && break
+  sleep 0.1
+done
+[[ -s target/serve.port ]] \
+  || { echo "server never wrote its port file"; cat target/serve.log; exit 1; }
+cargo run -p fase-cli --offline --release -- \
+  load --addr "$(cat target/serve.port)" --tenants 2 --requests 1 \
+  --concurrency 4 --seed 7 --max-p99-ms 60000 --json --drain \
+  > target/serve-load.json
+grep -q '"errors":0' target/serve-load.json \
+  || { echo "serve load run had errors:"; cat target/serve-load.json; exit 1; }
+wait "$serve_pid"
+trap - EXIT
+grep -q "drained cleanly" target/serve.log \
+  || { echo "server did not drain cleanly:"; cat target/serve.log; exit 1; }
+
 # Extended fault matrix: every impairment class at every alternation
 # index, across worker thread counts (~1 min). Opt in because it dwarfs
 # the rest of the suite; CI's fault-matrix job sets it. --release reuses

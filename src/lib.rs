@@ -54,6 +54,7 @@ pub use fase_core as core;
 pub use fase_dsp as dsp;
 pub use fase_emsim as emsim;
 pub use fase_obs as obs;
+pub use fase_serve as serve;
 pub use fase_specan as specan;
 pub use fase_sysmodel as sysmodel;
 
