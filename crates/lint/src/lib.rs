@@ -1,43 +1,199 @@
 //! # fase-lint — workspace-aware static analysis for the FASE repo
 //!
 //! A dependency-free lint pass that enforces project invariants the
-//! standard toolchain cannot: determinism of library code (group **D**),
-//! panic-freedom (group **P**), units/float hygiene in DSP hot paths
-//! (group **U**), and structural error-handling discipline (group **S**).
-//! See [`rules`] for the rule catalog, [`walk`] for the scope map, and
-//! DESIGN.md §9 for the rationale behind each group.
+//! standard toolchain cannot: determinism of library code (group **D**,
+//! including the cross-file seed-taint pass [`taint`]), panic-freedom
+//! (group **P**), units/float hygiene in DSP hot paths (group **U**),
+//! structural error-handling discipline (group **S**), and workspace
+//! concurrency discipline (group **C**: lock ordering, guards held
+//! across blocking calls, cancel-safe loops — [`graph`]). See [`rules`]
+//! for the rule catalog, [`walk`] for the scope map, and DESIGN.md §9 /
+//! §13 for the rationale behind each group.
 //!
-//! The crate is a library plus a small `fase-lint` binary; CI runs
+//! The per-file rules run on raw tokens ([`lexer`]); the workspace rules
+//! run on a lightweight item model ([`parse`]) resolved into cross-crate
+//! call and lock-order graphs ([`graph`]). The crate is a library plus a
+//! small `fase-lint` binary; CI runs
 //! `cargo run -p fase-lint --offline -- --strict` and archives the JSON
-//! findings. Violations are waived — on the record — with
+//! findings, and `fase-lint graph` dumps the resolved graphs as
+//! deterministic JSON. Violations are waived — on the record — with
 //! `// fase-lint: allow(<rule>) -- <justification>` pragmas ([`pragma`]).
 
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod pragma;
 pub mod report;
 pub mod rules;
+pub mod taint;
 pub mod walk;
 
+use lexer::Lexed;
+use parse::ParsedFn;
+use pragma::Pragma;
 use report::Finding;
 use rules::RuleSet;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-/// Lints one in-memory source file under the given rule scope.
+/// One parsed workspace file: the shared input of the per-file token
+/// rules and the workspace-level graph passes.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path (forward slashes).
+    pub rel: String,
+    /// Short crate name (`serve`, `specan`, …; `fase` for the root
+    /// facade crate).
+    pub crate_name: String,
+    /// Rule scope of the file.
+    pub rules: RuleSet,
+    /// The lexed source.
+    pub lexed: Lexed,
+    /// Parsed function items (calls, locks, loops).
+    pub fns: Vec<ParsedFn>,
+    /// Token-index ranges of `#[cfg(test)]`/`#[test]` items.
+    pub(crate) test_tok: Vec<(usize, usize)>,
+}
+
+/// A full workspace analysis: findings plus the waiver ledger.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Findings after pragma suppression, ordered by file then line.
+    pub findings: Vec<Finding>,
+    /// Per-rule counts of findings waived by justified pragmas — the
+    /// input to the findings-budget baseline check.
+    pub waivers: BTreeMap<String, usize>,
+}
+
+/// Lints one in-memory source file under the given rule scope. Per-file
+/// rules only; the workspace graph passes need [`analyze_workspace`].
 pub fn lint_source(rel_path: &str, source: &str, rules: RuleSet) -> Vec<Finding> {
     rules::check_file(rel_path, source, rules)
 }
 
-/// Lints every in-scope file of the workspace rooted at `root`.
+/// Per-file leftovers needed to finish pragma application after the
+/// workspace passes contribute their findings.
+struct PendingFile {
+    raw: Vec<Finding>,
+    pragmas: Vec<Pragma>,
+    test_lines: Vec<(u32, u32)>,
+}
+
+/// The crate a workspace-relative path belongs to.
+fn crate_of(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("fase")
+        .to_owned()
+}
+
+/// Reads, lexes, and parses every in-scope file of the workspace.
+fn load_workspace(root: &Path) -> io::Result<(Vec<FileModel>, Vec<PendingFile>)> {
+    let mut models = Vec::new();
+    let mut pending = Vec::new();
+    for (rel, rules) in walk::workspace_files(root)? {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let checked = rules::check_file_raw(&rel, &source, rules);
+        let fns = parse::parse(&checked.lexed, &checked.test_tok);
+        models.push(FileModel {
+            crate_name: crate_of(&rel),
+            rel,
+            rules,
+            lexed: checked.lexed,
+            fns,
+            test_tok: checked.test_tok,
+        });
+        pending.push(PendingFile {
+            raw: checked.raw,
+            pragmas: checked.pragmas,
+            test_lines: checked.test_lines,
+        });
+    }
+    Ok((models, pending))
+}
+
+/// Analyzes the whole workspace rooted at `root`: per-file token rules,
+/// then the graph-based concurrency rules and the determinism taint
+/// pass, with pragma suppression applied across all of them.
+///
+/// # Errors
+///
+/// Returns any I/O error from traversal or file reads.
+pub fn analyze_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let (models, pending) = load_workspace(root)?;
+    let graphs = graph::build(&models);
+    let mut workspace_findings = graphs.check();
+    workspace_findings.extend(taint::check(&graphs));
+
+    // Route each workspace-level finding back to its file so that file's
+    // pragmas can waive it.
+    let index: BTreeMap<&str, usize> = models
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.rel.as_str(), i))
+        .collect();
+    let mut extra: Vec<Vec<Finding>> = models.iter().map(|_| Vec::new()).collect();
+    let mut findings = Vec::new();
+    for f in workspace_findings {
+        match index.get(f.file.as_str()) {
+            Some(&i) => extra[i].push(f),
+            None => findings.push(f),
+        }
+    }
+
+    let mut waivers = BTreeMap::new();
+    for ((m, p), more) in models.iter().zip(pending).zip(extra) {
+        let mut raw = p.raw;
+        raw.extend(more);
+        findings.extend(rules::apply_pragmas(
+            &m.rel,
+            raw,
+            p.pragmas,
+            &p.test_lines,
+            &mut waivers,
+        ));
+    }
+    Ok(WorkspaceReport { findings, waivers })
+}
+
+/// Lints every in-scope file of the workspace rooted at `root` (all
+/// passes), returning just the findings.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from traversal or file reads.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for (rel, rules) in walk::workspace_files(root)? {
-        let source = std::fs::read_to_string(root.join(&rel))?;
-        findings.extend(rules::check_file(&rel, &source, rules));
-    }
-    Ok(findings)
+    Ok(analyze_workspace(root)?.findings)
+}
+
+/// Dumps the workspace's resolved call and lock-order graphs as
+/// deterministic JSON (byte-identical across runs on the same tree).
+///
+/// # Errors
+///
+/// Returns any I/O error from traversal or file reads.
+pub fn graph_json(root: &Path) -> io::Result<String> {
+    let (models, _) = load_workspace(root)?;
+    Ok(graph::build(&models).to_json())
+}
+
+#[cfg(test)]
+pub(crate) fn models_from(sources: &[(&str, &str)]) -> Vec<FileModel> {
+    sources
+        .iter()
+        .map(|(rel, src)| {
+            let rules = walk::classify(rel).unwrap_or_else(RuleSet::all);
+            let checked = rules::check_file_raw(rel, src, rules);
+            let fns = parse::parse(&checked.lexed, &checked.test_tok);
+            FileModel {
+                rel: (*rel).to_owned(),
+                crate_name: crate_of(rel),
+                rules,
+                lexed: checked.lexed,
+                fns,
+                test_tok: checked.test_tok,
+            }
+        })
+        .collect()
 }

@@ -2,19 +2,30 @@
 //!
 //! ```text
 //! fase-lint [--root DIR] [--strict] [--json PATH] [--format human|json]
-//!           [--quiet] [FILE …]
+//!           [--baseline PATH] [--quiet] [FILE …]
+//! fase-lint graph [--root DIR] [--json PATH]
 //! ```
 //!
 //! Without file arguments the whole workspace is walked with the scope map
-//! of [`fase_lint::walk`]; explicit files are linted with *every* rule
-//! enabled (used by the fixture tests). Exit codes: `0` clean (or findings
-//! in advisory mode), `1` findings under `--strict`, `2` usage or I/O
-//! error.
+//! of [`fase_lint::walk`] and all passes run, including the cross-file
+//! graph and taint analyses; explicit files are linted with *every*
+//! per-file rule enabled (used by the fixture tests). The `graph`
+//! subcommand dumps the resolved call/lock graphs as deterministic JSON.
+//!
+//! `--baseline` points at a findings-budget file
+//! (`{"version":1,"waivers":{"<rule>":N,…}}`): under `--strict`, the run
+//! fails if any rule's justified-waiver count exceeds its budget, so new
+//! waivers fail CI while existing ones are burned down.
+//!
+//! Exit codes: `0` clean (or findings in advisory mode), `1` findings or
+//! an exceeded waiver budget under `--strict`, `2` usage or I/O error.
 
-use fase_lint::report::{to_json, Finding};
+use fase_lint::report::{to_json_with_timing, Finding};
 use fase_lint::rules::RuleSet;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Options {
     root: PathBuf,
@@ -22,6 +33,8 @@ struct Options {
     json_path: Option<PathBuf>,
     format_json: bool,
     quiet: bool,
+    graph: bool,
+    baseline: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
@@ -32,11 +45,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json_path: None,
         format_json: false,
         quiet: false,
+        graph: false,
+        baseline: None,
         files: Vec::new(),
     };
     let mut iter = args.iter();
+    let mut first = true;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "graph" if first => opts.graph = true,
             "--strict" => opts.strict = true,
             "--quiet" => opts.quiet = true,
             "--root" => {
@@ -51,6 +68,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .ok_or_else(|| "--json needs a path".to_owned())?,
                 ));
             }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| "--baseline needs a path".to_owned())?,
+                ));
+            }
             "--format" => match iter.next().map(String::as_str) {
                 Some("human") => opts.format_json = false,
                 Some("json") => opts.format_json = true,
@@ -58,20 +81,76 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             },
             "--help" | "-h" => {
                 return Err("usage: fase-lint [--root DIR] [--strict] [--json PATH] \
-                     [--format human|json] [--quiet] [FILE …]"
+                     [--format human|json] [--baseline PATH] [--quiet] [FILE …]\n\
+                     \x20      fase-lint graph [--root DIR] [--json PATH]"
                     .to_owned())
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             file => opts.files.push(PathBuf::from(file)),
         }
+        first = false;
     }
     Ok(opts)
 }
 
-fn run(opts: &Options) -> Result<Vec<Finding>, String> {
+/// Parses the baseline budget file: a flat JSON object of rule → max
+/// justified-waiver count under `"waivers"`. Hand-rolled like the rest of
+/// the workspace's JSON handling (no dependencies).
+fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let start = text
+        .find("\"waivers\"")
+        .ok_or_else(|| "baseline has no \"waivers\" object".to_owned())?;
+    let open = text[start..]
+        .find('{')
+        .map(|i| start + i)
+        .ok_or_else(|| "baseline \"waivers\" is not an object".to_owned())?;
+    let close = text[open..]
+        .find('}')
+        .map(|i| open + i)
+        .ok_or_else(|| "baseline \"waivers\" object is unterminated".to_owned())?;
+    let body = &text[open + 1..close];
+    let mut budgets = BTreeMap::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("malformed baseline entry `{pair}`"))?;
+        let key = key.trim().trim_matches('"').to_owned();
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("malformed baseline count in `{pair}`"))?;
+        budgets.insert(key, value);
+    }
+    Ok(budgets)
+}
+
+/// Checks the waiver ledger against the budget; returns one message per
+/// exceeded rule.
+fn budget_violations(
+    waivers: &BTreeMap<String, usize>,
+    budgets: &BTreeMap<String, usize>,
+) -> Vec<String> {
+    waivers
+        .iter()
+        .filter(|(rule, n)| **n > budgets.get(*rule).copied().unwrap_or(0))
+        .map(|(rule, n)| {
+            format!(
+                "waiver budget exceeded for {rule}: {n} justified waiver(s), budget {}",
+                budgets.get(rule).copied().unwrap_or(0)
+            )
+        })
+        .collect()
+}
+
+fn run(opts: &Options) -> Result<(Vec<Finding>, BTreeMap<String, usize>), String> {
     if opts.files.is_empty() {
-        fase_lint::lint_workspace(&opts.root)
-            .map_err(|e| format!("cannot walk {}: {e}", opts.root.display()))
+        let report = fase_lint::analyze_workspace(&opts.root)
+            .map_err(|e| format!("cannot walk {}: {e}", opts.root.display()))?;
+        Ok((report.findings, report.waivers))
     } else {
         let mut findings = Vec::new();
         for f in &opts.files {
@@ -80,8 +159,27 @@ fn run(opts: &Options) -> Result<Vec<Finding>, String> {
             let rel = f.to_string_lossy().replace('\\', "/");
             findings.extend(fase_lint::lint_source(&rel, &source, RuleSet::all()));
         }
-        Ok(findings)
+        Ok((findings, BTreeMap::new()))
     }
+}
+
+fn run_graph(opts: &Options) -> Result<(), String> {
+    let json = fase_lint::graph_json(&opts.root)
+        .map_err(|e| format!("cannot walk {}: {e}", opts.root.display()))?;
+    match &opts.json_path {
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            if !opts.quiet {
+                println!("fase-lint: graph written to {}", path.display());
+            }
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -93,37 +191,66 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let findings = match run(&opts) {
-        Ok(f) => f,
+    if opts.graph {
+        return match run_graph(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("fase-lint: {msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let started = Instant::now();
+    let (findings, waivers) = match run(&opts) {
+        Ok(r) => r,
         Err(msg) => {
             eprintln!("fase-lint: {msg}");
             return ExitCode::from(2);
         }
     };
+    let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+    let mut budget_failures = Vec::new();
+    if let Some(path) = &opts.baseline {
+        let budgets = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+            .and_then(|text| parse_baseline(&text));
+        match budgets {
+            Ok(budgets) => budget_failures = budget_violations(&waivers, &budgets),
+            Err(msg) => {
+                eprintln!("fase-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if let Some(path) = &opts.json_path {
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);
         }
-        if let Err(e) = std::fs::write(path, to_json(&findings)) {
+        if let Err(e) = std::fs::write(path, to_json_with_timing(&findings, Some(wall_ms))) {
             eprintln!("fase-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }
     }
     if opts.format_json {
-        print!("{}", to_json(&findings));
+        print!("{}", to_json_with_timing(&findings, Some(wall_ms)));
     } else if !opts.quiet {
         for f in &findings {
             println!("{}", f.human());
         }
         if findings.is_empty() {
-            println!("fase-lint: clean");
+            println!("fase-lint: clean ({wall_ms} ms)");
         } else {
-            println!("fase-lint: {} finding(s)", findings.len());
+            println!("fase-lint: {} finding(s) ({wall_ms} ms)", findings.len());
         }
     }
+    for msg in &budget_failures {
+        eprintln!("fase-lint: {msg}");
+    }
 
-    if findings.is_empty() || !opts.strict {
+    if (findings.is_empty() && budget_failures.is_empty()) || !opts.strict {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

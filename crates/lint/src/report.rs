@@ -32,7 +32,19 @@ impl Finding {
 /// The format is stable so CI can archive it as an artifact:
 /// `{"version":1,"findings":[…],"counts":{"<rule>":n,…},"total":n}`.
 pub fn to_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    to_json_with_timing(findings, None)
+}
+
+/// [`to_json`], optionally recording the analysis wall time as a
+/// `"wall_ms"` field (the bench guard in `scripts/ci.sh` asserts a bound
+/// on it). `to_json` omits the field so purely content-addressed
+/// consumers stay byte-stable.
+pub fn to_json_with_timing(findings: &[Finding], wall_ms: Option<u64>) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    if let Some(ms) = wall_ms {
+        let _ = writeln!(out, "  \"wall_ms\": {ms},");
+    }
+    out.push_str("  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -66,7 +78,7 @@ pub fn to_json(findings: &[Finding]) -> String {
 }
 
 /// Escapes a string for embedding in JSON.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -34,6 +34,7 @@ pub const RULES: &[&str] = &[
     "D-hash",
     "D-env",
     "D-thread",
+    "D-taint",
     "P-unwrap",
     "P-expect",
     "P-panic",
@@ -43,6 +44,9 @@ pub const RULES: &[&str] = &[
     "S-errdoc",
     "S-errctor",
     "S-lock",
+    "C-lockorder",
+    "C-lockheld",
+    "C-cancel",
     "L-pragma",
 ];
 
@@ -96,9 +100,38 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 
 /// Lints one file's source, returning findings sorted by line.
 pub fn check_file(rel_path: &str, source: &str, rules: RuleSet) -> Vec<Finding> {
+    let checked = check_file_raw(rel_path, source, rules);
+    apply_pragmas(
+        rel_path,
+        checked.raw,
+        checked.pragmas,
+        &checked.test_lines,
+        &mut BTreeMap::new(),
+    )
+}
+
+/// One file's raw lint results: findings *before* pragma suppression,
+/// plus the pragmas, tokens, and test regions needed to finish the job
+/// after the workspace-level passes ([`crate::graph`], [`crate::taint`])
+/// have contributed their findings for the same file.
+pub(crate) struct FileCheck {
+    /// The lexed source, reused by the parser and graph passes.
+    pub(crate) lexed: crate::lexer::Lexed,
+    /// Raw findings from the per-file token rules.
+    pub(crate) raw: Vec<Finding>,
+    /// Waiver pragmas found in the file.
+    pub(crate) pragmas: Vec<Pragma>,
+    /// Token-index ranges of `#[cfg(test)]`/`#[test]` items.
+    pub(crate) test_tok: Vec<(usize, usize)>,
+    /// The same regions as inclusive line ranges.
+    pub(crate) test_lines: Vec<(u32, u32)>,
+}
+
+/// Runs the per-file token rules, returning raw (pre-pragma) results.
+pub(crate) fn check_file_raw(rel_path: &str, source: &str, rules: RuleSet) -> FileCheck {
     let lexed = lex(source);
     let tokens = &lexed.tokens;
-    let mut pragmas = pragma::collect(&lexed.comments);
+    let pragmas = pragma::collect(&lexed.comments);
     let test_tok = test_regions(tokens);
     let test_lines = region_lines(tokens, &test_tok);
     let in_test = |i: usize| test_tok.iter().any(|&(a, b)| i >= a && i <= b);
@@ -349,8 +382,27 @@ pub fn check_file(rel_path: &str, source: &str, rules: RuleSet) -> Vec<Finding> 
         check_errdoc(rel_path, tokens, &lexed.comments, &in_test, &mut raw);
     }
 
-    // Apply pragmas: a finding is suppressed when a pragma on its line (or
-    // the standalone pragma on the line above) covers its rule.
+    FileCheck {
+        raw,
+        pragmas,
+        test_tok,
+        test_lines,
+        lexed,
+    }
+}
+
+/// Applies pragmas to raw findings, appends the pragma-hygiene findings,
+/// and sorts. A finding is suppressed when a pragma on its line (or the
+/// standalone pragma on the line above) covers its rule; justified
+/// suppressions are tallied per rule into `waived` so strict runs can be
+/// held to a findings budget.
+pub(crate) fn apply_pragmas(
+    rel_path: &str,
+    raw: Vec<Finding>,
+    mut pragmas: Vec<Pragma>,
+    test_lines: &[(u32, u32)],
+    waived: &mut BTreeMap<String, usize>,
+) -> Vec<Finding> {
     let mut findings: Vec<Finding> = Vec::new();
     'findings: for f in raw {
         for p in pragmas.iter_mut() {
@@ -361,12 +413,13 @@ pub fn check_file(rel_path: &str, source: &str, rules: RuleSet) -> Vec<Finding> 
                     // count; the finding stands alongside the L-pragma one.
                     break;
                 }
+                *waived.entry(f.rule.to_owned()).or_insert(0) += 1;
                 continue 'findings;
             }
         }
         findings.push(f);
     }
-    pragma_hygiene(rel_path, &pragmas, &test_lines, &mut findings);
+    pragma_hygiene(rel_path, &pragmas, test_lines, &mut findings);
 
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     findings
@@ -505,7 +558,7 @@ fn pattern_token_ranges(tokens: &[Tok]) -> Vec<(usize, usize)> {
 
 /// Finds `#[cfg(test)]` / `#[test]`-attributed items and returns their
 /// token-index ranges (attribute through closing brace or semicolon).
-fn test_regions(tokens: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(tokens: &[Tok]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -760,8 +813,8 @@ fn pragma_hygiene(
             continue;
         }
         for r in &p.rules {
-            let known =
-                RULES.contains(&r.as_str()) || matches!(r.as_str(), "D" | "P" | "U" | "S" | "L");
+            let known = RULES.contains(&r.as_str())
+                || matches!(r.as_str(), "D" | "P" | "U" | "S" | "C" | "L");
             if !known {
                 push(format!("pragma names unknown rule `{r}`"));
             }

@@ -1,0 +1,39 @@
+//! Fixture: a capture loop that never polls the CancelToken, next to the
+//! cancellable shape that must stay silent.
+
+/// One simulated capture.
+pub fn capture_once(lane: u64) -> u64 {
+    lane
+}
+
+/// Sweeps every lane with no way to stop it.
+pub fn run_sweep(lanes: &[u64]) -> u64 {
+    let mut acc = 0;
+    for &lane in lanes {
+        acc += capture_once(lane);
+    }
+    acc
+}
+
+/// Waived on the record: the pragma must suppress the workspace-level
+/// finding and land in the waiver ledger.
+pub fn run_sweep_waived(lanes: &[u64]) -> u64 {
+    let mut acc = 0;
+    // fase-lint: allow(C-cancel) -- fixture: bounded by the lane count
+    for &lane in lanes {
+        acc += capture_once(lane);
+    }
+    acc
+}
+
+/// Sanctioned: polls `is_cancelled()` every iteration.
+pub fn run_sweep_cancellable(lanes: &[u64], token: &Token) -> u64 {
+    let mut acc = 0;
+    for &lane in lanes {
+        if token.is_cancelled() {
+            return acc;
+        }
+        acc += capture_once(lane);
+    }
+    acc
+}

@@ -1,0 +1,24 @@
+//! Fixture: a two-lock order cycle (`alpha → beta` and `beta → alpha`).
+use std::sync::Mutex;
+
+/// Shared state with two independent locks.
+pub struct State {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+/// Acquires `alpha`, then `beta`.
+pub fn forward(state: &State) {
+    let a = state.alpha.lock();
+    let b = state.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+/// Acquires `beta`, then `alpha` — the conflicting order.
+pub fn backward(state: &State) {
+    let b = state.beta.lock();
+    let a = state.alpha.lock();
+    drop(a);
+    drop(b);
+}

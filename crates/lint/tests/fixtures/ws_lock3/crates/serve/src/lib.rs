@@ -1,0 +1,38 @@
+//! Fixture: a three-lock order cycle, closed transitively through a call.
+use std::sync::Mutex;
+
+/// Shared state with three locks.
+pub struct State {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+    pub gamma: Mutex<u32>,
+}
+
+/// Acquires `alpha`, then `beta`.
+pub fn ab(state: &State) {
+    let a = state.alpha.lock();
+    let b = state.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+/// Acquires `beta`, then `gamma`.
+pub fn bc(state: &State) {
+    let b = state.beta.lock();
+    let g = state.gamma.lock();
+    drop(g);
+    drop(b);
+}
+
+/// Holds `gamma` while calling [`grab_alpha`], closing the cycle.
+pub fn ca(state: &State) {
+    let g = state.gamma.lock();
+    grab_alpha(state);
+    drop(g);
+}
+
+/// Acquires `alpha` alone.
+pub fn grab_alpha(state: &State) {
+    let a = state.alpha.lock();
+    drop(a);
+}

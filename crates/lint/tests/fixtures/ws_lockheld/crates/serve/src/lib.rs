@@ -1,0 +1,19 @@
+//! Fixture: a guard held across a blocking channel wait, plus the
+//! sanctioned Condvar shape that must stay silent.
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex};
+
+/// Drains one message while (wrongly) holding the queue lock.
+pub fn drain_one(queue: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    let q = queue.lock();
+    let msg = rx.recv();
+    drop(msg);
+    drop(q);
+}
+
+/// Sanctioned: a Condvar wait releases the guard it is handed.
+pub fn wait_tick(flag: &Mutex<bool>, cv: &Condvar) {
+    let g = flag.lock();
+    let woke = cv.wait(g);
+    drop(woke);
+}

@@ -1,0 +1,10 @@
+//! Fixture: a merge path iterating an unordered collection.
+
+/// Merges lane weights; hasher-ordered iteration taints the result.
+pub fn merge_weights(lanes: &[u64]) -> f64 {
+    let mut by_lane = std::collections::HashMap::new();
+    for &lane in lanes {
+        by_lane.insert(lane, 1.0_f64);
+    }
+    by_lane.values().sum()
+}

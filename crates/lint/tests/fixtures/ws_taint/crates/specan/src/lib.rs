@@ -1,0 +1,25 @@
+//! Fixture: RNG construction on the capture path without seed lineage,
+//! and fresh entropy in a determinism-scope file.
+
+/// Derives a per-capture seed from the campaign seed.
+pub fn mix_seed(seed: u64, lane: u64) -> u64 {
+    seed ^ lane
+}
+
+/// Captures one segment; the jitter RNG has no seed lineage.
+pub fn capture_once(noise_floor: u64) -> u64 {
+    let rng = seed_from_u64(noise_floor);
+    rng
+}
+
+/// Sanctioned: the RNG derives from the campaign seed.
+pub fn capture_clean(campaign: u64, lane: u64) -> u64 {
+    let rng = seed_from_u64(mix_seed(campaign, lane));
+    rng
+}
+
+/// Fresh entropy anywhere in a determinism-scope file is flagged.
+pub fn warmup() -> u64 {
+    let rng = thread_rng();
+    rng
+}

@@ -174,6 +174,7 @@ fn send_one(spec: &LoadSpec, body: &str) -> Sample {
     let started = fase_obs::monotonic_ns();
     let mut rejections_seen = 0u32;
     let mut attempts = 0u32;
+    // fase-lint: allow(C-cancel) -- client-side load generator: retries are bounded at MAX_ATTEMPTS and no CancelToken flows here
     loop {
         let reply = match client_request(&spec.addr, "POST", "/v1/sweep", body) {
             Ok(reply) => reply,
@@ -254,6 +255,7 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, FaseError> {
     }
     let started = fase_obs::monotonic_ns();
     let mut handles = Vec::with_capacity(spec.concurrency);
+    // fase-lint: allow(C-cancel) -- bounded spawn loop, one lane per concurrency slot; lanes end with the run_ms wall-clock window
     for lane in 0..spec.concurrency {
         let bodies: Vec<String> = jobs
             .iter()

@@ -215,6 +215,7 @@ impl Server {
         });
 
         let mut workers = Vec::with_capacity(shared.config.workers.max(1));
+        // fase-lint: allow(C-cancel) -- bounded spawn loop (one iteration per configured worker); worker_loop itself polls the drain phase
         for i in 0..shared.config.workers.max(1) {
             let worker_shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
@@ -486,6 +487,7 @@ fn handle_sweep(body: &str, shared: &Arc<Shared>) -> Response {
 /// Worker thread: pull jobs in DRR order until the server stops (or the
 /// drain queue runs dry), executing each inside a panic boundary.
 fn worker_loop(shared: &Arc<Shared>) {
+    // fase-lint: allow(C-cancel) -- next_job returns None once the server enters Draining/Stopped, bounding each wait to one 100 ms Condvar tick
     loop {
         let Some(job) = next_job(shared) else { return };
         let serial = shared.next_serial.fetch_add(1, Ordering::SeqCst) as u64;

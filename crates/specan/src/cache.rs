@@ -105,6 +105,7 @@ impl DirLock {
     pub fn acquire(dir: &Path) -> Result<DirLock, FaseError> {
         let path = dir.join(".fase-cache.lock");
         let mut waited_ms = 0u64;
+        // fase-lint: allow(C-cancel) -- lock acquisition is bounded by LOCK_TIMEOUT_MS and breaks stale holders; no token flows here
         loop {
             match std::fs::OpenOptions::new()
                 .write(true)

@@ -149,6 +149,7 @@ pub struct CampaignRunner {
     max_attempts: u32,
     averaging: Averaging,
     recorder: Recorder,
+    cancel: CancelToken,
 }
 
 impl CampaignRunner {
@@ -166,7 +167,24 @@ impl CampaignRunner {
             max_attempts: DEFAULT_MAX_ATTEMPTS,
             averaging: Averaging::default(),
             recorder: Recorder::global(),
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Attaches a [`CancelToken`]; the runner checks it between
+    /// alternation frequencies, between captures, and before every retry,
+    /// and draws each executed capture from the token's budget. The
+    /// default inert token never fires, so untokened campaigns are
+    /// bit-identical to earlier releases.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> CampaignRunner {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The error for a fired token.
+    fn cancel_error(&self) -> FaseError {
+        FaseError::cancelled(self.cancel.cause().unwrap_or("cancelled by caller"))
     }
 
     /// Replaces the metrics [`Recorder`] campaign spans and health counters
@@ -239,12 +257,16 @@ impl CampaignRunner {
     /// *dropped* and the campaign degrades to the survivors (the heuristic
     /// needs only two spectra); the terminal
     /// [`FaseError::CaptureFailed`] surfaces only when fewer than two
-    /// alternation frequencies survive.
+    /// alternation frequencies survive. A [`CancelToken`] attached with
+    /// [`with_cancel`](CampaignRunner::with_cancel) behaves the same way:
+    /// once it fires, the remaining alternation frequencies are dropped
+    /// and the campaign degrades, or [`FaseError::Cancelled`] surfaces
+    /// when fewer than two spectra were already measured.
     ///
     /// # Errors
     ///
-    /// Propagates spectrum assembly failures, and capture failures when
-    /// the campaign cannot degrade any further.
+    /// Propagates spectrum assembly failures, and capture failures or
+    /// cancellation when the campaign cannot degrade any further.
     pub fn run(&mut self, config: &CampaignConfig) -> Result<CampaignSpectra, FaseError> {
         let _campaign = span!(self.recorder, "campaign");
         let f_alts = config.alternation_frequencies();
@@ -252,6 +274,21 @@ impl CampaignRunner {
         let mut labeled = Vec::with_capacity(f_alts.len());
         let mut first_failure: Option<FaseError> = None;
         for (i_alt, &f_alt) in f_alts.iter().enumerate() {
+            // A fired token degrades the campaign to the spectra already
+            // measured when at least two survive (mirroring the pooled
+            // runner's band-granular cancellation); otherwise it aborts.
+            if self.cancel.is_cancelled() {
+                if labeled.len() >= 2 {
+                    for &abandoned in &f_alts[i_alt..] {
+                        health.dropped.push(DroppedAlternation {
+                            f_alt: abandoned,
+                            error: self.cancel_error(),
+                        });
+                    }
+                    break;
+                }
+                return Err(self.cancel_error());
+            }
             let measured = self.measure_at(
                 i_alt,
                 f_alt,
@@ -269,6 +306,16 @@ impl CampaignRunner {
                 Err(e @ FaseError::CaptureFailed { .. }) => {
                     first_failure.get_or_insert_with(|| e.clone());
                     health.dropped.push(DroppedAlternation { f_alt, error: e });
+                }
+                Err(e @ FaseError::Cancelled(_)) if labeled.len() >= 2 => {
+                    health.dropped.push(DroppedAlternation { f_alt, error: e });
+                    for &abandoned in &f_alts[i_alt + 1..] {
+                        health.dropped.push(DroppedAlternation {
+                            f_alt: abandoned,
+                            error: self.cancel_error(),
+                        });
+                    }
+                    break;
                 }
                 Err(e) => return Err(e),
             }
@@ -326,6 +373,9 @@ impl CampaignRunner {
         for (i_seg, segment) in plan.segments().iter().enumerate() {
             let mut captures = Vec::with_capacity(averages);
             for i_avg in 0..averages {
+                if self.cancel.is_cancelled() {
+                    return Err(self.cancel_error());
+                }
                 let max_attempts = self.max_attempts.max(1);
                 let mut attempt = 0u32;
                 let _capture = span!(self.recorder, "capture");
@@ -344,7 +394,9 @@ impl CampaignRunner {
                             tag: kind.tag().to_owned(),
                         });
                     }
-                    match self.capture_once(&bench, segment, fault) {
+                    let captured = self.capture_once(&bench, segment, fault);
+                    self.cancel.consume_capture();
+                    match captured {
                         Ok(out) => {
                             if attempt > 0 {
                                 health.retried_tasks += 1;
@@ -354,7 +406,10 @@ impl CampaignRunner {
                         }
                         Err(e) => {
                             attempt += 1;
-                            if attempt >= max_attempts {
+                            // A fired token stops the retry burn early;
+                            // the alternation degrades like an exhausted
+                            // budget would.
+                            if attempt >= max_attempts || self.cancel.is_cancelled() {
                                 if attempt > 1 {
                                     health.retried_tasks += 1;
                                     health.total_retries += (attempt - 1) as usize;
@@ -820,7 +875,11 @@ where
                                 }
                             }
                             Err(e) => {
-                                if attempt >= max_attempts {
+                                // Exhausted budget or a fired token ends
+                                // the retry burn; either way the capture
+                                // reports as failed and the alternation
+                                // degrades.
+                                if attempt >= max_attempts || cancel.is_cancelled() {
                                     break TaskResult {
                                         out: Err(FaseError::capture_failed(
                                             f_alts[task.i_alt],
@@ -1233,6 +1292,62 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plain, with_token);
+    }
+
+    #[test]
+    fn sequential_pre_cancelled_campaign_errors() {
+        // Fewer than two spectra exist when a pre-fired token is seen, so
+        // the sequential runner cannot degrade and must surface the cause.
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let mut runner = CampaignRunner::new(demo_system(5), ActivityPair::LdmLdl1, 11)
+            .with_max_fft(1 << 12)
+            .with_cancel(token);
+        let err = runner.run(&small_config()).unwrap_err();
+        assert!(
+            matches!(&err, FaseError::Cancelled(msg) if msg.contains("cancelled by caller")),
+            "expected Cancelled, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_capture_budget_degrades_to_survivors() {
+        // 5 alternation frequencies × 3 averages = 15 captures planned; a
+        // budget of 6 completes exactly two alternations, and the campaign
+        // degrades to them instead of failing outright.
+        let mut runner = CampaignRunner::new(demo_system(5), ActivityPair::LdmLdl1, 11)
+            .with_max_fft(1 << 12)
+            .with_cancel(crate::CancelToken::new().with_capture_budget(6));
+        let spectra = runner.run(&small_config()).unwrap();
+        assert_eq!(spectra.len(), 2);
+        let health = spectra.health().unwrap();
+        assert_eq!(health.surviving, 2);
+        assert_eq!(health.dropped.len(), 3);
+        for dropped in &health.dropped {
+            assert!(
+                matches!(&dropped.error, FaseError::Cancelled(msg) if msg.contains("capture budget")),
+                "expected Cancelled(budget), got {:?}",
+                dropped.error
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_inert_token_is_bit_identical() {
+        // The default token never fires and must not perturb the campaign:
+        // untokened, never(), and an unfired live token all agree.
+        let config = small_config();
+        let run_with = |cancel: Option<crate::CancelToken>| {
+            let mut runner = CampaignRunner::new(demo_system(5), ActivityPair::LdmLdl1, 11)
+                .with_max_fft(1 << 12);
+            if let Some(token) = cancel {
+                runner = runner.with_cancel(token);
+            }
+            runner.run(&config).unwrap()
+        };
+        let plain = run_with(None);
+        assert_eq!(plain, run_with(Some(crate::CancelToken::never())));
+        assert_eq!(plain, run_with(Some(crate::CancelToken::new())));
     }
 
     #[test]

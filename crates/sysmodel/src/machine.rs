@@ -176,9 +176,16 @@ impl Machine {
             };
         }
 
-        let footprint = activity
-            .footprint_bytes(&self.hierarchy)
-            .expect("memory activity has a footprint"); // fase-lint: allow(P-expect) -- ALU-only activities returned early above; every remaining variant reports a footprint
+        // ALU-only activities returned early above, so every remaining
+        // variant reports a footprint; a footprint-less straggler profiles
+        // as a single-cycle ALU kernel rather than aborting.
+        let Some(footprint) = activity.footprint_bytes(&self.hierarchy) else {
+            return KernelProfile {
+                op_seconds: cycle,
+                loads: activity.domain_loads(None),
+                dram_fraction: 0.0,
+            };
+        };
         let mut chase = PointerChase::new(0x4000_0000, footprint, self.config.chase_stride);
 
         // Warm up: two full passes over the footprint.

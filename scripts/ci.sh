@@ -14,9 +14,27 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> fase-lint --strict"
-cargo run -p fase-lint --offline -- --strict --quiet --json target/fase-lint.json \
-  || { echo "fase-lint findings:"; cat target/fase-lint.json; exit 1; }
+echo "==> fase-lint --strict (baseline-checked)"
+cargo run -p fase-lint --offline -- --strict --quiet \
+  --baseline lint-baseline.json --json target/fase-lint.json \
+  || { echo "fase-lint findings or waiver-budget breach:"; cat target/fase-lint.json; exit 1; }
+# Belt and braces: the concurrency/taint rules must be at zero even if the
+# strict gate above is ever relaxed.
+if grep -Eq '"(C-[a-z]+|D-taint)"' target/fase-lint.json; then
+  echo "concurrency/taint findings present:"; cat target/fase-lint.json; exit 1
+fi
+# The whole-workspace analysis (lex, parse, graphs, taint) must stay fast
+# enough to run on every keystroke-ish loop, not just CI.
+wall_ms=$(sed -n 's/.*"wall_ms": \([0-9]*\).*/\1/p' target/fase-lint.json)
+[[ -n "$wall_ms" && "$wall_ms" -lt 5000 ]] \
+  || { echo "fase-lint strict run too slow: ${wall_ms:-unreported} ms (budget 5000)"; exit 1; }
+
+echo "==> lint-graph (deterministic call/lock graph dump)"
+cargo run -p fase-lint --offline -- graph --quiet --json target/fase-lint-graph.json
+cargo run -p fase-lint --offline -- graph --quiet --json target/fase-lint-graph-2.json
+cmp -s target/fase-lint-graph.json target/fase-lint-graph-2.json \
+  || { echo "fase-lint graph JSON is not byte-stable across runs"; exit 1; }
+rm -f target/fase-lint-graph-2.json
 
 echo "==> cargo build --release"
 cargo build --workspace --release --offline
