@@ -48,6 +48,38 @@ pub fn white_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64, out: &mut [f64]) {
     }
 }
 
+/// Like [`complex_normal`] — circular complex Gaussian with total power
+/// σ² — but drawn with the Marsaglia polar method: an accepted uniform
+/// pair in the unit disc yields both components from one `ln`/`sqrt` with
+/// no trigonometry. At the sample counts the channel and broadband-noise
+/// models draw (one variate per rendered sample), the saved `sin_cos`
+/// outweighs the ~21% rejection rate.
+///
+/// The realization differs from [`complex_normal`] for the same RNG state
+/// (different uniform consumption); the distribution is identical.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::rng::SmallRng;
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let z = fase_dsp::noise::complex_normal_polar(&mut rng, 1e-3);
+/// assert!(z.norm() < 1.0);
+/// ```
+pub fn complex_normal_polar<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> Complex64 {
+    loop {
+        let u = 2.0 * rng.gen_f64() - 1.0;
+        let v = 2.0 * rng.gen_f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            // u·√(−2·ln s / s) is standard normal; scale by σ/√2 per
+            // component to land total power σ².
+            let r = sigma * safe_sqrt(-safe_ln(s) / s);
+            return Complex64::new(r * u, r * v);
+        }
+    }
+}
+
 /// A first-order Gauss–Markov (Ornstein–Uhlenbeck–like) process.
 ///
 /// Used for oscillator drift and the "gently rolling hills and valleys" of

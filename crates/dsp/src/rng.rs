@@ -107,6 +107,22 @@ impl SmallRng {
     pub fn fork(&self, stream: u64) -> SmallRng {
         SmallRng::seed_from_u64(mix_seed(self.state, stream))
     }
+
+    /// The generator's full internal state. Feeding it back through
+    /// [`SmallRng::seed_from_u64`] reconstructs the generator exactly,
+    /// which lets callers memoize a deterministic computation keyed by
+    /// the state it started from and restore the state it ended at.
+    ///
+    /// ```
+    /// use fase_dsp::rng::{Rng, SmallRng};
+    /// let mut a = SmallRng::seed_from_u64(7);
+    /// a.gen_f64();
+    /// let mut b = SmallRng::seed_from_u64(a.state());
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// ```
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 impl Rng for SmallRng {

@@ -102,6 +102,20 @@ impl Spectrum {
         })
     }
 
+    /// The start frequency of an `n`-bin spectrum laid out by `fft_shift`,
+    /// i.e. whose DC bin is pinned at integer index `n / 2` and maps to
+    /// `center`.
+    ///
+    /// For even `n` this equals `center − n·resolution/2`. For odd `n` the
+    /// DC bin still sits at integer index `n / 2`, so the axis starts
+    /// `(n/2)·resolution` below center — using `center − span/2` there
+    /// would place every bin label half a bin low. The analyzers build
+    /// their frequency axes through this one helper so the even and odd
+    /// cases cannot drift apart.
+    pub fn centered_start(center: Hertz, resolution: Hertz, n: usize) -> Hertz {
+        Hertz(center.hz() - (n / 2) as f64 * resolution.hz())
+    }
+
     /// Creates a spectrum from dBm bin values.
     ///
     /// # Errors
@@ -429,6 +443,22 @@ impl fmt::Display for Spectrum {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn centered_start_places_dc_at_integer_midpoint() {
+        let center = Hertz(1.0e6);
+        let res = Hertz(100.0);
+        // Even n: identical to center − span/2.
+        assert_eq!(
+            Spectrum::centered_start(center, res, 1024),
+            Hertz(1.0e6 - 51_200.0)
+        );
+        // Odd n: DC at integer index n/2, so start is (n/2)·res below
+        // center — NOT (n·res)/2, which would be half a bin lower.
+        let start = Spectrum::centered_start(center, res, 9);
+        assert_eq!(start, Hertz(1.0e6 - 400.0));
+        assert_eq!(Hertz(start.hz() + 4.0 * res.hz()), center);
+    }
 
     fn ramp(n: usize) -> Spectrum {
         Spectrum::new(

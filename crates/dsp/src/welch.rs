@@ -113,18 +113,25 @@ pub fn welch_psd(
     }
     let hop = seg - config.overlap;
     let plan = crate::fft::cached_plan(seg);
-    let coeffs = config.window.coefficients(seg);
-    let cg = config.window.coherent_gain(seg);
-    let scale = 1.0 / (seg as f64 * cg);
+    // Window coefficients and both calibration scalars come from the
+    // per-thread table cache — one cosine-series generation per
+    // (window, length) per thread, not per estimate.
+    let tables = config.window.tables(seg);
+    let coeffs = tables.coefficients();
+    let scale = 1.0 / (seg as f64 * tables.coherent_gain());
     // Noise-bandwidth correction: under the noise-calibrated convention
     // each bin's power is divided by the window ENBW (in bins), undoing
-    // the noise-floor bias the coherent-gain scaling introduces.
+    // the noise-floor bias the coherent-gain scaling introduces. Folded
+    // into the squared per-bin scale so the accumulation loop multiplies
+    // once per bin.
     let enbw_correction = match config.scaling {
         WelchScaling::Tone => 1.0,
-        WelchScaling::NoiseBandwidth => 1.0 / config.window.enbw_bins(seg),
+        WelchScaling::NoiseBandwidth => 1.0 / tables.enbw_bins(),
     };
+    let scale_sq = scale * scale * enbw_correction;
 
     let mut acc = vec![0.0f64; seg];
+    let mut buf: Vec<Complex64> = Vec::with_capacity(seg);
     let mut count = 0usize;
     let mut skipped = 0usize;
     let mut start = 0usize;
@@ -138,15 +145,14 @@ pub fn welch_psd(
             start += hop;
             continue;
         }
-        let mut buf: Vec<Complex64> = chunk
-            .iter()
-            .zip(&coeffs)
-            .map(|(z, &c)| z.scale(c))
-            .collect();
+        // Fused window multiply into the (reused) FFT workspace; bin
+        // powers accumulate as |z|²·scale² without a per-bin hypot.
+        buf.clear();
+        buf.extend(chunk.iter().zip(coeffs).map(|(z, &c)| z.scale(c)));
         plan.forward(&mut buf);
         fft_shift(&mut buf);
         for (a, z) in acc.iter_mut().zip(&buf) {
-            *a += (z.norm() * scale).powi(2) * enbw_correction;
+            *a += z.norm_sqr() * scale_sq;
         }
         count += 1;
         start += hop;
@@ -161,7 +167,10 @@ pub fn welch_psd(
         *a *= inv;
     }
     let resolution = Hertz(fs / seg as f64);
-    let start_freq = Hertz(center.hz() - fs / 2.0);
+    // Centered-axis start: identical to `center − fs/2` for the even
+    // segment lengths every preset uses, and correct (not half a bin low)
+    // for odd ones.
+    let start_freq = Spectrum::centered_start(center, resolution, seg);
     Spectrum::new(start_freq, resolution, acc)
 }
 
@@ -316,6 +325,30 @@ mod tests {
         assert_eq!(psd.len(), 256);
         assert_eq!(psd.start(), Hertz(1_000_000.0 - 4_096.0));
         assert_eq!(psd.resolution(), Hertz(32.0));
+    }
+
+    #[test]
+    fn odd_segment_grid_centers_dc_bin() {
+        // Odd segment length: DC must land exactly on the capture center
+        // frequency at integer bin n/2 — the even-only `center − fs/2`
+        // start would label every bin half a bin low.
+        let fs = 9_000.0;
+        let iq = vec![Complex64::new(1e-3, 0.0); 900];
+        let psd = welch_psd(
+            &iq,
+            Hertz(1_000_000.0),
+            fs,
+            &WelchConfig {
+                segment: 225,
+                overlap: 0,
+                ..WelchConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(psd.resolution(), Hertz(40.0));
+        let (b, _) = psd.peak_bin();
+        assert_eq!(b, 112, "DC bin must sit at n/2");
+        assert_eq!(psd.frequency_at(b), Hertz(1_000_000.0));
     }
 
     #[test]

@@ -4,8 +4,19 @@
 //! the FFT; the window trades main-lobe width (frequency resolution) against
 //! side-lobe level (dynamic range). FASE needs high dynamic range — weak
 //! side-bands next to strong carriers — so the default is Blackman–Harris.
+//!
+//! Generating a window table costs `n` cosine-series evaluations, and the
+//! analyzer needs the same table (plus its coherent gain and ENBW) for every
+//! capture of a campaign — so [`Window::tables`] memoizes the whole bundle
+//! per thread, keyed by `(family, length)`. The in-place [`Window::apply`] /
+//! [`Window::apply_complex`] helpers and the scalar accessors route through
+//! the cache; the raw [`Window::coefficients`] generator stays allocation-
+//! fresh for callers that mutate or own the table (FIR design, tests).
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// A window function family.
 ///
@@ -17,7 +28,7 @@ use std::fmt;
 /// assert_eq!(w.len(), 8);
 /// assert!(w[0] < 1e-12); // Hann tapers to zero at the edges
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Window {
     /// No tapering; best resolution, worst (-13 dB) side-lobes.
     Rectangular,
@@ -116,44 +127,116 @@ impl Window {
 
     /// Coherent gain: the mean of the coefficients. A pure tone's measured
     /// amplitude is scaled by this factor; the analyzer divides it back out.
+    /// Served from the per-thread table cache.
     pub fn coherent_gain(self, n: usize) -> f64 {
-        let w = self.coefficients(n);
-        w.iter().sum::<f64>() / n as f64
+        self.tables(n).coherent_gain()
     }
 
     /// Normalized equivalent noise bandwidth (ENBW) in bins:
     /// `n·Σw² / (Σw)²`. Converts windowed-FFT bin power to power spectral
-    /// density.
+    /// density. Served from the per-thread table cache.
     pub fn enbw_bins(self, n: usize) -> f64 {
-        let w = self.coefficients(n);
-        let sum: f64 = w.iter().sum();
-        let sum_sq: f64 = w.iter().map(|x| x * x).sum();
-        n as f64 * sum_sq / (sum * sum)
+        self.tables(n).enbw_bins()
     }
 
-    /// Applies the window to a real signal in place.
+    /// Applies the window to a real signal in place, using the cached table.
     ///
     /// # Panics
     ///
     /// Panics if `signal` is empty.
     pub fn apply(self, signal: &mut [f64]) {
-        let w = self.coefficients(signal.len());
-        for (x, c) in signal.iter_mut().zip(&w) {
+        let t = self.tables(signal.len());
+        for (x, c) in signal.iter_mut().zip(t.coefficients()) {
             *x *= c;
         }
     }
 
-    /// Applies the window to a complex signal in place.
+    /// Applies the window to a complex signal in place, using the cached
+    /// table.
     ///
     /// # Panics
     ///
     /// Panics if `signal` is empty.
     pub fn apply_complex(self, signal: &mut [crate::Complex64]) {
-        let w = self.coefficients(signal.len());
-        for (z, c) in signal.iter_mut().zip(&w) {
+        let t = self.tables(signal.len());
+        for (z, c) in signal.iter_mut().zip(t.coefficients()) {
             *z = z.scale(*c);
         }
     }
+
+    /// Fetches (or builds and caches) this thread's precomputed table bundle
+    /// for length `n`: the periodic coefficient table plus the coherent-gain
+    /// and ENBW scalars derived from it. Hot loops that window the same
+    /// length repeatedly (every capture of a campaign) should hold the
+    /// returned `Rc` instead of regenerating tables per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn tables(self, n: usize) -> Rc<WindowTables> {
+        TABLE_CACHE.with(|cache| {
+            Rc::clone(
+                cache
+                    .borrow_mut()
+                    .entry((self, n))
+                    .or_insert_with(|| Rc::new(WindowTables::build(self, n))),
+            )
+        })
+    }
+}
+
+/// Precomputed per-length window data: the periodic coefficient table and
+/// the two scalar calibration factors derived from it. Built once per
+/// `(family, length)` per thread by [`Window::tables`].
+#[derive(Debug, Clone)]
+pub struct WindowTables {
+    coefficients: Vec<f64>,
+    coherent_gain: f64,
+    enbw_bins: f64,
+}
+
+impl WindowTables {
+    fn build(window: Window, n: usize) -> WindowTables {
+        let coefficients = window.coefficients(n);
+        let sum: f64 = coefficients.iter().sum();
+        let sum_sq: f64 = coefficients.iter().map(|x| x * x).sum();
+        WindowTables {
+            coherent_gain: sum / n as f64,
+            enbw_bins: n as f64 * sum_sq / (sum * sum),
+            coefficients,
+        }
+    }
+
+    /// The periodic window coefficients (length as planned).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Mean of the coefficients; divides a tone's measured amplitude back
+    /// to its true value.
+    pub fn coherent_gain(&self) -> f64 {
+        self.coherent_gain
+    }
+
+    /// Normalized equivalent noise bandwidth in bins.
+    pub fn enbw_bins(&self) -> f64 {
+        self.enbw_bins
+    }
+
+    /// The table length.
+    pub fn len(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Always false — zero-length windows are rejected at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+thread_local! {
+    static TABLE_CACHE: RefCell<BTreeMap<(Window, usize), Rc<WindowTables>>> =
+        const { RefCell::new(BTreeMap::new()) };
 }
 
 impl fmt::Display for Window {
@@ -270,5 +353,24 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_length_window_panics() {
         let _ = Window::Hann.coefficients(0);
+    }
+
+    #[test]
+    fn cached_tables_match_fresh_generation() {
+        for win in Window::ALL {
+            for n in [8usize, 255, 4096] {
+                let t = win.tables(n);
+                let fresh = win.coefficients(n);
+                assert_eq!(t.coefficients(), fresh.as_slice(), "{win} n={n}");
+                let gain: f64 = fresh.iter().sum::<f64>() / n as f64;
+                assert!((t.coherent_gain() - gain).abs() < 1e-15);
+                let sum: f64 = fresh.iter().sum();
+                let sum_sq: f64 = fresh.iter().map(|x| x * x).sum();
+                let enbw = n as f64 * sum_sq / (sum * sum);
+                assert!((t.enbw_bins() - enbw).abs() < 1e-15);
+                // Same Rc on the second fetch — no regeneration.
+                assert!(Rc::ptr_eq(&t, &win.tables(n)));
+            }
+        }
     }
 }

@@ -214,6 +214,7 @@ impl EmSource for ClockSource {
                     .collect();
                 let mut rots = vec![Complex64::ONE; ks.len()];
                 let mut accels = vec![Complex64::ONE; ks.len()];
+                let mut env = [0.0f64; BLOCK];
                 let n = window.len();
                 let mut pos = 0;
                 while pos < n {
@@ -227,21 +228,26 @@ impl EmSource for ClockSource {
                         rots[i] = Phasor::rotation(f0, dt);
                         accels[i] = Phasor::chirp(f0, f1, len, dt);
                     }
-                    for (n_i, sample) in out[pos..pos + len].iter_mut().enumerate() {
-                        let envelope = match load {
-                            Some(w) => {
-                                self.idle_fraction + (1.0 - self.idle_fraction) * w[pos + n_i]
+                    // Materialize the block's envelope once, then let each
+                    // harmonic run the batched chirp kernel over it.
+                    match load {
+                        Some(w) => {
+                            for (e, &l) in env[..len].iter_mut().zip(&w[pos..pos + len]) {
+                                *e = self.idle_fraction + (1.0 - self.idle_fraction) * l;
                             }
-                            None => 1.0,
-                        };
-                        for (i, p) in phasors.iter_mut().enumerate() {
-                            *sample += p.value().scale(amps[i] * envelope);
-                            p.advance(rots[i]);
-                            rots[i] *= accels[i];
                         }
+                        None => env[..len].fill(1.0),
                     }
-                    for p in phasors.iter_mut() {
-                        p.renormalize();
+                    let block = &mut out[pos..pos + len];
+                    for (i, p) in phasors.iter_mut().enumerate() {
+                        crate::phasor::mix_chirp_env(
+                            block,
+                            &env[..len],
+                            p,
+                            &mut rots[i],
+                            accels[i],
+                            amps[i],
+                        );
                     }
                     pos += len;
                 }

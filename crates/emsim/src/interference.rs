@@ -8,13 +8,88 @@
 //! reported; these sources provide the corresponding workload.
 
 use crate::ctx::{dbm_to_amplitude, CaptureWindow, RenderCtx};
-use crate::phasor::{Phasor, SynthMode, BLOCK};
+use crate::phasor::{Phasor, SynthMode};
 use crate::source::{EmSource, FreqDrift, SourceInfo, SourceKind};
 use fase_dsp::fft::cached_plan;
-use fase_dsp::noise::standard_normal;
+use fase_dsp::noise::complex_normal_polar;
 use fase_dsp::rng::{Rng, SmallRng};
 use fase_dsp::{Complex64, Hertz};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::f64::consts::TAU;
+use std::rc::Rc;
+
+/// Capture geometry fingerprint: center frequency, sample rate (both by
+/// exact bit pattern) and length. Everything a per-geometry cache needs —
+/// notably *not* the start time, which neither the spur table nor the
+/// noise envelope depends on.
+type GeometryKey = (u64, u64, usize);
+
+/// Caches in this module never hold more than this many entries;
+/// campaigns reuse one or two, sweeps a handful per band instance, so the
+/// bound only guards against pathological callers. Entries can reach
+/// capture size (~16 bytes × n), so the cap also bounds memory.
+const GEOMETRY_CACHE_CAP: usize = 8;
+
+fn geometry_key(window: &CaptureWindow) -> GeometryKey {
+    (
+        window.center().hz().to_bits(),
+        window.sample_rate().to_bits(),
+        window.len(),
+    )
+}
+
+/// FNV-1a-style fold over 64-bit words, used to fingerprint source
+/// content (spur tables, noise envelopes) so renders can be memoized
+/// across *instances*: the capture pool rebuilds each simulated system
+/// from its factory for every capture, so per-instance caches would
+/// never see a second lookup.
+fn content_fingerprint(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+thread_local! {
+    /// Time-domain spur blocks keyed by (spur-table fingerprint, capture
+    /// geometry). The block is a pure deterministic function of the key,
+    /// so any thread computes bit-identical samples and sharing cannot
+    /// perturb thread-count bit-identity.
+    #[allow(clippy::type_complexity)]
+    static SPUR_CACHE: RefCell<BTreeMap<(u64, GeometryKey), Rc<Vec<Complex64>>>> =
+        const { RefCell::new(BTreeMap::new()) };
+    /// Rendered noise realizations keyed by (envelope fingerprint, RNG
+    /// state at render start, capture geometry). The draws are a pure
+    /// function of the starting state, so the memo stores the block
+    /// *and* the state the generator ended at; a hit replays both,
+    /// making memoized and unmemoized runs bit-identical everywhere.
+    /// Long-lived instances advance their RNG every render and simply
+    /// miss, exactly as before; the capture pool reconstructs each
+    /// system per capture, restarting the RNG, and hits.
+    #[allow(clippy::type_complexity)]
+    static NOISE_CACHE: RefCell<BTreeMap<(u64, u64, GeometryKey), (Rc<Vec<Complex64>>, u64)>> =
+        const { RefCell::new(BTreeMap::new()) };
+    /// Per-bin σ of the rolling-noise frequency-domain draw, keyed by
+    /// (envelope fingerprint, capture geometry). The envelope is frozen
+    /// by construction, so evaluating the hills (one `powf` + `exp` per
+    /// hill per bin) is paid once per geometry even when the realization
+    /// itself must be fresh.
+    #[allow(clippy::type_complexity)]
+    static SIGMA_CACHE: RefCell<BTreeMap<(u64, GeometryKey), Rc<Vec<f64>>>> =
+        const { RefCell::new(BTreeMap::new()) };
+}
+
+/// Inserts into a capped cache map, clearing it first when full.
+fn cache_insert<K: Ord, V>(map: &mut BTreeMap<K, V>, key: K, value: V) {
+    if map.len() >= GEOMETRY_CACHE_CAP {
+        map.clear();
+    }
+    map.insert(key, value);
+}
 
 /// An AM broadcast station: a strong, stable carrier amplitude-modulated by
 /// an audio-like program — modulated, but **not** by the victim's program
@@ -133,11 +208,13 @@ impl EmSource for AmBroadcast {
                 }
             }
             SynthMode::Fast => {
-                // The audio program reaches ~4 kHz, so cap the envelope
-                // block to keep several lerp points per audio cycle; at
+                // The audio program reaches ~4 kHz, so size the envelope
+                // block to keep ≥8 lerp points per audio cycle; at
                 // audio-scale sample rates this degenerates to per-sample
                 // evaluation, which is the correct (exact) behaviour.
-                let block = BLOCK.min(((fs / 32_000.0) as usize).max(1));
+                // (Renormalization cadence is handled inside the mix
+                // kernel, so blocks need no other cap.)
+                let block = ((fs / 32_000.0) as usize).max(1);
                 let mut phasor = Phasor::new(TAU * ((self.carrier.hz() - f_off) * t0) % TAU);
                 let mut env_end =
                     self.amplitude * (1.0 + self.modulation_index * self.audio(t0, dt)).max(0.0);
@@ -153,13 +230,13 @@ impl EmSource for AmBroadcast {
                         * (1.0 + self.modulation_index * self.audio(t_end, dt_block)).max(0.0);
                     let rot = Phasor::rotation(self.carrier.hz() + drift - f_off, dt);
                     let step = (env_end - env0) / len as f64;
-                    let mut env = env0;
-                    for sample in &mut out[pos..pos + len] {
-                        *sample += phasor.value().scale(env);
-                        phasor.advance(rot);
-                        env += step;
-                    }
-                    phasor.renormalize();
+                    crate::phasor::mix_tone_ramp(
+                        &mut out[pos..pos + len],
+                        &mut phasor,
+                        rot,
+                        env0,
+                        step,
+                    );
                     pos += len;
                 }
             }
@@ -179,18 +256,35 @@ pub struct SpurForest {
     name: String,
     /// `(frequency, envelope amplitude, phase)` per spur.
     spurs: Vec<(Hertz, f64, f64)>,
+    /// Content fingerprint of `spurs`, the cache key under which rendered
+    /// time-domain blocks are shared. Spur frequencies are quantized to
+    /// the bin grid and phases are fixed, so the block is independent of
+    /// the capture start time: every capture of a campaign adds the
+    /// *same* samples, and the inverse FFT is paid once — even though
+    /// the capture pool rebuilds the forest itself for every capture.
+    fingerprint: u64,
+}
+
+fn spur_fingerprint(spurs: &[(Hertz, f64, f64)]) -> u64 {
+    content_fingerprint(
+        spurs
+            .iter()
+            .flat_map(|&(f, amp, ph)| [f.hz().to_bits(), amp.to_bits(), ph.to_bits()]),
+    )
 }
 
 impl SpurForest {
     /// Creates a forest from explicit spurs given as `(frequency, dBm)`.
     pub fn from_spurs(name: &str, spurs: &[(Hertz, f64)], seed: u64) -> SpurForest {
         let mut rng = SmallRng::seed_from_u64(seed);
+        let spurs: Vec<(Hertz, f64, f64)> = spurs
+            .iter()
+            .map(|&(f, dbm)| (f, dbm_to_amplitude(dbm), rng.gen_f64() * TAU))
+            .collect();
         SpurForest {
             name: name.to_owned(),
-            spurs: spurs
-                .iter()
-                .map(|&(f, dbm)| (f, dbm_to_amplitude(dbm), rng.gen_f64() * TAU))
-                .collect(),
+            fingerprint: spur_fingerprint(&spurs),
+            spurs,
         }
     }
 
@@ -221,6 +315,7 @@ impl SpurForest {
             .collect();
         SpurForest {
             name: name.to_owned(),
+            fingerprint: spur_fingerprint(&spurs),
             spurs,
         }
     }
@@ -252,33 +347,50 @@ impl EmSource for SpurForest {
     }
 
     fn render(&mut self, window: &CaptureWindow, _ctx: &RenderCtx<'_>, out: &mut [Complex64]) {
-        let n = window.len();
-        let fs = window.sample_rate();
-        let bin_hz = fs / n as f64;
-        let mut freq = vec![Complex64::ZERO; n];
-        let mut any = false;
-        for &(f, amp, phase) in &self.spurs {
-            if !window.contains(f, Hertz::ZERO) {
-                continue;
+        let key = (self.fingerprint, geometry_key(window));
+        let cached = SPUR_CACHE.with(|c| c.borrow().get(&key).cloned());
+        let block = match cached {
+            Some(block) => block,
+            None => {
+                let block = Rc::new(render_spur_block(&self.spurs, window));
+                SPUR_CACHE.with(|c| cache_insert(&mut c.borrow_mut(), key, Rc::clone(&block)));
+                block
             }
-            let offset = f.hz() - window.center().hz();
-            // Baseband bin index (FFT layout: 0..n/2 positive, n/2..n negative).
-            let mut k = (offset / bin_hz).round() as i64;
-            if k < 0 {
-                k += n as i64;
-            }
-            let k = (k.rem_euclid(n as i64)) as usize;
-            freq[k] += Complex64::from_polar(amp * n as f64, phase);
-            any = true;
-        }
-        if !any {
-            return;
-        }
-        cached_plan(n).inverse(&mut freq);
-        for (o, s) in out.iter_mut().zip(&freq) {
+        };
+        for (o, s) in out.iter_mut().zip(block.iter()) {
             *o += *s;
         }
     }
+}
+
+/// Renders the forest's time-domain block for one capture geometry — the
+/// single inverse FFT a [`SpurForest`] amortizes across a campaign. An
+/// empty vector means no spur falls in the band (and caches that outcome).
+fn render_spur_block(spurs: &[(Hertz, f64, f64)], window: &CaptureWindow) -> Vec<Complex64> {
+    let n = window.len();
+    let fs = window.sample_rate();
+    let bin_hz = fs / n as f64;
+    let mut freq = vec![Complex64::ZERO; n];
+    let mut any = false;
+    for &(f, amp, phase) in spurs {
+        if !window.contains(f, Hertz::ZERO) {
+            continue;
+        }
+        let offset = f.hz() - window.center().hz();
+        // Baseband bin index (FFT layout: 0..n/2 positive, n/2..n negative).
+        let mut k = (offset / bin_hz).round() as i64;
+        if k < 0 {
+            k += n as i64;
+        }
+        let k = (k.rem_euclid(n as i64)) as usize;
+        freq[k] += Complex64::from_polar(amp * n as f64, phase);
+        any = true;
+    }
+    if !any {
+        return Vec::new();
+    }
+    cached_plan(n).inverse(&mut freq);
+    freq
 }
 
 /// One Gaussian "hill" of excess broadband noise.
@@ -305,6 +417,10 @@ pub struct RollingNoise {
     floor_dbm_per_hz: f64,
     hills: Vec<NoiseHill>,
     rng: SmallRng,
+    /// Content fingerprint of the frozen envelope (floor + hills), used
+    /// with the RNG state to memoize whole rendered realizations across
+    /// the per-capture system rebuilds of the capture pool.
+    fingerprint: u64,
 }
 
 impl RollingNoise {
@@ -315,11 +431,21 @@ impl RollingNoise {
         hills: Vec<NoiseHill>,
         seed: u64,
     ) -> RollingNoise {
+        let fingerprint = content_fingerprint(std::iter::once(floor_dbm_per_hz.to_bits()).chain(
+            hills.iter().flat_map(|h| {
+                [
+                    h.center.hz().to_bits(),
+                    h.width.hz().to_bits(),
+                    h.excess_db.to_bits(),
+                ]
+            }),
+        ));
         RollingNoise {
             name: name.to_owned(),
             floor_dbm_per_hz,
             hills,
             rng: SmallRng::seed_from_u64(seed),
+            fingerprint,
         }
     }
 
@@ -371,26 +497,58 @@ impl EmSource for RollingNoise {
     fn render(&mut self, window: &CaptureWindow, _ctx: &RenderCtx<'_>, out: &mut [Complex64]) {
         let n = window.len();
         let fs = window.sample_rate();
-        let bin_hz = fs / n as f64;
-        let mut freq = Vec::with_capacity(n);
-        for k in 0..n {
-            // FFT bin k ↔ baseband offset (k > n/2 means negative).
-            let offset = if k <= n / 2 {
-                k as f64
-            } else {
-                k as f64 - n as f64
-            } * bin_hz;
-            let f = Hertz(window.center().hz() + offset);
-            let density = self.density_at(f);
-            // X_k ~ CN(0, density·n·fs) gives PSD = density after the IFFT.
-            let sigma = (density * n as f64 * fs).sqrt() / std::f64::consts::SQRT_2;
-            freq.push(Complex64::new(
-                sigma * standard_normal(&mut self.rng),
-                sigma * standard_normal(&mut self.rng),
-            ));
-        }
-        cached_plan(n).inverse(&mut freq);
-        for (o, s) in out.iter_mut().zip(&freq) {
+        let key = (self.fingerprint, self.rng.state(), geometry_key(window));
+        let cached = NOISE_CACHE.with(|c| c.borrow().get(&key).cloned());
+        let block = match cached {
+            Some((block, end_state)) => {
+                // Replaying the memoized realization must leave the
+                // generator exactly where the draws would have.
+                self.rng = SmallRng::seed_from_u64(end_state);
+                block
+            }
+            None => {
+                let skey = (self.fingerprint, geometry_key(window));
+                let sigmas = match SIGMA_CACHE.with(|c| c.borrow().get(&skey).cloned()) {
+                    Some(sigmas) => sigmas,
+                    None => {
+                        let bin_hz = fs / n as f64;
+                        let sigmas: Rc<Vec<f64>> = Rc::new(
+                            (0..n)
+                                .map(|k| {
+                                    // FFT bin k ↔ baseband offset
+                                    // (k > n/2 means negative).
+                                    let offset = if k <= n / 2 {
+                                        k as f64
+                                    } else {
+                                        k as f64 - n as f64
+                                    } * bin_hz;
+                                    let f = Hertz(window.center().hz() + offset);
+                                    // X_k ~ CN(0, density·n·fs) gives
+                                    // PSD = density after the IFFT.
+                                    (self.density_at(f) * n as f64 * fs).sqrt()
+                                })
+                                .collect(),
+                        );
+                        SIGMA_CACHE
+                            .with(|c| cache_insert(&mut c.borrow_mut(), skey, Rc::clone(&sigmas)));
+                        sigmas
+                    }
+                };
+                let rng = &mut self.rng;
+                let mut freq: Vec<Complex64> = sigmas
+                    .iter()
+                    .map(|&sigma| complex_normal_polar(rng, sigma))
+                    .collect();
+                cached_plan(n).inverse(&mut freq);
+                let block = Rc::new(freq);
+                let end_state = self.rng.state();
+                NOISE_CACHE.with(|c| {
+                    cache_insert(&mut c.borrow_mut(), key, (Rc::clone(&block), end_state))
+                });
+                block
+            }
+        };
+        for (o, s) in out.iter_mut().zip(block.iter()) {
             *o += *s;
         }
     }

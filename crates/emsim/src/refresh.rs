@@ -119,10 +119,38 @@ impl EmSource for RefreshSource {
             let center = tau / ts;
             let lo = ((center - LANCZOS_A).ceil().max(0.0)) as usize;
             let hi = ((center + LANCZOS_A).floor().min((n - 1) as f64)) as usize;
-            for (idx, sample) in out.iter_mut().enumerate().take(hi + 1).skip(lo) {
-                *sample += amp * lanczos(idx as f64 - center);
-            }
+            add_lanczos_pulse(&mut out[lo..=hi], lo as f64 - center, amp);
         }
+    }
+}
+
+/// Adds `amp · lanczos(x0 + k)` for consecutive samples, evaluating the
+/// kernel by recurrence instead of two `sin` calls per sample:
+/// `sin(π(x0+k)) = (−1)ᵏ·sin(πx0)`, and the slow `sin(πx/a)` factor is a
+/// fixed rotation by π/a per step. Hundreds of refresh events hit every
+/// campaign capture, each spanning 2·[`LANCZOS_A`] samples.
+fn add_lanczos_pulse(out: &mut [Complex64], x0: f64, amp: Complex64) {
+    let mut x = x0;
+    let mut s1 = (PI * x0).sin();
+    let (mut s2, mut c2) = (PI * x0 / LANCZOS_A).sin_cos();
+    let (sa, ca) = (PI / LANCZOS_A).sin_cos();
+    for sample in out.iter_mut() {
+        // Near the pulse center both sines vanish linearly; the closed form
+        // is the same 1.0 the direct `lanczos` evaluates to. Outside the
+        // kernel support the window factor is zero.
+        let k = if x.abs() < 1e-9 {
+            1.0
+        } else if x.abs() >= LANCZOS_A {
+            0.0
+        } else {
+            s1 * s2 * LANCZOS_A / (PI * PI * x * x)
+        };
+        *sample += amp * k;
+        x += 1.0;
+        s1 = -s1;
+        let next_s2 = s2 * ca + c2 * sa;
+        c2 = c2 * ca - s2 * sa;
+        s2 = next_s2;
     }
 }
 
@@ -137,7 +165,9 @@ fn sinc(x: f64) -> f64 {
     }
 }
 
-/// Lanczos-windowed sinc interpolation kernel (a = [`LANCZOS_A`]).
+/// Lanczos-windowed sinc interpolation kernel (a = [`LANCZOS_A`]) — the
+/// direct evaluation [`add_lanczos_pulse`]'s recurrence is checked against.
+#[cfg(test)]
 fn lanczos(x: f64) -> f64 {
     if x.abs() >= LANCZOS_A {
         0.0
@@ -270,6 +300,23 @@ mod tests {
         let mut iq = vec![Complex64::ZERO; 1024];
         src.render(&window, &ctx, &mut iq);
         assert!(iq.iter().all(|z| z.norm() == 0.0));
+    }
+
+    #[test]
+    fn recurrence_matches_direct_lanczos() {
+        for &x0 in &[-7.73, -3.2, -0.5, -1e-12, 0.31] {
+            let amp = Complex64::new(0.6, -1.3);
+            let n = 16;
+            let mut fast = vec![Complex64::ZERO; n];
+            add_lanczos_pulse(&mut fast, x0, amp);
+            for (k, got) in fast.iter().enumerate() {
+                let want = amp * lanczos(x0 + k as f64);
+                assert!(
+                    (*got - want).norm() < 1e-12,
+                    "x0={x0} k={k}: {got} vs {want}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -171,30 +171,44 @@ impl SwitchingRegulator {
             .iter()
             .map(|&k| Phasor::new(TAU * ((k as f64 * fsw - f_off) * t0) % TAU))
             .collect();
-        let mut amps = vec![0.0f64; ks.len()];
         let mut rots = vec![Complex64::ONE; ks.len()];
-        let mut last_load = f64::NAN;
+        // The load waveform alternates between a handful of levels (two,
+        // for an activity-alternation trace), so the per-harmonic comb
+        // amplitudes are memoized per distinct level instead of being
+        // recomputed at every run boundary.
+        let mut amp_sets: Vec<(f64, Vec<f64>)> = Vec::with_capacity(2);
+        let Some(&k0) = ks.first() else {
+            return;
+        };
         for (start, len) in runs_of(window.len(), |a, b| load[a] == load[b]) {
             let drift = self.drift.step(dt * len as f64, &mut self.rng);
-            if load[start] != last_load {
-                last_load = load[start];
-                let d = self.duty(last_load);
-                for (a, &k) in amps.iter_mut().zip(ks) {
-                    *a = self.amp_scale * pulse_harmonic_amplitude(k, d);
+            let level = load[start];
+            let set = match amp_sets.iter().position(|&(l, _)| l == level) {
+                Some(i) => i,
+                None => {
+                    let d = self.duty(level);
+                    let amps = ks
+                        .iter()
+                        .map(|&k| self.amp_scale * pulse_harmonic_amplitude(k, d))
+                        .collect();
+                    amp_sets.push((level, amps));
+                    amp_sets.len() - 1
                 }
+            };
+            // The harmonic indices are contiguous, so one evaluated
+            // rotation seeds the whole comb: rot_{k+1} = rot_k · w.
+            let w = Phasor::rotation(fsw + drift, dt);
+            let mut rot = Phasor::rotation(k0 as f64 * (fsw + drift) - f_off, dt);
+            for r in rots.iter_mut() {
+                *r = rot;
+                rot *= w;
             }
-            for (r, &k) in rots.iter_mut().zip(ks) {
-                *r = Phasor::rotation(k as f64 * (fsw + drift) - f_off, dt);
-            }
-            for sample in &mut out[start..start + len] {
-                for ((p, &amp), &rot) in phasors.iter_mut().zip(&amps).zip(&rots) {
-                    *sample += p.value().scale(amp);
-                    p.advance(rot);
-                }
-            }
-            for p in phasors.iter_mut() {
-                p.renormalize();
-            }
+            crate::phasor::mix_tones(
+                &mut out[start..start + len],
+                &mut phasors,
+                &rots,
+                &amp_sets[set].1,
+            );
         }
     }
 }
@@ -329,21 +343,24 @@ impl EmSource for FmRegulator {
                     .map(|&k| Phasor::new(TAU * ((k as f64 * self.fsw.hz() - f_off) * t0) % TAU))
                     .collect();
                 let mut rots = vec![Complex64::ONE; ks.len()];
+                let Some(&k0) = ks.first() else {
+                    return;
+                };
                 for (start, len) in runs_of(window.len(), |a, b| load[a] == load[b]) {
                     let drift = self.drift.step(dt * len as f64, &mut self.rng);
                     let f_inst = self.fsw.hz() * (1.0 + self.fm_gain * load[start]) + drift;
-                    for (r, &k) in rots.iter_mut().zip(&ks) {
-                        *r = Phasor::rotation(k as f64 * f_inst - f_off, dt);
+                    let w = Phasor::rotation(f_inst, dt);
+                    let mut rot = Phasor::rotation(k0 as f64 * f_inst - f_off, dt);
+                    for r in rots.iter_mut() {
+                        *r = rot;
+                        rot *= w;
                     }
-                    for sample in &mut out[start..start + len] {
-                        for ((p, &amp), &rot) in phasors.iter_mut().zip(&amps).zip(&rots) {
-                            *sample += p.value().scale(amp);
-                            p.advance(rot);
-                        }
-                    }
-                    for p in phasors.iter_mut() {
-                        p.renormalize();
-                    }
+                    crate::phasor::mix_tones(
+                        &mut out[start..start + len],
+                        &mut phasors,
+                        &rots,
+                        &amps,
+                    );
                 }
             }
         }

@@ -5,6 +5,14 @@ use crate::antenna::AntennaResponse;
 use fase_dsp::fft::{cached_plan, fft_shift};
 use fase_dsp::{Complex64, Hertz, Spectrum, SpectrumError, Window};
 use fase_emsim::CaptureWindow;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reused FFT workspace: campaigns transform thousands of equal-length
+    /// captures per worker thread, and the windowed copy of the capture
+    /// does not need a fresh allocation each time.
+    static FFT_BUF: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A calibrated FFT spectrum analyzer.
 ///
@@ -86,19 +94,43 @@ impl SpectrumAnalyzer {
         assert_eq!(iq.len(), window.len(), "capture length must match window");
         let _transform = fase_obs::span!("transform");
         let n = iq.len();
-        let mut buf = iq.to_vec();
-        self.window.apply_complex(&mut buf);
-        // Campaigns transform thousands of equal-length captures; the
-        // per-thread plan cache pays the twiddle setup once per worker.
-        cached_plan(n).forward(&mut buf);
-        fft_shift(&mut buf);
-        let scale = 1.0 / (n as f64 * self.window.coherent_gain(n));
-        let power: Vec<f64> = buf.iter().map(|z| (z.norm() * scale).powi(2)).collect();
+        // Window tables (coefficients + coherent gain) come from the
+        // per-thread cache, the window multiply is fused into the copy into
+        // the reused FFT workspace, and bin powers use norm_sqr with a
+        // squared scale — no per-bin hypot, no per-capture allocation
+        // beyond the power vector the Spectrum owns.
+        let tables = self.window.tables(n);
+        let scale = 1.0 / (n as f64 * tables.coherent_gain());
+        let scale_sq = scale * scale;
+        let power = FFT_BUF.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut buf) => windowed_power(iq, tables.coefficients(), scale_sq, &mut buf),
+            // Reentrancy (analyzer called inside an analyzer call on this
+            // thread) cannot share the workspace; fall back to a local one.
+            Err(_) => windowed_power(iq, tables.coefficients(), scale_sq, &mut Vec::new()),
+        });
         let resolution = Hertz(window.sample_rate() / n as f64);
-        let start = Hertz(window.center().hz() - window.sample_rate() / 2.0);
+        let start = Spectrum::centered_start(window.center(), resolution, n);
         let raw = Spectrum::new(start, resolution, power)?;
         Ok(self.antenna.shape_spectrum(&raw))
     }
+}
+
+/// Windowed FFT power of one capture: fused window-multiply copy into
+/// `buf`, in-place transform through the per-thread plan cache, centered
+/// bin order, and `|z|²·scale²` readout.
+fn windowed_power(
+    iq: &[Complex64],
+    coeffs: &[f64],
+    scale_sq: f64,
+    buf: &mut Vec<Complex64>,
+) -> Vec<f64> {
+    buf.clear();
+    buf.extend(iq.iter().zip(coeffs).map(|(z, &c)| z.scale(c)));
+    // Campaigns transform thousands of equal-length captures; the
+    // per-thread plan cache pays the twiddle setup once per worker.
+    cached_plan(iq.len()).forward(buf);
+    fft_shift(buf);
+    buf.iter().map(|z| z.norm_sqr() * scale_sq).collect()
 }
 
 impl Default for SpectrumAnalyzer {

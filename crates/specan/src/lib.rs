@@ -32,6 +32,7 @@ pub mod fault;
 pub mod probe;
 pub mod runner;
 pub mod scheduler;
+pub mod sliding;
 pub mod sweep;
 
 pub use analyzer::SpectrumAnalyzer;
@@ -41,8 +42,9 @@ pub use cancel::CancelToken;
 pub use fault::{FaultKind, FaultPlan, FaultRates};
 pub use probe::{IqCapture, ProbeConfig};
 pub use runner::{
-    run_campaign_parallel, run_campaign_with_options, Averaging, CampaignOptions, CampaignRunner,
-    DEFAULT_MAX_ATTEMPTS, DEFAULT_MAX_FFT,
+    run_campaign_parallel, run_campaign_with_options, Averaging, CalibrationCache, CampaignOptions,
+    CampaignRunner, DEFAULT_MAX_ATTEMPTS, DEFAULT_MAX_FFT,
 };
 pub use scheduler::{run_sweep, BandOutcome, Shard, SweepConfig, SweepOptions, SweepOutcome};
+pub use sliding::{seam_pair, SlidingDft};
 pub use sweep::{plan_bands, SegmentSpec, SweepBand, SweepPlan};

@@ -1,0 +1,283 @@
+//! Sliding DFT: advancing a DFT window one sample at a time without
+//! recomputing the transform.
+//!
+//! When two analysis windows overlap — the seam between adjacent sweep
+//! bands is exactly this shape — the classic sliding-DFT recurrence
+//! evaluates the second window's bins from the first window's, touching
+//! only the samples that *enter* and *leave*:
+//!
+//! ```text
+//! X_k(s+1) = (X_k(s) − x[s] + x[s+N]) · e^{+i·2πk/N}
+//! ```
+//!
+//! so the shared samples are processed once instead of once per window.
+//! [`SlidingDft`] tracks an arbitrary subset of bins (a seam is a few
+//! bins, not a whole band), and [`seam_pair`] packages the two-window
+//! seam case. The recurrence is exact in infinite precision; in `f64` the
+//! rounding drift after `s` slides is `O(s·ε·|X|)`, bounded well below
+//! the `1e-12` relative tolerance the property tests enforce for any
+//! realistic seam hop (see `sliding_drift_stays_bounded`).
+//!
+//! [`crate::scheduler::run_sweep`] builds on the same
+//! shared-samples-once idea at the band level: with
+//! [`crate::SweepOptions::sliding_seams`] enabled, each interior seam is
+//! synthesized by one band and *reused* by its upper neighbor instead of
+//! being rendered a second time.
+
+use fase_dsp::fft::fft;
+use fase_dsp::Complex64;
+
+/// A sliding DFT over a length-`n` window, tracking a chosen set of bins.
+///
+/// # Examples
+///
+/// ```
+/// use fase_dsp::Complex64;
+/// use fase_specan::sliding::SlidingDft;
+/// let samples: Vec<Complex64> = (0..40)
+///     .map(|i| Complex64::cis(0.3 * i as f64))
+///     .collect();
+/// let n = 32;
+/// let mut sdft = SlidingDft::new(n, vec![0, 1, 2]);
+/// sdft.prime(&samples[..n]);
+/// // Slide the window from samples[0..32] to samples[8..40].
+/// for s in 0..8 {
+///     sdft.slide(samples[s], samples[s + n]);
+/// }
+/// let direct = fase_dsp::fft::fft(&samples[8..40]);
+/// assert!((sdft.coeffs()[1] - direct[1]).norm() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingDft {
+    n: usize,
+    bins: Vec<usize>,
+    /// Per tracked bin: `e^{+i·2πk/n}` — the per-slide phase advance.
+    twiddles: Vec<Complex64>,
+    coeffs: Vec<Complex64>,
+    slides: u64,
+}
+
+impl SlidingDft {
+    /// Creates a sliding DFT over window length `n` tracking `bins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or any tracked bin index is `>= n`.
+    pub fn new(n: usize, bins: Vec<usize>) -> SlidingDft {
+        assert!(n > 0, "window length must be positive");
+        assert!(
+            bins.iter().all(|&k| k < n),
+            "tracked bins must lie inside the window"
+        );
+        let twiddles = bins
+            .iter()
+            .map(|&k| Complex64::cis(2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        SlidingDft {
+            coeffs: vec![Complex64::ZERO; bins.len()],
+            n,
+            bins,
+            twiddles,
+            slides: 0,
+        }
+    }
+
+    /// Window length `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: construction rejects `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The tracked bin indices, in construction order.
+    pub fn bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Current DFT coefficients of the tracked bins (unnormalized,
+    /// matching [`fase_dsp::fft::fft`]).
+    pub fn coeffs(&self) -> &[Complex64] {
+        &self.coeffs
+    }
+
+    /// Slides applied since the last [`prime`](SlidingDft::prime).
+    pub fn slides(&self) -> u64 {
+        self.slides
+    }
+
+    /// Initializes the tracked coefficients from a full window via one
+    /// FFT (through the process-wide plan cache), resetting the slide
+    /// counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != self.len()`.
+    pub fn prime(&mut self, window: &[Complex64]) {
+        assert_eq!(window.len(), self.n, "prime window must be n samples");
+        let spectrum = fft(window);
+        for (c, &k) in self.coeffs.iter_mut().zip(&self.bins) {
+            *c = spectrum[k];
+        }
+        self.slides = 0;
+    }
+
+    /// Advances the window by one sample: `outgoing` is the sample
+    /// leaving at the front (`x[s]`), `incoming` the one entering at the
+    /// back (`x[s+n]`).
+    pub fn slide(&mut self, outgoing: Complex64, incoming: Complex64) {
+        let delta = incoming - outgoing;
+        for (c, w) in self.coeffs.iter_mut().zip(&self.twiddles) {
+            *c = (*c + delta) * *w;
+        }
+        self.slides += 1;
+    }
+
+    /// Advances the window across `samples[..hop]` leaving and
+    /// `samples[n..n+hop]` entering: after the call the window covers
+    /// `samples[hop..hop+n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is shorter than `n + hop`.
+    pub fn slide_by(&mut self, samples: &[Complex64], hop: usize) {
+        assert!(
+            samples.len() >= self.n + hop,
+            "need n + hop samples to slide by hop"
+        );
+        for s in 0..hop {
+            self.slide(samples[s], samples[s + self.n]);
+        }
+    }
+}
+
+/// Evaluates the tracked bins of *both* windows of an overlapping pair
+/// from one shared sample block: window A is `samples[0..n]`, window B
+/// is `samples[hop..hop+n]`, and B's coefficients are slid from A's so
+/// the `n − hop` shared samples are transformed once.
+///
+/// Returns `(a_coeffs, b_coeffs)` in `bins` order, unnormalized.
+///
+/// # Panics
+///
+/// Panics if `samples` is shorter than `n + hop`, `n` is zero, or a bin
+/// index is out of range.
+pub fn seam_pair(
+    samples: &[Complex64],
+    n: usize,
+    hop: usize,
+    bins: &[usize],
+) -> (Vec<Complex64>, Vec<Complex64>) {
+    let mut sdft = SlidingDft::new(n, bins.to_vec());
+    sdft.prime(&samples[..n]);
+    let a = sdft.coeffs().to_vec();
+    sdft.slide_by(samples, hop);
+    (a, sdft.coeffs().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic, spectrally busy complex test signal.
+    fn signal(len: usize) -> Vec<Complex64> {
+        (0..len)
+            .map(|i| {
+                let t = i as f64;
+                Complex64::cis(0.37 * t)
+                    + Complex64::cis(-1.1 * t).scale(0.5)
+                    + Complex64::new(0.1 * (0.013 * t).sin(), 0.02)
+            })
+            .collect()
+    }
+
+    fn max_rel_err(got: &[Complex64], want: &[Complex64]) -> f64 {
+        let scale = want.iter().map(|z| z.norm()).fold(1e-30, f64::max);
+        got.iter()
+            .zip(want)
+            .map(|(g, w)| (*g - *w).norm() / scale)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn slid_window_matches_full_fft() {
+        // Power-of-two and Bluestein-sized windows, several hops.
+        for &n in &[32usize, 48, 100, 128] {
+            for &hop in &[1usize, 7, n / 2] {
+                let x = signal(n + hop);
+                let bins: Vec<usize> = vec![0, 1, n / 3, n - 1];
+                let (a, b) = seam_pair(&x, n, hop, &bins);
+                let fa = fft(&x[..n]);
+                let fb = fft(&x[hop..hop + n]);
+                let wa: Vec<Complex64> = bins.iter().map(|&k| fa[k]).collect();
+                let wb: Vec<Complex64> = bins.iter().map(|&k| fb[k]).collect();
+                assert!(max_rel_err(&a, &wa) < 1e-12, "A n={n} hop={hop}");
+                assert!(
+                    max_rel_err(&b, &wb) < 1e-12,
+                    "B n={n} hop={hop}: err {}",
+                    max_rel_err(&b, &wb)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seam_bins_of_overlapping_bands_agree() {
+        // Two overlapping "bands" carved out of one underlying stream —
+        // the sweep-seam geometry. The seam bins of the upper band,
+        // computed by sliding the lower band's window, must match the
+        // upper band's own full FFT to 1e-12: sharing the seam loses
+        // nothing.
+        let n = 256;
+        let hop = 192; // 64-sample seam overlap
+        let x = signal(n + hop);
+        // Seam bins: the bins of window B whose frequencies fall in the
+        // shared region also exist in window A; track a spread of them.
+        let bins: Vec<usize> = (0..8).map(|j| j * (n / 8)).collect();
+        let (_, b) = seam_pair(&x, n, hop, &bins);
+        let fb = fft(&x[hop..hop + n]);
+        let want: Vec<Complex64> = bins.iter().map(|&k| fb[k]).collect();
+        assert!(max_rel_err(&b, &want) < 1e-12);
+    }
+
+    #[test]
+    fn sliding_drift_stays_bounded() {
+        // Thousands of one-sample slides: rounding drift must stay far
+        // below the equivalence tolerance.
+        let n = 64;
+        let slides = 4096;
+        let x = signal(n + slides);
+        let bins: Vec<usize> = (0..n).step_by(9).collect();
+        let mut sdft = SlidingDft::new(n, bins.clone());
+        sdft.prime(&x[..n]);
+        sdft.slide_by(&x, slides);
+        assert_eq!(sdft.slides(), slides as u64);
+        let f = fft(&x[slides..slides + n]);
+        let want: Vec<Complex64> = bins.iter().map(|&k| f[k]).collect();
+        assert!(max_rel_err(sdft.coeffs(), &want) < 1e-12);
+    }
+
+    #[test]
+    fn zero_hop_is_identity() {
+        let n = 40;
+        let x = signal(n);
+        let bins = vec![3usize, 17];
+        let (a, b) = seam_pair(&x, n, 0, &bins);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the window")]
+    fn out_of_range_bin_panics() {
+        let _ = SlidingDft::new(16, vec![16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n + hop")]
+    fn short_sample_block_panics() {
+        let x = signal(20);
+        let _ = seam_pair(&x, 16, 8, &[0]);
+    }
+}

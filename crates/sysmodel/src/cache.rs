@@ -69,6 +69,11 @@ impl CacheConfig {
     }
 }
 
+/// One FNV-1a step: fold a word into a running 64-bit hash.
+pub(crate) fn fnv_fold(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
 /// One set-associative cache level with LRU replacement.
 #[derive(Debug, Clone)]
 struct CacheLevel {
@@ -114,6 +119,20 @@ impl CacheLevel {
         for set in self.tags.iter_mut() {
             set.clear();
         }
+    }
+
+    fn fold_state(&self, mut h: u64) -> u64 {
+        h = fnv_fold(h, self.config.size_bytes as u64);
+        h = fnv_fold(h, self.config.line_bytes as u64);
+        h = fnv_fold(h, self.config.associativity as u64);
+        h = fnv_fold(h, self.config.latency_cycles);
+        for set in &self.tags {
+            h = fnv_fold(h, set.len() as u64);
+            for &tag in set {
+                h = fnv_fold(h, tag);
+            }
+        }
+        h
     }
 }
 
@@ -258,6 +277,19 @@ impl MemoryHierarchy {
     /// Line size in bytes (uniform across levels).
     pub fn line_bytes(&self) -> usize {
         self.l1.config.line_bytes
+    }
+
+    /// Folds the hierarchy's complete observable state — geometry,
+    /// latencies, and every tag array in LRU order — into a running
+    /// FNV-1a hash. An access sequence replayed from two hierarchies with
+    /// equal folds produces identical outcomes and identical end states,
+    /// which is what lets [`crate::Machine::profile`] memoize the
+    /// pointer-chase process-wide and replay its results bit-exactly.
+    pub(crate) fn fold_state(&self, mut h: u64) -> u64 {
+        h = self.l1.fold_state(h);
+        h = self.l2.fold_state(h);
+        h = self.llc.fold_state(h);
+        fnv_fold(h, self.dram_latency_cycles)
     }
 }
 

@@ -12,7 +12,7 @@
 //!   hundreds of milliseconds a full five-`f_alt` campaign needs.
 
 use crate::activity::{Activity, PointerChase};
-use crate::cache::MemoryHierarchy;
+use crate::cache::{fnv_fold, MemoryHierarchy};
 use crate::domains::DomainLoads;
 use crate::microbench::Alternation;
 use crate::trace::ActivityTrace;
@@ -113,6 +113,24 @@ pub struct Machine {
     profile_cache: std::collections::HashMap<(Activity, usize), KernelProfile>,
 }
 
+/// Process-wide (per-thread) memo of pointer-chase profiling runs.
+///
+/// Campaign runners build a *fresh* machine per capture, so the
+/// per-instance `profile_cache` above never amortizes the first — and by
+/// far most expensive — profiling pass: warming a DRAM-sized footprint
+/// walks the tag arrays about a million times (~100 ms). The outcome is a
+/// pure function of the machine config, the hierarchy's starting state,
+/// and `(activity, ops)`, all folded into the key; the value stores both
+/// the profile and the post-profiling hierarchy state so a hit replays
+/// the run bit-exactly — including the cache-warming side effect — on any
+/// identically-configured machine.
+const PROFILE_MEMO_CAP: usize = 16;
+thread_local! {
+    static PROFILE_MEMO: std::cell::RefCell<
+        std::collections::BTreeMap<u64, (KernelProfile, MemoryHierarchy)>,
+    > = const { std::cell::RefCell::new(std::collections::BTreeMap::new()) };
+}
+
 impl Machine {
     /// Creates a machine from explicit parts.
     pub fn new(config: MachineConfig, hierarchy: MemoryHierarchy) -> Machine {
@@ -159,9 +177,38 @@ impl Machine {
         if let Some(&cached) = self.profile_cache.get(&(activity, ops)) {
             return cached;
         }
-        let profile = self.profile_uncached(activity, ops);
+        let key = self.memo_key(activity, ops);
+        let replay = PROFILE_MEMO.with(|memo| memo.borrow().get(&key).cloned());
+        let profile = if let Some((profile, end_state)) = replay {
+            self.hierarchy = end_state;
+            profile
+        } else {
+            let profile = self.profile_uncached(activity, ops);
+            PROFILE_MEMO.with(|memo| {
+                let mut memo = memo.borrow_mut();
+                if memo.len() >= PROFILE_MEMO_CAP {
+                    memo.clear();
+                }
+                memo.insert(key, (profile, self.hierarchy.clone()));
+            });
+            profile
+        };
         self.profile_cache.insert((activity, ops), profile);
         profile
+    }
+
+    /// Folds everything `profile_uncached` reads — clock, chase stride,
+    /// the full hierarchy state, and the request itself — so equal keys
+    /// guarantee equal profiling outcomes and end states.
+    fn memo_key(&self, activity: Activity, ops: usize) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fnv_fold(h, self.config.clock_hz.to_bits());
+        h = fnv_fold(h, self.config.chase_stride);
+        h = self.hierarchy.fold_state(h);
+        for byte in format!("{activity:?}").bytes() {
+            h = fnv_fold(h, byte as u64);
+        }
+        fnv_fold(h, ops as u64)
     }
 
     fn profile_uncached(&mut self, activity: Activity, ops: usize) -> KernelProfile {
@@ -395,6 +442,28 @@ mod tests {
         let mut m = Machine::core_i7();
         let mut rng = SmallRng::seed_from_u64(7);
         let _ = m.run_bit_pattern(&[], 1e-4, Activity::LoadDram, Activity::LoadL1, &mut rng);
+    }
+
+    #[test]
+    fn profile_memo_replays_bit_exactly() {
+        // Two identically-built machines: the first pays the pointer
+        // chase, the second replays it from the process-wide memo. Both
+        // the profiles and the warmed hierarchy state must be identical,
+        // so everything downstream (traces, captures) stays bit-equal.
+        let mut a = Machine::core_i7();
+        let pa_dram = a.profile(Activity::LoadDram, 2000);
+        let pa_l1 = a.profile(Activity::LoadL1, 2000);
+        let mut b = Machine::core_i7();
+        let pb_dram = b.profile(Activity::LoadDram, 2000);
+        let pb_l1 = b.profile(Activity::LoadL1, 2000);
+        assert_eq!(pa_dram, pb_dram);
+        assert_eq!(pa_l1, pb_l1);
+        assert_eq!(a.hierarchy.fold_state(17), b.hierarchy.fold_state(17));
+        // And the replayed machine keeps behaving like the original.
+        let bench = Alternation::calibrated(&mut a, Activity::LoadDram, Activity::LoadL1, 50e3);
+        let bench_b = Alternation::calibrated(&mut b, Activity::LoadDram, Activity::LoadL1, 50e3);
+        assert_eq!(bench.x_count(), bench_b.x_count());
+        assert_eq!(bench.y_count(), bench_b.y_count());
     }
 
     #[test]

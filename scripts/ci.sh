@@ -42,6 +42,35 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> DSP property tests (rfft + sliding-DFT seam equivalence)"
+# Belt and braces: these two suites gate the FFT/synthesis hot-path
+# rework and must run even if someone narrows the workspace test run.
+cargo test --offline --release -q -p fase-dsp --test rfft_properties
+cargo test --offline --release -q -p fase-specan sliding
+
+echo "==> capture/synth perf regression gate"
+# Re-run the pipeline bench and compare the capture/synth stage total
+# against the checked-in BENCH_pipeline.json: a regression of more than
+# 20% fails. One retry damps scheduler noise on small CI boxes; the
+# checked-in file is restored afterwards so the gate never dirties the
+# tree.
+synth_baseline=$(sed -n 's/.*"capture\/synth".*"total_ns": \([0-9]*\).*/\1/p' BENCH_pipeline.json)
+[[ -n "$synth_baseline" ]] \
+  || { echo "BENCH_pipeline.json lacks a capture/synth stage total"; exit 1; }
+cp BENCH_pipeline.json target/BENCH_pipeline.checked-in.json
+synth_gate() {
+  cargo bench --offline -p fase-bench --bench pipeline > /dev/null
+  synth_now=$(sed -n 's/.*"capture\/synth".*"total_ns": \([0-9]*\).*/\1/p' BENCH_pipeline.json)
+  [[ -n "$synth_now" ]] && (( synth_now * 10 <= synth_baseline * 12 ))
+}
+synth_gate || synth_gate || {
+  echo "capture/synth regressed >20%: ${synth_now:-unreported} ns vs baseline ${synth_baseline} ns"
+  cp target/BENCH_pipeline.checked-in.json BENCH_pipeline.json
+  exit 1
+}
+echo "capture/synth: ${synth_now} ns (baseline ${synth_baseline} ns)"
+cp target/BENCH_pipeline.checked-in.json BENCH_pipeline.json
+
 echo "==> metrics export + schema validation"
 # A small real campaign with observability on: the exported metrics JSON
 # must validate against the checked-in schema (sorted keys, finite
