@@ -1,0 +1,82 @@
+//! Detection-quality benchmark: ROC / PR curves for fused vs.
+//! single-channel detection. Run with `cargo bench --bench detection`.
+//!
+//! Sweeps the standard labeled scenario population (8 leaky machines,
+//! 8 interferer-only scenes) through 3-channel multi-channel campaigns
+//! and writes `BENCH_detection.json` at the repo root. The headline
+//! gate: fused ROC-AUC must be at least the single-channel AUC — if
+//! fusing more antenna positions ever *hurts* detection, the fusion
+//! path regressed.
+//!
+//! The JSON carries no wall times: the same population and channel
+//! count serialize byte-identically across thread counts and cache
+//! temperatures. CI pins this with cold/warm and single-thread re-runs.
+//!
+//! Environment:
+//! * `FASE_DETECT_OUT` — output path (default `BENCH_detection.json`
+//!   at the repo root).
+//! * `FASE_DETECT_CACHE` — capture-cache directory (default uncached).
+
+use fase_bench::detection::{run_detection_benchmark, standard_scenarios};
+use fase_bench::print_table;
+use std::path::PathBuf;
+
+const CHANNELS: usize = 3;
+
+fn main() {
+    let scenarios = standard_scenarios();
+    let cache_dir = std::env::var_os("FASE_DETECT_CACHE").map(PathBuf::from);
+    let report = run_detection_benchmark(&scenarios, CHANNELS, cache_dir.as_deref());
+
+    let rows: Vec<Vec<String>> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.name.clone(),
+                if o.positive { "leak" } else { "clutter" }.to_owned(),
+                format!("{:.2}", o.fused),
+                format!("{:.2}", o.single),
+                format!("{:.2}", o.best_single),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Detection statistics ({CHANNELS} channels)"),
+        &["scenario", "truth", "fused", "single(ch0)", "best-single"],
+        &rows,
+    );
+    println!(
+        "\nROC-AUC: fused {:.4} vs single-channel {:.4}",
+        report.fused_auc, report.single_auc
+    );
+    println!(
+        "average precision: fused {:.4} vs single-channel {:.4}",
+        report.fused_ap, report.single_ap
+    );
+
+    assert!(
+        report.fused_auc >= report.single_auc,
+        "multi-channel fusion must not hurt detection \
+         (fused AUC {:.4} < single-channel AUC {:.4})",
+        report.fused_auc,
+        report.single_auc
+    );
+    assert!(
+        report.fused_auc >= 0.9,
+        "fused detector must separate the standard population (AUC {:.4})",
+        report.fused_auc
+    );
+
+    let out = std::env::var_os("FASE_DETECT_OUT").map_or_else(
+        || {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_detection.json"
+            ))
+        },
+        PathBuf::from,
+    );
+    std::fs::write(&out, report.to_json()).expect("write BENCH_detection.json");
+    println!("\n  [json] {}", out.display());
+}

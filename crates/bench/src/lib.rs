@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod detection;
 pub mod harness;
 
 use fase_dsp::{Hertz, Spectrum};

@@ -36,6 +36,8 @@ usage:
                      [--concurrency <n>] [--seed <n>] [--fault-rate <p>]
                      [--deadline-ms <n>] [--max-captures <n>] [--max-p99-ms <x>]
                      [--json] [--drain] [--no-retry]
+  fase-cli detect-bench [--channels <n>] [--cache-dir <path>] [--out <path>]
+                     [--min-auc <x>] [--json]
 
 systems: i7 | i3 | turion | p3m | i7-mitigated
 frequencies accept k/M/G suffixes (e.g. 43.3k, 2M).
@@ -72,6 +74,14 @@ load: drives a running server with a seeded multi-tenant request mix
 and prints latency/outcome statistics (--json for machine-readable
 output). --drain sends a drain once the load completes; --max-p99-ms
 fails the run (exit 2) when the p99 latency exceeds the bound.
+
+detect-bench: runs the labeled detection-quality population (leaky
+machines vs interferer-only scenes) through --channels-way multi-channel
+sweeps and reports ROC-AUC / average precision for the fused statistic
+against the single-channel baseline. --out writes the deterministic
+BENCH_detection JSON (no wall times — byte-identical across thread
+counts and cache temperatures); --min-auc fails the run (exit 2) when
+the fused AUC falls below the bound; --cache-dir reuses captures.
 
 exit codes:
   0 success                 2 usage / invalid configuration
@@ -165,6 +175,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "sweep" => with_observability(&parsed, false, sweep),
         "serve" => serve(&parsed),
         "load" => load(&parsed),
+        "detect-bench" => detect_bench(&parsed),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(ArgError::UnknownCommand(other.to_owned()).into()),
     }
@@ -605,6 +616,58 @@ fn load(parsed: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Runs the labeled detection-quality benchmark and reports fused vs.
+/// single-channel ROC/PR quality.
+fn detect_bench(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use fase_bench::detection::{run_detection_benchmark, standard_scenarios};
+    let channels = parsed.integer_or("channels", 3)?.max(1) as usize;
+    let cache_dir = parsed.get("cache-dir").map(std::path::PathBuf::from);
+    let min_auc = parsed.float_or("min-auc", 0.0)?;
+    let report = run_detection_benchmark(&standard_scenarios(), channels, cache_dir.as_deref());
+
+    if let Some(path) = parsed.get("out") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::Invalid(format!("cannot write {path}: {e}")))?;
+    }
+    if min_auc > 0.0 && report.fused_auc < min_auc {
+        return Err(CliError::Invalid(format!(
+            "fused ROC-AUC {:.4} is below the --min-auc bound of {min_auc}",
+            report.fused_auc
+        )));
+    }
+    if parsed.flag("json") {
+        return Ok(report.to_json());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "detection quality over {} scenario(s), {channels} channel(s):",
+        report.outcomes.len()
+    );
+    for o in &report.outcomes {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:<8} fused {:>7.2}  single {:>7.2}  best-single {:>7.2}",
+            o.name,
+            if o.positive { "leak" } else { "clutter" },
+            o.fused,
+            o.single,
+            o.best_single
+        );
+    }
+    let _ = writeln!(
+        out,
+        "ROC-AUC: fused {:.4} vs single-channel {:.4}",
+        report.fused_auc, report.single_auc
+    );
+    let _ = writeln!(
+        out,
+        "average precision: fused {:.4} vs single-channel {:.4}",
+        report.fused_ap, report.single_ap
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,6 +688,21 @@ mod tests {
     fn help_prints_usage() {
         let out = run(&argv("help")).unwrap();
         assert!(out.contains("fase-cli scan"));
+        assert!(out.contains("detect-bench"));
+    }
+
+    #[test]
+    fn detect_bench_rejects_bad_bounds_before_running() {
+        let e = run(&argv("detect-bench --min-auc nope")).unwrap_err();
+        assert!(
+            matches!(e, CliError::Args(ArgError::BadValue { .. })),
+            "{e}"
+        );
+        let e = run(&argv("detect-bench --channels x")).unwrap_err();
+        assert!(
+            matches!(e, CliError::Args(ArgError::BadValue { .. })),
+            "{e}"
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl Carrier {
             "a carrier needs at least one harmonic of evidence"
         );
         harmonics.sort_by_key(|h| (h.h.unsigned_abs(), h.h < 0));
-        let total_log_score = harmonics.iter().map(|h| h.score.max(1.0).ln()).sum();
+        let total_log_score = harmonics.iter().map(|h| h.score.max(0.0).ln_1p()).sum();
         Carrier {
             frequency,
             magnitude,
@@ -97,7 +97,13 @@ impl Carrier {
         self.harmonics.iter().any(|x| x.h == h)
     }
 
-    /// Combined evidence: `Σ ln(score)` over contributing harmonics.
+    /// Combined evidence: `Σ ln(1 + score)` over contributing harmonics.
+    ///
+    /// The `1 +` shift keeps every contribution non-negative (a harmonic
+    /// can only add evidence, never erase a sibling's) while still letting
+    /// sub-unity scores move the total. The previous `score.max(1.0).ln()`
+    /// floor collapsed *all* weak carriers to exactly 0.0, so seam-merge
+    /// dedup ties were decided by input order instead of by evidence.
     pub fn total_log_score(&self) -> f64 {
         self.total_log_score
     }
@@ -157,8 +163,31 @@ mod tests {
     #[test]
     fn total_log_score_sums() {
         let c = carrier();
-        let expected = 500.0f64.ln() + 200.0f64.ln() + 20.0f64.ln();
+        let expected = 501.0f64.ln() + 201.0f64.ln() + 21.0f64.ln();
         assert!((c.total_log_score() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_unity_scores_still_contribute() {
+        // Regression for the old `score.max(1.0).ln()` floor: weak
+        // harmonics must separate weak carriers instead of collapsing
+        // them all to evidence 0.0.
+        let weak = |score| {
+            Carrier::new(
+                Hertz::from_khz(100.0),
+                Dbm(-120.0),
+                Dbm(-130.0),
+                vec![Harmonic { h: 1, score }],
+            )
+        };
+        let a = weak(0.9);
+        let b = weak(0.2);
+        assert!(a.total_log_score() > 0.0);
+        assert!(b.total_log_score() > 0.0);
+        assert!(a.total_log_score() > b.total_log_score());
+        // A zero (or negative, clamped) score contributes exactly nothing.
+        assert_eq!(weak(0.0).total_log_score(), 0.0);
+        assert_eq!(weak(-3.0).total_log_score(), 0.0);
     }
 
     #[test]

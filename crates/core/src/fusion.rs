@@ -1,0 +1,693 @@
+//! Multi-channel evidence fusion and detection-quality statistics.
+//!
+//! FASE's Eq. 1 evidence is additive in log space: every harmonic of a
+//! carrier is an independent look at the same alternation activity, and
+//! so is every *channel* — a different antenna position, receiver, or
+//! noise realization observing the same machine (the
+//! Multi-Screaming-Channel observation: fusing the leak across carriers
+//! and positions beats any single channel). This module stacks the two
+//! axes:
+//!
+//! 1. **Across the harmonic set** —
+//!    [`HarmonicSet::total_log_score`](crate::grouping::HarmonicSet::total_log_score)
+//!    sums member-carrier evidence within one channel's report.
+//! 2. **Across channels** — [`fuse_reports`] matches carriers between K
+//!    per-channel [`FaseReport`]s by frequency and sums their evidence,
+//!    yielding one fused detection statistic per carrier and per
+//!    harmonic family.
+//!
+//! True emitters score consistently in every channel, so their fused
+//! evidence grows ~K-fold; a noise spike or interferer artifact that
+//! fooled one channel stays a one-channel contribution. The
+//! [`roc_auc`]/[`average_precision`] helpers quantify exactly that
+//! separation for the detection-quality benchmark.
+
+use crate::carrier::Carrier;
+use crate::grouping::group_harmonic_sets;
+use crate::report::{json_f64, FaseReport};
+use fase_dsp::Hertz;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One physical carrier as seen across all channels: the per-channel
+/// evidence it collected and the fused (summed) statistic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedCarrier {
+    frequency: Hertz,
+    per_channel: Vec<f64>,
+    fused_score: f64,
+    best_single: f64,
+}
+
+impl FusedCarrier {
+    /// Evidence-weighted mean frequency of the matched detections.
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+
+    /// Evidence collected in each channel, indexed like the `reports`
+    /// slice handed to [`fuse_reports`]; `0.0` where a channel did not
+    /// detect this carrier.
+    pub fn per_channel(&self) -> &[f64] {
+        &self.per_channel
+    }
+
+    /// The fused statistic: `Σ` of [`FusedCarrier::per_channel`].
+    pub fn fused_score(&self) -> f64 {
+        self.fused_score
+    }
+
+    /// The strongest single-channel evidence — what the best
+    /// fixed-position receiver alone would have reported.
+    pub fn best_single_score(&self) -> f64 {
+        self.best_single
+    }
+
+    /// Number of channels that detected this carrier at all.
+    pub fn channels_seen(&self) -> usize {
+        self.per_channel.iter().filter(|&&e| e > 0.0).count()
+    }
+}
+
+impl fmt::Display for FusedCarrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fused carrier {} (evidence {:.1} over {}/{} channels, best single {:.1})",
+            self.frequency,
+            self.fused_score,
+            self.channels_seen(),
+            self.per_channel.len(),
+            self.best_single
+        )
+    }
+}
+
+/// A harmonic family of fused carriers: the set-level fusion of both
+/// evidence axes (harmonics × channels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedSet {
+    fundamental: Hertz,
+    member_frequencies: Vec<Hertz>,
+    fused_score: f64,
+    best_single: f64,
+}
+
+impl FusedSet {
+    /// The family's inferred fundamental frequency.
+    pub fn fundamental(&self) -> Hertz {
+        self.fundamental
+    }
+
+    /// Fused frequencies of the member carriers, ascending.
+    pub fn member_frequencies(&self) -> &[Hertz] {
+        &self.member_frequencies
+    }
+
+    /// Total fused evidence: `Σ` over members and channels.
+    pub fn fused_score(&self) -> f64 {
+        self.fused_score
+    }
+
+    /// The best any *single* channel scored this family (its own sum
+    /// over the members it detected).
+    pub fn best_single_score(&self) -> f64 {
+        self.best_single
+    }
+}
+
+/// The outcome of fusing K per-channel reports: fused carriers
+/// (strongest first) and their harmonic families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionReport {
+    channels: usize,
+    carriers: Vec<FusedCarrier>,
+    sets: Vec<FusedSet>,
+}
+
+impl FusionReport {
+    /// Number of channels that were fused.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Fused carriers, strongest fused evidence first.
+    pub fn carriers(&self) -> &[FusedCarrier] {
+        &self.carriers
+    }
+
+    /// Fused harmonic families, strongest fused evidence first.
+    pub fn sets(&self) -> &[FusedSet] {
+        &self.sets
+    }
+
+    /// True when no channel detected anything.
+    pub fn is_empty(&self) -> bool {
+        self.carriers.is_empty()
+    }
+
+    /// The scene-level fused detection statistic: the strongest fused
+    /// harmonic family (0.0 for an empty report). This is the scalar the
+    /// detection-quality benchmark thresholds.
+    pub fn detection_statistic(&self) -> f64 {
+        self.sets.first().map_or(0.0, FusedSet::fused_score)
+    }
+
+    /// The single-channel counterpart: the best statistic any one
+    /// channel achieves on its own (max over sets of their
+    /// [`FusedSet::best_single_score`]).
+    pub fn best_single_statistic(&self) -> f64 {
+        self.sets
+            .iter()
+            .map(FusedSet::best_single_score)
+            .fold(0.0, f64::max)
+    }
+
+    /// Deterministic JSON: two equal reports serialize byte-identically
+    /// (shortest-roundtrip float formatting, fixed key order).
+    pub fn to_json(&self) -> String {
+        let carriers: Vec<String> = self
+            .carriers
+            .iter()
+            .map(|c| {
+                let per: Vec<String> = c.per_channel.iter().copied().map(json_f64).collect();
+                format!(
+                    "{{\"frequency_hz\": {}, \"fused_score\": {}, \"best_single_score\": {}, \
+                     \"per_channel\": [{}]}}",
+                    json_f64(c.frequency.hz()),
+                    json_f64(c.fused_score),
+                    json_f64(c.best_single),
+                    per.join(", ")
+                )
+            })
+            .collect();
+        let sets: Vec<String> = self
+            .sets
+            .iter()
+            .map(|s| {
+                let members: Vec<String> = s
+                    .member_frequencies
+                    .iter()
+                    .map(|f| json_f64(f.hz()))
+                    .collect();
+                format!(
+                    "{{\"fundamental_hz\": {}, \"fused_score\": {}, \"best_single_score\": {}, \
+                     \"member_frequencies_hz\": [{}]}}",
+                    json_f64(s.fundamental.hz()),
+                    json_f64(s.fused_score),
+                    json_f64(s.best_single),
+                    members.join(", ")
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"channels\": {},\n  \"carriers\": [{}],\n  \"sets\": [{}]\n}}\n",
+            self.channels,
+            carriers.join(", "),
+            sets.join(", ")
+        )
+    }
+}
+
+impl fmt::Display for FusionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fusion report: {} carrier(s) in {} set(s) over {} channel(s), statistic {:.1}",
+            self.carriers.len(),
+            self.sets.len(),
+            self.channels,
+            self.detection_statistic()
+        )?;
+        for c in &self.carriers {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fuses per-channel reports into one [`FusionReport`].
+///
+/// Carriers from different channels within `match_tol` of each other
+/// (chained, like seam dedup in
+/// [`merge_band_reports`](crate::merge::merge_band_reports)) are treated
+/// as one physical emitter: their evidence *sums* instead of the
+/// stronger copy winning, because distinct channels are independent
+/// observations rather than redundant ones. Surviving fused carriers are
+/// regrouped into harmonic families with `group_rel_tol` and the family
+/// evidence summed across members and channels.
+///
+/// Fusion is deterministic: the result depends only on the reports and
+/// their order in `reports` (which fixes the per-channel layout), never
+/// on thread count or iteration order.
+pub fn fuse_reports(reports: &[FaseReport], match_tol: Hertz, group_rel_tol: f64) -> FusionReport {
+    let channels = reports.len();
+    // (frequency, channel, carrier) rows, ascending frequency; channel
+    // index breaks exact-frequency ties deterministically.
+    let mut rows: Vec<(usize, &Carrier)> = Vec::new();
+    for (k, report) in reports.iter().enumerate() {
+        for c in report.carriers() {
+            rows.push((k, c));
+        }
+    }
+    rows.sort_by(|(ka, a), (kb, b)| {
+        a.frequency()
+            .hz()
+            .total_cmp(&b.frequency().hz())
+            .then(ka.cmp(kb))
+    });
+
+    // Chain-cluster rows within `match_tol` of the previous row.
+    let mut clusters: Vec<Vec<(usize, &Carrier)>> = Vec::new();
+    for (k, c) in rows {
+        match clusters.last_mut() {
+            Some(cluster)
+                if cluster.last().is_some_and(|(_, prev)| {
+                    (c.frequency() - prev.frequency()).hz().abs() <= match_tol.hz()
+                }) =>
+            {
+                cluster.push((k, c));
+            }
+            _ => clusters.push(vec![(k, c)]),
+        }
+    }
+
+    let mut fused: Vec<FusedCarrier> = Vec::with_capacity(clusters.len());
+    // The strongest member carrier of each cluster, used to regroup the
+    // fused carriers into harmonic families; keyed by its exact
+    // frequency bits so family members map back to their cluster.
+    let mut representatives: Vec<Carrier> = Vec::with_capacity(clusters.len());
+    let mut cluster_of: BTreeMap<u64, usize> = BTreeMap::new();
+    for cluster in &clusters {
+        let mut per_channel = vec![0.0f64; channels];
+        for (k, c) in cluster {
+            if let Some(slot) = per_channel.get_mut(*k) {
+                *slot += c.total_log_score();
+            }
+        }
+        let fused_score: f64 = per_channel.iter().sum();
+        let best_single = per_channel.iter().copied().fold(0.0, f64::max);
+        // Evidence-weighted mean frequency; plain mean when the whole
+        // cluster carries zero evidence.
+        let weight: f64 = cluster.iter().map(|(_, c)| c.total_log_score()).sum();
+        let frequency = if weight > 0.0 {
+            cluster
+                .iter()
+                .map(|(_, c)| c.frequency().hz() * c.total_log_score())
+                .sum::<f64>()
+                / weight
+        } else {
+            cluster.iter().map(|(_, c)| c.frequency().hz()).sum::<f64>()
+                / cluster.len().max(1) as f64
+        };
+        let representative = cluster
+            .iter()
+            .map(|(_, c)| *c)
+            .max_by(|a, b| a.total_log_score().total_cmp(&b.total_log_score()));
+        if let Some(rep) = representative {
+            cluster_of.insert(rep.frequency().hz().to_bits(), fused.len());
+            representatives.push(rep.clone());
+        }
+        fused.push(FusedCarrier {
+            frequency: Hertz(frequency),
+            per_channel,
+            fused_score,
+            best_single,
+        });
+    }
+
+    // Harmonic families over the representatives, then set-level sums
+    // over the member clusters.
+    let mut sets: Vec<FusedSet> = group_harmonic_sets(&representatives, group_rel_tol)
+        .iter()
+        .map(|set| {
+            let mut member_frequencies = Vec::with_capacity(set.len());
+            let mut per_channel = vec![0.0f64; channels];
+            for member in set.members() {
+                let Some(&ci) = cluster_of.get(&member.frequency().hz().to_bits()) else {
+                    continue;
+                };
+                let Some(fc) = fused.get(ci) else { continue };
+                member_frequencies.push(fc.frequency);
+                for (total, e) in per_channel.iter_mut().zip(&fc.per_channel) {
+                    *total += e;
+                }
+            }
+            member_frequencies.sort_by(|a, b| a.hz().total_cmp(&b.hz()));
+            FusedSet {
+                fundamental: set.fundamental(),
+                member_frequencies,
+                fused_score: per_channel.iter().sum(),
+                best_single: per_channel.iter().copied().fold(0.0, f64::max),
+            }
+        })
+        .collect();
+
+    // Strongest-first output order on both levels, frequency ascending
+    // as the deterministic tie-break.
+    fused.sort_by(|a, b| {
+        b.fused_score
+            .total_cmp(&a.fused_score)
+            .then(a.frequency.hz().total_cmp(&b.frequency.hz()))
+    });
+    sets.sort_by(|a, b| {
+        b.fused_score
+            .total_cmp(&a.fused_score)
+            .then(a.fundamental.hz().total_cmp(&b.fundamental.hz()))
+    });
+
+    FusionReport {
+        channels,
+        carriers: fused,
+        sets,
+    }
+}
+
+/// The single-channel detection statistic of one report: its strongest
+/// harmonic family's set-level evidence (0.0 when nothing was
+/// detected). The single-channel baseline the benchmark compares fusion
+/// against.
+pub fn single_channel_statistic(report: &FaseReport) -> f64 {
+    report
+        .harmonic_sets()
+        .iter()
+        .map(crate::grouping::HarmonicSet::total_log_score)
+        .fold(0.0, f64::max)
+}
+
+/// One point of a ROC / precision-recall curve, computed at a score
+/// threshold (classify "leak" when `score >= threshold`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// The threshold this point was computed at.
+    pub threshold: f64,
+    /// True-positive rate (recall): detected leaks / actual leaks.
+    pub tpr: f64,
+    /// False-positive rate: false alarms / actual non-leaks.
+    pub fpr: f64,
+    /// Precision: detected leaks / everything flagged.
+    pub precision: f64,
+}
+
+/// ROC / PR curve over `(score, is_leak)` labeled scenarios: one point
+/// per distinct score, thresholds descending (so TPR/FPR ascend).
+/// Returns an empty curve when either class is absent.
+pub fn roc_points(labeled: &[(f64, bool)]) -> Vec<RocPoint> {
+    let positives = labeled.iter().filter(|(_, leak)| *leak).count();
+    let negatives = labeled.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return Vec::new();
+    }
+    let mut thresholds: Vec<f64> = labeled.iter().map(|(s, _)| *s).collect();
+    thresholds.sort_by(f64::total_cmp);
+    thresholds.dedup();
+    thresholds.reverse();
+    thresholds
+        .iter()
+        .map(|&t| {
+            let tp = labeled.iter().filter(|(s, leak)| *leak && *s >= t).count();
+            let fp = labeled.iter().filter(|(s, leak)| !*leak && *s >= t).count();
+            RocPoint {
+                threshold: t,
+                tpr: tp as f64 / positives as f64,
+                fpr: fp as f64 / negatives as f64,
+                precision: if tp + fp > 0 {
+                    tp as f64 / (tp + fp) as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// ROC area under the curve via the Mann–Whitney U statistic: the
+/// probability that a random leak scenario outscores a random non-leak
+/// one (ties count ½). Exact, deterministic, and independent of input
+/// order. Returns 0.5 (no information) when either class is absent.
+pub fn roc_auc(labeled: &[(f64, bool)]) -> f64 {
+    let positives: Vec<f64> = labeled
+        .iter()
+        .filter(|(_, leak)| *leak)
+        .map(|(s, _)| *s)
+        .collect();
+    let negatives: Vec<f64> = labeled
+        .iter()
+        .filter(|(_, leak)| !*leak)
+        .map(|(s, _)| *s)
+        .collect();
+    if positives.is_empty() || negatives.is_empty() {
+        return 0.5;
+    }
+    let mut u = 0.0f64;
+    for &p in &positives {
+        for &n in &negatives {
+            if p > n {
+                u += 1.0;
+            } else if p == n {
+                u += 0.5;
+            }
+        }
+    }
+    u / (positives.len() * negatives.len()) as f64
+}
+
+/// Average precision (the area under the precision-recall curve,
+/// step-interpolated): mean of the precision at each leak's rank, with
+/// ties broken pessimistically (non-leaks ranked first at equal score).
+/// Returns 0.0 when there are no leaks.
+pub fn average_precision(labeled: &[(f64, bool)]) -> f64 {
+    let positives = labeled.iter().filter(|(_, leak)| *leak).count();
+    if positives == 0 {
+        return 0.0;
+    }
+    let mut ranked: Vec<(f64, bool)> = labeled.to_vec();
+    // Descending score; at equal score the non-leak sorts first so a
+    // tie never flatters the detector.
+    ranked.sort_by(|(sa, la), (sb, lb)| sb.total_cmp(sa).then(la.cmp(lb)));
+    let mut tp = 0usize;
+    let mut sum = 0.0f64;
+    for (rank, (_, leak)) in ranked.iter().enumerate() {
+        if *leak {
+            tp += 1;
+            sum += tp as f64 / (rank + 1) as f64;
+        }
+    }
+    sum / positives as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::Harmonic;
+    use fase_dsp::Dbm;
+
+    fn carrier(f: f64, score: f64) -> Carrier {
+        Carrier::new(
+            Hertz(f),
+            Dbm(-104.0),
+            Dbm(-118.0),
+            vec![Harmonic { h: 1, score }],
+        )
+    }
+
+    fn report(carriers: Vec<Carrier>) -> FaseReport {
+        FaseReport::from_carriers(carriers, 0.003)
+    }
+
+    #[test]
+    fn evidence_sums_across_channels() {
+        // Three channels see the 315 kHz carrier at slightly different
+        // interpolated frequencies; channel 1 also misses it entirely.
+        let reports = [
+            report(vec![carrier(315_000.0, 100.0)]),
+            report(vec![]),
+            report(vec![carrier(315_120.0, 80.0)]),
+        ];
+        let fusion = fuse_reports(&reports, Hertz(500.0), 0.003);
+        assert_eq!(fusion.channels(), 3);
+        assert_eq!(fusion.carriers().len(), 1);
+        let c = fusion.carriers().first().unwrap();
+        let expected = 101.0f64.ln() + 81.0f64.ln();
+        assert!((c.fused_score() - expected).abs() < 1e-9);
+        assert!((c.best_single_score() - 101.0f64.ln()).abs() < 1e-9);
+        assert_eq!(c.channels_seen(), 2);
+        assert_eq!(c.per_channel().len(), 3);
+        assert_eq!(c.per_channel()[1], 0.0);
+        // Fused frequency sits between the two detections, nearer the
+        // stronger one.
+        assert!(c.frequency().hz() > 315_000.0 && c.frequency().hz() < 315_120.0);
+        assert!((fusion.detection_statistic() - expected).abs() < 1e-9);
+        assert!((fusion.best_single_statistic() - 101.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_carriers_stay_distinct() {
+        let reports = [
+            report(vec![carrier(315_000.0, 100.0), carrier(430_000.0, 60.0)]),
+            report(vec![carrier(315_050.0, 90.0)]),
+        ];
+        let fusion = fuse_reports(&reports, Hertz(500.0), 0.003);
+        assert_eq!(fusion.carriers().len(), 2);
+        // Strongest fused first.
+        let strongest = fusion.carriers().first().unwrap();
+        assert!(strongest.frequency().hz() < 320_000.0);
+        assert_eq!(strongest.channels_seen(), 2);
+    }
+
+    #[test]
+    fn harmonic_families_fuse_across_members_and_channels() {
+        // Fundamental and 2nd harmonic, each seen by both channels: the
+        // set statistic sums all four looks; the best single channel
+        // only ever saw its own two.
+        let reports = [
+            report(vec![carrier(315_000.0, 50.0), carrier(630_000.0, 20.0)]),
+            report(vec![carrier(315_080.0, 40.0), carrier(630_160.0, 30.0)]),
+        ];
+        let fusion = fuse_reports(&reports, Hertz(500.0), 0.003);
+        assert_eq!(fusion.sets().len(), 1, "{fusion}");
+        let set = fusion.sets().first().unwrap();
+        assert_eq!(set.member_frequencies().len(), 2);
+        let ch0 = 51.0f64.ln() + 21.0f64.ln();
+        let ch1 = 41.0f64.ln() + 31.0f64.ln();
+        assert!((set.fused_score() - (ch0 + ch1)).abs() < 1e-9);
+        assert!((set.best_single_score() - ch0.max(ch1)).abs() < 1e-9);
+        assert!(fusion.detection_statistic() >= fusion.best_single_statistic());
+    }
+
+    #[test]
+    fn channel_order_permutes_layout_but_not_statistics() {
+        let a = report(vec![carrier(315_000.0, 100.0)]);
+        let b = report(vec![carrier(315_100.0, 40.0)]);
+        let ab = fuse_reports(&[a.clone(), b.clone()], Hertz(500.0), 0.003);
+        let ba = fuse_reports(&[b, a], Hertz(500.0), 0.003);
+        let ca = ab.carriers().first().unwrap();
+        let cb = ba.carriers().first().unwrap();
+        assert_eq!(ca.per_channel()[0], cb.per_channel()[1]);
+        assert_eq!(ca.per_channel()[1], cb.per_channel()[0]);
+        assert!((ab.detection_statistic() - ba.detection_statistic()).abs() < 1e-12);
+        assert!((ab.best_single_statistic() - ba.best_single_statistic()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_statistic_dominates_every_single_channel() {
+        // Evidence is non-negative, so the fused statistic can never be
+        // worse than any channel alone — across random channel mixes.
+        use fase_dsp::rng::{Rng, SmallRng};
+        for trial in 0..32u64 {
+            let mut rng = SmallRng::seed_from_u64(trial).fork(0xF0);
+            let reports: Vec<FaseReport> = (0..3)
+                .map(|_| {
+                    let mut cs = Vec::new();
+                    for base in [200_000.0, 315_000.0, 521_000.0] {
+                        if rng.gen_f64() < 0.7 {
+                            let f = base + (rng.gen_f64() - 0.5) * 100.0;
+                            cs.push(carrier(f, rng.gen_f64() * 200.0));
+                        }
+                    }
+                    report(cs)
+                })
+                .collect();
+            let fusion = fuse_reports(&reports, Hertz(500.0), 0.003);
+            for single in &reports {
+                assert!(
+                    fusion.detection_statistic() >= single_channel_statistic(single) - 1e-9,
+                    "fusion lost to a single channel on trial {trial}"
+                );
+            }
+            assert!(fusion.detection_statistic() >= fusion.best_single_statistic() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_fusion_is_empty() {
+        let fusion = fuse_reports(&[], Hertz(500.0), 0.003);
+        assert!(fusion.is_empty());
+        assert_eq!(fusion.channels(), 0);
+        assert_eq!(fusion.detection_statistic(), 0.0);
+        assert_eq!(fusion.best_single_statistic(), 0.0);
+        let no_detections = fuse_reports(&[report(vec![]), report(vec![])], Hertz(500.0), 0.003);
+        assert!(no_detections.is_empty());
+        assert_eq!(no_detections.channels(), 2);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_complete() {
+        let reports = [
+            report(vec![carrier(315_000.0, 100.0)]),
+            report(vec![carrier(315_100.0, 80.0)]),
+        ];
+        let fusion = fuse_reports(&reports, Hertz(500.0), 0.003);
+        let json = fusion.to_json();
+        assert_eq!(json, fuse_reports(&reports, Hertz(500.0), 0.003).to_json());
+        for key in [
+            "\"channels\": 2",
+            "\"fused_score\"",
+            "\"best_single_score\"",
+            "\"per_channel\"",
+            "\"fundamental_hz\"",
+            "\"member_frequencies_hz\"",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+    }
+
+    #[test]
+    fn single_channel_statistic_reads_the_strongest_set() {
+        let r = report(vec![
+            carrier(315_000.0, 100.0),
+            carrier(630_000.0, 50.0),
+            carrier(430_000.0, 10.0),
+        ]);
+        let expected = 101.0f64.ln() + 51.0f64.ln();
+        assert!((single_channel_statistic(&r) - expected).abs() < 1e-9);
+        assert_eq!(single_channel_statistic(&report(vec![])), 0.0);
+    }
+
+    #[test]
+    fn roc_auc_known_values() {
+        // Perfect separation.
+        let perfect = [(10.0, true), (9.0, true), (2.0, false), (1.0, false)];
+        assert_eq!(roc_auc(&perfect), 1.0);
+        // Perfectly wrong.
+        let inverted = [(1.0, true), (10.0, false)];
+        assert_eq!(roc_auc(&inverted), 0.0);
+        // All tied: no information.
+        let tied = [(5.0, true), (5.0, false)];
+        assert_eq!(roc_auc(&tied), 0.5);
+        // One mistake among 2×2 pairs: 3 wins + 1 loss = 0.75.
+        let mixed = [(10.0, true), (3.0, true), (5.0, false), (1.0, false)];
+        assert_eq!(roc_auc(&mixed), 0.75);
+        // Degenerate inputs.
+        assert_eq!(roc_auc(&[]), 0.5);
+        assert_eq!(roc_auc(&[(1.0, true)]), 0.5);
+    }
+
+    #[test]
+    fn roc_points_trace_the_curve() {
+        let labeled = [(10.0, true), (3.0, true), (5.0, false), (1.0, false)];
+        let points = roc_points(&labeled);
+        assert_eq!(points.len(), 4);
+        let first = points.first().unwrap();
+        assert_eq!((first.tpr, first.fpr, first.precision), (0.5, 0.0, 1.0));
+        let last = points.last().unwrap();
+        assert_eq!((last.tpr, last.fpr), (1.0, 1.0));
+        // Monotone non-decreasing along descending thresholds.
+        for w in points.windows(2) {
+            assert!(w[1].tpr >= w[0].tpr && w[1].fpr >= w[0].fpr);
+        }
+        assert!(roc_points(&[(1.0, true)]).is_empty());
+    }
+
+    #[test]
+    fn average_precision_known_values() {
+        // Positives ranked 1st and 3rd: AP = (1/1 + 2/3) / 2 = 5/6.
+        let labeled = [(10.0, true), (5.0, false), (3.0, true), (1.0, false)];
+        assert!((average_precision(&labeled) - 5.0 / 6.0).abs() < 1e-12);
+        // A tie ranks the negative first (pessimistic): positive at
+        // rank 2 of 2 → AP = 1/2.
+        let tied = [(5.0, true), (5.0, false)];
+        assert_eq!(average_precision(&tied), 0.5);
+        assert_eq!(average_precision(&[(1.0, false)]), 0.0);
+    }
+}

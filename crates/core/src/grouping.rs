@@ -93,6 +93,16 @@ impl HarmonicSet {
         // not flip the duty-cycle hint.
         Some(fase_dsp::stats::median(&even) / fase_dsp::stats::median(&odd))
     }
+
+    /// Combined set-level evidence: `Σ` of the members'
+    /// [`Carrier::total_log_score`]. The harmonics of one physical
+    /// source are independent looks at the same alternation activity,
+    /// so their log-evidence adds — the "across the harmonic set" axis
+    /// of the fusion module, which the "across channels" axis of
+    /// [`fuse_reports`](crate::fusion::fuse_reports) then stacks on top.
+    pub fn total_log_score(&self) -> f64 {
+        self.members.iter().map(Carrier::total_log_score).sum()
+    }
 }
 
 impl fmt::Display for HarmonicSet {
@@ -345,6 +355,155 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(group_harmonic_sets(&[], 0.002).is_empty());
+    }
+
+    #[test]
+    fn set_evidence_sums_member_evidence() {
+        let sets = group_harmonic_sets(
+            &[carrier(315_000.0, -104.0), carrier(630_000.0, -108.0)],
+            0.002,
+        );
+        assert_eq!(sets.len(), 1);
+        let expected: f64 = sets[0].members().iter().map(Carrier::total_log_score).sum();
+        assert!((sets[0].total_log_score() - expected).abs() < 1e-12);
+        assert!(sets[0].total_log_score() > 0.0);
+    }
+
+    // ----- property tests: seeded sweeps over the edge cases -----------
+
+    use fase_dsp::rng::{Rng, SmallRng};
+
+    /// Invariants every grouping must satisfy, whatever the input: no
+    /// member lost or duplicated, fundamentals finite and positive,
+    /// harmonic numbers floored at 1, and the duty-cycle ratio either
+    /// absent or a finite non-negative number (never a divide-by-zero
+    /// NaN/Inf).
+    fn assert_grouping_invariants(carriers: &[Carrier], sets: &[HarmonicSet]) {
+        let member_count: usize = sets.iter().map(HarmonicSet::len).sum();
+        assert_eq!(member_count, carriers.len(), "members lost or duplicated");
+        for set in sets {
+            assert!(!set.is_empty());
+            let fund = set.fundamental().hz();
+            assert!(fund.is_finite() && fund > 0.0, "fundamental {fund}");
+            assert!(set.harmonic_numbers().iter().all(|&k| k >= 1));
+            assert!(set.total_log_score().is_finite());
+            if let Some(r) = set.even_odd_power_ratio() {
+                assert!(r.is_finite() && r >= 0.0, "ratio {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn property_random_combs_group_without_misgrouping() {
+        let rel_tol = 0.002;
+        for trial in 0..64u64 {
+            let mut rng = SmallRng::seed_from_u64(trial).fork(0xC0B);
+            // One comb family plus a few unrelated singletons, with
+            // per-member jitter well inside the tolerance.
+            let base = 80_000.0 + rng.gen_f64() * 500_000.0;
+            let mut carriers = Vec::new();
+            let harmonics = 2 + (rng.next_u64() % 4) as usize;
+            for k in 1..=harmonics {
+                let jitter = (rng.gen_f64() - 0.5) * rel_tol * base;
+                carriers.push(carrier(base * k as f64 + jitter, -110.0));
+            }
+            let singles = (rng.next_u64() % 3) as usize;
+            for i in 0..singles {
+                // Decoys at golden-ratio offsets from the comb: φ + i is
+                // maximally far from every rational with a denominator
+                // the GCD pass could use (max_k = 32), so neither pass
+                // may absorb them — a random ratio would occasionally
+                // land near a small rational (e.g. 18/13) and merge
+                // legitimately.
+                let f = base * (1.618_033_988_749_895 + i as f64);
+                carriers.push(carrier(f, -115.0));
+            }
+            let sets = group_harmonic_sets(&carriers, rel_tol);
+            assert_grouping_invariants(&carriers, &sets);
+            let comb = sets
+                .iter()
+                .max_by_key(|s| s.len())
+                .expect("nonempty grouping");
+            assert_eq!(comb.len(), harmonics, "comb split: {sets:?}");
+            assert!(
+                (comb.fundamental().hz() - base).abs() <= rel_tol * base,
+                "fundamental {} drifted from base {base}",
+                comb.fundamental().hz()
+            );
+        }
+    }
+
+    #[test]
+    fn property_rel_tol_boundary_separates_near_rational_pairs() {
+        // A second carrier parked near 2× the first: relative error just
+        // inside `rel_tol` must group (the comparison is inclusive);
+        // pushed to 3× the tolerance it must stay separate — the tighter
+        // `gcd_tol = rel_tol / 10` of the second pass must not rescue it.
+        let rel_tol = 0.002;
+        for trial in 0..64u64 {
+            let mut rng = SmallRng::seed_from_u64(trial).fork(0xB0B);
+            let f = 100_000.0 + rng.gen_f64() * 1_000_000.0;
+            let inside = [
+                carrier(f, -110.0),
+                carrier(2.0 * f * (1.0 + rel_tol), -112.0),
+            ];
+            let sets = group_harmonic_sets(&inside, rel_tol);
+            assert_grouping_invariants(&inside, &sets);
+            assert_eq!(sets.len(), 1, "boundary pair split at f={f}");
+            assert_eq!(sets[0].harmonic_numbers(), vec![1, 2]);
+
+            let outside = [
+                carrier(f, -110.0),
+                carrier(2.0 * f * (1.0 + 3.0 * rel_tol), -112.0),
+            ];
+            let sets = group_harmonic_sets(&outside, rel_tol);
+            assert_grouping_invariants(&outside, &sets);
+            assert_eq!(sets.len(), 2, "off-tolerance pair merged at f={f}");
+        }
+    }
+
+    #[test]
+    fn property_common_divisor_saturates_at_max_k() {
+        for trial in 0..64u64 {
+            let mut rng = SmallRng::seed_from_u64(trial).fork(0xD1F);
+            let g = 50_000.0 + rng.gen_f64() * 200_000.0;
+            // Within the cap: 7g vs 10g reveals g itself.
+            let found = common_divisor(7.0 * g, 10.0 * g, 0.0002, 32)
+                .expect("in-cap family must share a divisor");
+            assert!((found - g).abs() <= 1e-6 * g, "divisor {found} vs {g}");
+            // Beyond the cap: the larger frequency would need k > max_k
+            // for every candidate divisor, so the search must give up
+            // rather than return a sub-divisor.
+            assert_eq!(common_divisor(g, 33.5 * g, 0.0002, 32), None);
+            // Degenerate inputs never panic and never "succeed".
+            assert_eq!(common_divisor(0.0, 10.0 * g, 0.0002, 32), None);
+            assert_eq!(common_divisor(-g, 10.0 * g, 0.0002, 32), None);
+        }
+    }
+
+    #[test]
+    fn property_single_parity_sets_have_no_duty_cycle_ratio() {
+        for trial in 0..32u64 {
+            let mut rng = SmallRng::seed_from_u64(trial).fork(0xEE);
+            let f = 100_000.0 + rng.gen_f64() * 500_000.0;
+            // Odd-only detections (k = 1, 3, 5, ...).
+            let odd: Vec<Carrier> = (0..2 + (rng.next_u64() % 3))
+                .map(|i| carrier(f * (2 * i + 1) as f64, -110.0))
+                .collect();
+            for set in group_harmonic_sets(&odd, 0.002) {
+                assert!(set.even_odd_power_ratio().is_none(), "{set}");
+            }
+            // Even-only members relative to an undetected fundamental:
+            // constructed directly, since grouping would re-derive the
+            // 2f base and renumber them 1, 2, ... (mixed parity again).
+            let even_only = HarmonicSet {
+                fundamental: Hertz(f),
+                members: vec![carrier(2.0 * f, -110.0), carrier(4.0 * f, -112.0)],
+            };
+            assert_eq!(even_only.harmonic_numbers(), vec![2, 4]);
+            assert!(even_only.even_odd_power_ratio().is_none());
+            assert_grouping_invariants(even_only.members(), std::slice::from_ref(&even_only));
+        }
     }
 
     #[test]

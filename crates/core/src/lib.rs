@@ -39,6 +39,7 @@ pub mod config;
 pub mod detector;
 pub mod error;
 pub mod fase;
+pub mod fusion;
 pub mod grouping;
 pub mod health;
 pub mod heuristic;
@@ -54,6 +55,10 @@ pub use classify::{classify_by_pairs, ClassifiedCarrier, ModulationClass};
 pub use config::{CampaignConfig, CampaignConfigBuilder};
 pub use error::FaseError;
 pub use fase::{Fase, FaseConfig};
+pub use fusion::{
+    average_precision, fuse_reports, roc_auc, roc_points, single_channel_statistic, FusedCarrier,
+    FusedSet, FusionReport, RocPoint,
+};
 pub use grouping::HarmonicSet;
 pub use health::{CampaignHealth, DroppedAlternation, FaultRecord};
 pub use heuristic::{HeuristicConfig, ScoreTrace};

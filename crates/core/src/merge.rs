@@ -126,7 +126,28 @@ mod tests {
         assert_eq!(merged.len(), 1);
         let kept = merged.carriers().first().unwrap();
         assert_eq!(kept.frequency(), Hertz(400_120.0));
-        assert!((kept.total_log_score() - 300.0f64.ln()).abs() < 1e-9);
+        assert!((kept.total_log_score() - 301.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_unity_seam_duplicates_keep_the_stronger_copy() {
+        // Regression for the `score.max(1.0).ln()` evidence floor: both
+        // copies of this weak seam carrier used to collapse to evidence
+        // 0.0, so the "stronger wins" rule degenerated to "first in input
+        // order wins". With `ln(1 + score)` the 0.9-score copy genuinely
+        // outscores the 0.2-score copy and must survive regardless of
+        // which band reported it first.
+        let weak_lo = carrier(400_000.0, 0.2);
+        let weak_hi = carrier(400_300.0, 0.9);
+        for reports in [
+            [report(vec![weak_lo.clone()]), report(vec![weak_hi.clone()])],
+            [report(vec![weak_hi.clone()]), report(vec![weak_lo.clone()])],
+        ] {
+            let merged = merge_band_reports(&reports, Hertz(500.0), 0.003);
+            assert_eq!(merged.len(), 1);
+            let kept = merged.carriers().first().unwrap();
+            assert_eq!(kept.frequency(), Hertz(400_300.0), "stronger copy");
+        }
     }
 
     #[test]

@@ -144,7 +144,7 @@ impl FaseReport {
 
 /// Formats an `f64` for JSON with Rust's shortest-roundtrip formatting —
 /// deterministic across platforms, bit-exact on re-parse.
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:?}")
     } else {

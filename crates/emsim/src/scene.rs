@@ -70,6 +70,12 @@ impl Scene {
         self.channel = channel;
     }
 
+    /// The current receive channel — multi-channel sweeps read its gain
+    /// and noise density to derive per-position channel realizations.
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
     /// Ground-truth descriptions of every source (never consulted by FASE;
     /// used by tests and experiment reports).
     pub fn ground_truth(&self) -> Vec<SourceInfo> {

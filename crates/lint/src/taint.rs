@@ -18,14 +18,18 @@
 //!    call to a deriver (`mix_seed`, `fork`, or any function that
 //!    transitively calls one), an identifier with seed lineage in its
 //!    name (`seed`, `band_seed`, `stream`), or a literal constant.
-//! 3. **Merge paths** (functions named `merge*`): unordered hash
-//!    collections — and float accumulation over them — make the merged
-//!    result depend on hasher state and summation order; merges must
-//!    iterate deterministically.
+//! 3. **Merge and fusion paths** (functions whose name contains `merge`
+//!    or `fuse`): unordered hash collections — and float accumulation
+//!    over them — make the merged result depend on hasher state and
+//!    summation order; merges must iterate deterministically. Fusion
+//!    paths sort carriers by fused *score*, so a `partial_cmp`
+//!    comparator is an extra hazard there: it is non-total under NaN,
+//!    and which carrier wins the sort can change between runs (or
+//!    panic). Merged/fused orderings must use `total_cmp`.
 //!
 //! Capture roots are recognized by name (`run_campaign*`, `run_sweep*`,
-//! `capture*`, `execute_capture*`, `measure_at*`, `merge_*`); everything
-//! they transitively call through the resolved call graph is
+//! `capture*`, `execute_capture*`, `measure_at*`, `merge_*`, `fuse_*`);
+//! everything they transitively call through the resolved call graph is
 //! capture-reachable.
 
 use crate::graph::Graphs;
@@ -54,6 +58,7 @@ const ROOT_PREFIXES: &[&str] = &[
     "execute_capture",
     "measure_at",
     "merge_",
+    "fuse_",
 ];
 
 /// Unordered collections whose iteration order depends on hasher state.
@@ -61,6 +66,10 @@ const UNORDERED: &[&str] = &["HashMap", "HashSet"];
 
 /// Order-sensitive float accumulators.
 const ACCUMULATORS: &[&str] = &["sum", "product", "fold"];
+
+/// The non-total float comparator: forbidden in merge/fusion paths,
+/// where score sorting must be reproducible even with NaN present.
+const NON_TOTAL_CMP: &str = "partial_cmp";
 
 /// Runs the taint pass over the resolved graphs, returning raw
 /// (pre-pragma) findings.
@@ -232,11 +241,12 @@ fn check_rng_ctors(
     }
 }
 
-/// Check 3: merge paths must not iterate unordered collections or
-/// accumulate floats over them.
+/// Check 3: merge/fusion paths must not iterate unordered collections,
+/// accumulate floats over them, or order floats with a non-total
+/// comparator.
 fn check_merge_paths(g: &Graphs<'_>, out: &mut Vec<Finding>) {
     for fr in &g.fns {
-        if !fr.f.name.contains("merge") {
+        if !fr.f.name.contains("merge") && !fr.f.name.contains("fuse") {
             continue;
         }
         let m = &g.models[fr.file];
@@ -244,6 +254,20 @@ fn check_merge_paths(g: &Graphs<'_>, out: &mut Vec<Finding>) {
         let Some((a, b)) = fr.f.body else { continue };
         let mut unordered = false;
         for t in &tokens[a..=b.min(tokens.len() - 1)] {
+            if t.kind == TokKind::Ident && t.text == NON_TOTAL_CMP {
+                out.push(Finding {
+                    rule: "D-taint",
+                    file: m.rel.clone(),
+                    line: t.line,
+                    col: 1,
+                    message: format!(
+                        "`{NON_TOTAL_CMP}` in merge/fusion path `{}`: the comparator is \
+                         non-total under NaN, so score-ordered results can differ between \
+                         runs; order floats with `total_cmp`",
+                        fr.f.name
+                    ),
+                });
+            }
             if t.kind == TokKind::Ident && UNORDERED.contains(&t.text.as_str()) {
                 unordered = true;
                 out.push(Finding {

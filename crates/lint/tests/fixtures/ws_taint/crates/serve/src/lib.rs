@@ -8,3 +8,16 @@ pub fn merge_weights(lanes: &[u64]) -> f64 {
     }
     by_lane.values().sum()
 }
+
+/// Fuses per-channel scores; a `partial_cmp` comparator is non-total
+/// under NaN, so the winning score can change between runs.
+pub fn fuse_scores(mut scores: Vec<f64>) -> f64 {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    scores.last().copied().unwrap_or(0.0)
+}
+
+/// Fuses with a total order — must stay silent.
+pub fn fuse_scores_total(mut scores: Vec<f64>) -> f64 {
+    scores.sort_by(f64::total_cmp);
+    scores.last().copied().unwrap_or(0.0)
+}

@@ -240,12 +240,21 @@ fn taint_fixture_flags_lineage_entropy_and_merge_order() {
         vec![
             ("crates/serve/src/lib.rs".to_owned(), 5),
             ("crates/serve/src/lib.rs".to_owned(), 9),
+            ("crates/serve/src/lib.rs".to_owned(), 15),
             ("crates/specan/src/lib.rs".to_owned(), 11),
             ("crates/specan/src/lib.rs".to_owned(), 23),
         ],
         "{findings:#?}"
     );
-    assert_eq!(findings.len(), 4, "{findings:#?}");
+    // The non-total comparator in `fuse_scores` is called out by name;
+    // the `total_cmp` variant right below it stays silent.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("partial_cmp") && f.message.contains("fuse_scores")),
+        "{findings:#?}"
+    );
+    assert_eq!(findings.len(), 5, "{findings:#?}");
 }
 
 #[test]

@@ -350,8 +350,11 @@ mod tests {
             let (mut stream, _) = listener.accept().unwrap();
             let req = read_request(&mut stream).unwrap();
             assert_eq!(req.body, "ping");
+            // The same ms → whole-seconds rounding the server applies to
+            // queue-derived retry hints (ceil, floored at 1 s).
+            let hint_ms = 1_750u64;
             Response::json(429, "{\"e\":1}")
-                .with_header("Retry-After", "2")
+                .with_header("Retry-After", hint_ms.div_ceil(1_000).max(1).to_string())
                 .write_to(&mut stream)
                 .unwrap();
         });

@@ -157,16 +157,17 @@ impl LoadReport {
     }
 }
 
-/// Nearest-rank percentile of an already-sorted series.
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = (p / 100.0 * (sorted_ms.len() as f64 - 1.0)).round() as usize;
-    sorted_ms
-        .get(rank.min(sorted_ms.len() - 1))
-        .copied()
-        .unwrap_or(0.0)
+/// Linearly-interpolated percentile, delegating to
+/// [`fase_dsp::stats::percentile`].
+///
+/// The previous nearest-rank variant rounded `p/100 · (n−1)` to the
+/// closest integer rank, which at small sample counts (n < 100) made p99
+/// degenerate to the maximum — or, one rank earlier, undershoot it — so
+/// `BENCH_serve` p99 jumped discontinuously with the request count.
+/// Interpolating between the two bracketing ranks is continuous in both
+/// `p` and `n`.
+fn percentile(latencies_ms: &[f64], p: f64) -> f64 {
+    fase_dsp::stats::percentile(latencies_ms, p)
 }
 
 /// Sends one request, following `Retry-After` when asked to.
@@ -286,7 +287,7 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, FaseError> {
         .filter(|s| matches!(s.outcome, Outcome::Ok | Outcome::Degraded))
         .map(|s| s.latency_ms)
         .collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    latencies.sort_by(f64::total_cmp);
     let count = |o: Outcome| samples.iter().filter(|s| s.outcome == o).count();
     let answered = latencies.len();
     Ok(LoadReport {
@@ -327,10 +328,29 @@ mod tests {
     #[test]
     fn percentiles_of_a_known_series() {
         let series: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&series, 50.0), 51.0);
-        assert_eq!(percentile(&series, 99.0), 99.0);
+        // Interpolated: rank 49.5 sits exactly between 50 and 51.
+        assert_eq!(percentile(&series, 50.0), 50.5);
+        assert!((percentile(&series, 99.0) - 99.01).abs() < 1e-9);
+        assert_eq!(percentile(&series, 0.0), 1.0);
+        assert_eq!(percentile(&series, 100.0), 100.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn small_sample_p99_interpolates_below_the_max() {
+        // Regression for the nearest-rank `.round()` off-by-one: with
+        // n = 10 the old code rounded rank 8.91 up to 9 and reported p99
+        // == max, hiding the tail. Interpolation keeps p99 strictly
+        // inside (second-largest, max) and continuous in n.
+        let series: Vec<f64> = (1..=10).map(f64::from).collect();
+        let p99 = percentile(&series, 99.0);
+        assert!((p99 - 9.91).abs() < 1e-9, "{p99}");
+        assert!(p99 < 10.0, "p99 must not degenerate to the max");
+        assert_eq!(percentile(&series, 50.0), 5.5);
+        let quad = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&quad, 50.0), 25.0);
+        assert!((percentile(&quad, 99.0) - 39.7).abs() < 1e-9);
     }
 
     #[test]

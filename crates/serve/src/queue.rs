@@ -15,6 +15,7 @@
 //! queued work receives the same share of band-capacity regardless of
 //! how many requests it floods into its queue.
 
+use fase_dsp::rng::mix_seed;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Queue capacity limits and the DRR quantum.
@@ -94,13 +95,25 @@ pub struct DrrQueues<T> {
     last: Option<String>,
     total: usize,
     caps: QueueCaps,
+    /// EWMA of observed per-job service time, milliseconds; `None` until
+    /// the first completed job reports in.
+    service_ewma_ms: Option<u64>,
+    /// Rejections issued so far — the jitter stream for retry hints.
+    rejections: u64,
 }
 
-/// Retry hint for a queue currently holding `queued` jobs: a quarter
-/// second per queued job, clamped to `[250 ms, 5 s]`.
-fn retry_hint_ms(queued: usize) -> u64 {
-    (queued as u64).saturating_mul(250).clamp(250, 5_000)
-}
+/// Assumed per-job service time before any job has completed, ms. Sweeps
+/// through the serve path take on the order of a quarter second warm.
+const DEFAULT_SERVICE_MS: u64 = 250;
+
+/// Service times beyond this are clamped before entering the EWMA so one
+/// pathological deadline-length job cannot poison hints for minutes.
+const MAX_OBSERVED_SERVICE_MS: u64 = 60_000;
+
+/// Retry hints never leave this window: long enough that a retry has a
+/// chance, short enough that clients poll a loaded server at all.
+const MIN_HINT_MS: u64 = 100;
+const MAX_HINT_MS: u64 = 30_000;
 
 impl<T> DrrQueues<T> {
     /// An empty queue set with the given capacity limits.
@@ -110,7 +123,46 @@ impl<T> DrrQueues<T> {
             last: None,
             total: 0,
             caps,
+            service_ewma_ms: None,
+            rejections: 0,
         }
+    }
+
+    /// Feeds one completed job's measured wall time into the service-cost
+    /// estimate (EWMA, α = 1/4). The workers call this after every job so
+    /// retry hints track what requests *actually* cost right now rather
+    /// than a hardcoded constant.
+    pub fn observe_service_ms(&mut self, ms: u64) {
+        let ms = ms.clamp(1, MAX_OBSERVED_SERVICE_MS);
+        self.service_ewma_ms = Some(match self.service_ewma_ms {
+            Some(prev) => (prev.saturating_mul(3).saturating_add(ms)) / 4,
+            None => ms,
+        });
+    }
+
+    /// The current per-job service-time estimate, milliseconds
+    /// ([`DEFAULT_SERVICE_MS`] until a job has completed).
+    pub fn estimated_service_ms(&self) -> u64 {
+        self.service_ewma_ms.unwrap_or(DEFAULT_SERVICE_MS)
+    }
+
+    /// Retry hint for a rejection seen at queue depth `queued`: the
+    /// expected time for the backlog to shrink (`queued × estimated
+    /// per-job cost`) plus deterministic ±25% jitter drawn from the
+    /// rejection counter, clamped to `[`[`MIN_HINT_MS`]`, `[`MAX_HINT_MS`]`]`.
+    ///
+    /// The jitter is the point: a fixed hint tells every rejected client
+    /// to come back at the same instant, so a full queue stays full in
+    /// lock-step. Spreading hints over a half-cost window de-synchronizes
+    /// the herd without any client-side randomness.
+    fn retry_hint_ms(&mut self, queued: usize) -> u64 {
+        self.rejections = self.rejections.wrapping_add(1);
+        let base = (queued.max(1) as u64).saturating_mul(self.estimated_service_ms());
+        let span = (base / 2).max(2);
+        let jitter = mix_seed(self.rejections, queued as u64) % span;
+        base.saturating_sub(span / 2)
+            .saturating_add(jitter)
+            .clamp(MIN_HINT_MS, MAX_HINT_MS)
     }
 
     /// Jobs queued across all tenants.
@@ -139,15 +191,13 @@ impl<T> DrrQueues<T> {
     ///   [`QueueCaps::per_tenant`].
     pub fn admit(&mut self, tenant: &str, cost: u64, payload: T) -> Result<(), AdmissionError> {
         if self.total >= self.caps.global {
-            return Err(AdmissionError::GlobalFull {
-                retry_after_ms: retry_hint_ms(self.total),
-            });
+            let retry_after_ms = self.retry_hint_ms(self.total);
+            return Err(AdmissionError::GlobalFull { retry_after_ms });
         }
         let queued = self.queued_for(tenant);
         if queued >= self.caps.per_tenant {
-            return Err(AdmissionError::TenantFull {
-                retry_after_ms: retry_hint_ms(queued),
-            });
+            let retry_after_ms = self.retry_hint_ms(queued);
+            return Err(AdmissionError::TenantFull { retry_after_ms });
         }
         self.tenants
             .entry(tenant.to_owned())
@@ -290,14 +340,28 @@ mod tests {
         assert_eq!(q.pop(), None);
     }
 
+    /// The jittered hint must land inside `base ± span/2` (pre-clamp).
+    fn assert_hint_in_window(hint: u64, queued: u64, service_ms: u64) {
+        let base = queued.max(1) * service_ms;
+        let span = (base / 2).max(2);
+        let lo = base.saturating_sub(span / 2).clamp(100, 30_000);
+        let hi = (base + span).clamp(100, 30_000);
+        assert!(
+            (lo..=hi).contains(&hint),
+            "hint {hint} outside [{lo}, {hi}] for depth {queued} × {service_ms} ms"
+        );
+    }
+
     #[test]
-    fn tenant_cap_rejects_with_growing_hint() {
+    fn tenant_cap_rejects_with_depth_scaled_hint() {
         let mut q = DrrQueues::new(caps(2, 32, 2));
         q.admit("a", 1, 0).unwrap();
         q.admit("a", 1, 1).unwrap();
         let err = q.admit("a", 1, 2).unwrap_err();
         assert_eq!(err.scope(), "tenant queue");
-        assert_eq!(err.retry_after_ms(), 500);
+        // No job has finished yet: the hint uses the default service cost
+        // and the tenant's depth of 2.
+        assert_hint_in_window(err.retry_after_ms(), 2, 250);
         // Other tenants are unaffected.
         q.admit("b", 1, 0).unwrap();
     }
@@ -310,18 +374,64 @@ mod tests {
         q.admit("c", 1, 0).unwrap();
         let err = q.admit("d", 1, 0).unwrap_err();
         assert_eq!(err.scope(), "global queue");
-        assert_eq!(err.retry_after_ms(), 750);
+        assert_hint_in_window(err.retry_after_ms(), 3, 250);
         // Draining one job reopens admission.
         let _ = q.pop().unwrap();
         q.admit("d", 1, 0).unwrap();
     }
 
     #[test]
+    fn retry_hint_tracks_measured_service_cost() {
+        // A full queue whose jobs measure ~4 s each must hint a much
+        // longer wait than one whose jobs take the default 250 ms.
+        let mut q = DrrQueues::new(caps(2, 32, 2));
+        for _ in 0..8 {
+            q.observe_service_ms(4_000);
+        }
+        assert_eq!(q.estimated_service_ms(), 4_000);
+        q.admit("a", 1, 0).unwrap();
+        q.admit("a", 1, 1).unwrap();
+        let slow = q.admit("a", 1, 2).unwrap_err().retry_after_ms();
+        assert_hint_in_window(slow, 2, 4_000);
+        assert!(slow >= 6_000, "2 × 4 s backlog hinted only {slow} ms");
+
+        // Fast jobs bring the EWMA — and with it the hints — back down.
+        for _ in 0..32 {
+            q.observe_service_ms(100);
+        }
+        let fast = q.admit("a", 1, 3).unwrap_err().retry_after_ms();
+        assert!(fast < slow / 4, "hint did not follow the EWMA down: {fast}");
+    }
+
+    #[test]
+    fn retry_hints_are_jittered_not_synchronized() {
+        // Two clients rejected back-to-back at the same depth must not be
+        // told to come back at the same instant.
+        let mut q = DrrQueues::new(caps(1, 32, 2));
+        q.admit("a", 1, 0).unwrap();
+        let hints: Vec<u64> = (0..4)
+            .map(|i| q.admit("a", 1, i).unwrap_err().retry_after_ms())
+            .collect();
+        for &h in &hints {
+            assert_hint_in_window(h, 1, 250);
+        }
+        assert!(
+            hints.windows(2).any(|w| w[0] != w[1]),
+            "all hints identical: {hints:?}"
+        );
+    }
+
+    #[test]
     fn retry_hint_is_clamped() {
-        assert_eq!(retry_hint_ms(0), 250);
-        assert_eq!(retry_hint_ms(1), 250);
-        assert_eq!(retry_hint_ms(4), 1_000);
-        assert_eq!(retry_hint_ms(1_000), 5_000);
+        let mut q: DrrQueues<i32> = DrrQueues::new(caps(8, 32, 2));
+        // Tiny estimate, depth 0: the floor holds.
+        q.observe_service_ms(0); // clamped up to 1 ms before the EWMA
+        assert_eq!(q.estimated_service_ms(), 1);
+        assert!(q.retry_hint_ms(0) >= 100);
+        // Huge backlog × huge estimate: the ceiling holds.
+        q.observe_service_ms(u64::MAX);
+        assert!(q.estimated_service_ms() <= 60_000);
+        assert_eq!(q.retry_hint_ms(1_000_000), 30_000);
     }
 
     #[test]

@@ -537,10 +537,11 @@ fn execute_job(shared: &Arc<Shared>, job: &QueuedJob) -> Response {
     }
     let started = fase_obs::monotonic_ns();
     let outcome = catch_unwind(AssertUnwindSafe(|| run_with_retries(shared, job)));
-    recorder.observe_ns(
-        "serve.request_ns",
-        fase_obs::monotonic_ns().saturating_sub(started),
-    );
+    let elapsed_ns = fase_obs::monotonic_ns().saturating_sub(started);
+    recorder.observe_ns("serve.request_ns", elapsed_ns);
+    // Feed the measured cost back into admission control so 429 retry
+    // hints track what a request actually costs on this box right now.
+    lock(&shared.queues).observe_service_ms(elapsed_ns / 1_000_000);
     match outcome {
         Ok(response) => response,
         Err(payload) => {

@@ -29,6 +29,7 @@ pub mod antenna;
 pub mod cache;
 pub mod cancel;
 pub mod fault;
+pub mod multichannel;
 pub mod probe;
 pub mod runner;
 pub mod scheduler;
@@ -40,6 +41,7 @@ pub use antenna::AntennaResponse;
 pub use cache::{CacheKey, CacheLookup, CaptureCache, DirLock, SweepManifest};
 pub use cancel::CancelToken;
 pub use fault::{FaultKind, FaultPlan, FaultRates};
+pub use multichannel::{run_multichannel_sweep, ChannelPlan, MultiSweepOutcome};
 pub use probe::{IqCapture, ProbeConfig};
 pub use runner::{
     run_campaign_parallel, run_campaign_with_options, Averaging, CalibrationCache, CampaignOptions,

@@ -99,6 +99,42 @@ cargo run -p fase-obs --offline --release --bin fase-obs-validate -- \
 grep -Eq '"specan\.cache_hits": [1-9]' target/sweep-metrics.json \
   || { echo "warm sweep recorded no cache hits:"; cat target/sweep-metrics.json; exit 1; }
 
+echo "==> detection-quality benchmark (fused vs single-channel ROC)"
+# The labeled scenario population through 3-channel fusion, three times:
+# cold cache, warm cache, and single-threaded against a fresh cache. The
+# bench binary itself asserts fused AUC >= single-channel AUC and >= 0.9;
+# here we additionally pin that the JSON (which carries no wall times) is
+# byte-identical across cache temperature and thread count — the fusion
+# analogue of the sweep scheduler's bit-identity promise. The checked-in
+# BENCH_detection.json is never touched.
+# Absolute paths: cargo runs the bench binary with the package dir
+# (crates/bench) as its working directory, so relative env paths would
+# land there instead of the workspace target/.
+rm -rf target/detect-cache
+FASE_DETECT_OUT="$PWD/target/BENCH_detection.cold.json" FASE_DETECT_CACHE="$PWD/target/detect-cache" \
+  cargo bench --offline -p fase-bench --bench detection > target/detect-bench.log
+FASE_DETECT_OUT="$PWD/target/BENCH_detection.warm.json" FASE_DETECT_CACHE="$PWD/target/detect-cache" \
+  cargo bench --offline -p fase-bench --bench detection >> target/detect-bench.log
+cmp -s target/BENCH_detection.cold.json target/BENCH_detection.warm.json \
+  || { echo "detection JSON differs between cold and warm cache runs"; exit 1; }
+rm -rf target/detect-cache
+FASE_THREADS=1 FASE_DETECT_OUT="$PWD/target/BENCH_detection.t1.json" \
+  FASE_DETECT_CACHE="$PWD/target/detect-cache" \
+  cargo bench --offline -p fase-bench --bench detection >> target/detect-bench.log
+cmp -s target/BENCH_detection.cold.json target/BENCH_detection.t1.json \
+  || { echo "detection JSON differs between thread counts"; exit 1; }
+rm -rf target/detect-cache
+# Belt and braces on top of the binary's own assertion: the fused
+# detector must dominate the single-channel baseline in the artifact CI
+# uploads.
+fused_auc=$(sed -n 's/.*"fused_auc": \([0-9.]*\).*/\1/p' target/BENCH_detection.cold.json)
+single_auc=$(sed -n 's/.*"single_auc": \([0-9.]*\).*/\1/p' target/BENCH_detection.cold.json)
+[[ -n "$fused_auc" && -n "$single_auc" ]] \
+  || { echo "BENCH_detection.cold.json lacks AUC fields"; exit 1; }
+awk "BEGIN { exit !($fused_auc >= $single_auc && $fused_auc >= 0.9) }" \
+  || { echo "fused AUC $fused_auc must be >= single-channel AUC $single_auc and >= 0.9"; exit 1; }
+echo "detection: fused AUC $fused_auc vs single-channel AUC $single_auc"
+
 echo "==> serve smoke (seeded load, p99 bound, clean drain)"
 # Start the detection service on an OS-assigned port, fire a small
 # deterministic multi-tenant load at it, assert the p99 latency under a
